@@ -1,0 +1,449 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation section, at a scale the pure-OCaml MILP solver handles in
+   minutes (see DESIGN.md / EXPERIMENTS.md for the scale mapping).
+
+   Usage: main.exe [SECTION...]
+   Sections: table2 table3 fig7 fig8 fig9 fig10a fig10b fig10c ilpsize
+             validate runtime ablation micro    (default: all)
+
+   Environment knobs:
+     OPTROUTER_BENCH_CLIPS  top-k clips per technology (default 6)
+     OPTROUTER_BENCH_TIME   CPU-seconds limit per ILP solve (default 15)
+     OPTROUTER_BENCH_SCALE  instance-count scale factor (default 0.03) *)
+
+module Tech = Optrouter_tech.Tech
+module Rules = Optrouter_tech.Rules
+module Via_shape = Optrouter_tech.Via_shape
+module Clip = Optrouter_grid.Clip
+module Graph = Optrouter_grid.Graph
+module Cells = Optrouter_cells.Cells
+module Design = Optrouter_design.Design
+module Extract = Optrouter_clips.Extract
+module Pin_cost = Optrouter_clips.Pin_cost
+module Formulate = Optrouter_core.Formulate
+module Optrouter = Optrouter_core.Optrouter
+module Route = Optrouter_grid.Route
+module Maze = Optrouter_maze.Maze
+module Sweep = Optrouter_eval.Sweep
+module Scoreboard = Optrouter_eval.Scoreboard
+module Experiments = Optrouter_eval.Experiments
+module Report = Optrouter_report.Report
+module Lp = Optrouter_ilp.Lp
+module Simplex = Optrouter_ilp.Simplex
+module Milp = Optrouter_ilp.Milp
+
+let env_int name default =
+  match Sys.getenv_opt name with
+  | Some v -> ( match int_of_string_opt v with Some i -> i | None -> default)
+  | None -> default
+
+let env_float name default =
+  match Sys.getenv_opt name with
+  | Some v -> ( match float_of_string_opt v with Some f -> f | None -> default)
+  | None -> default
+
+let bench_params =
+  {
+    Experiments.default_fig10_params with
+    Experiments.top_clips = env_int "OPTROUTER_BENCH_CLIPS" 6;
+    time_limit_s = env_float "OPTROUTER_BENCH_TIME" 15.0;
+    instance_scale = env_float "OPTROUTER_BENCH_SCALE" 0.03;
+  }
+
+let results_dir = "results"
+
+let ensure_results_dir () =
+  if not (Sys.file_exists results_dir) then Sys.mkdir results_dir 0o755
+
+let banner title =
+  Printf.printf "\n================ %s ================\n" title
+
+let section_table2 () =
+  banner "Table 2: benchmark designs";
+  print_string
+    (Report.Table.render ~header:Experiments.table2_header
+       (Experiments.table2_rows ()))
+
+let section_table3 () =
+  banner "Table 3: BEOL design rule configurations";
+  print_string
+    (Report.Table.render ~header:Experiments.table3_header
+       (Experiments.table3_rows ()))
+
+let render_clip (c : Clip.t) =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf
+    (Printf.sprintf "%s [%s] (M2 access points)\n" c.Clip.c_name c.Clip.tech_name);
+  let grid = Array.make_matrix c.Clip.rows c.Clip.cols '.' in
+  List.iteri
+    (fun k (net : Clip.net) ->
+      let ch = Char.chr (Char.code 'a' + (k mod 26)) in
+      List.iter
+        (fun (pin : Clip.pin) ->
+          List.iter (fun (x, y) -> grid.(y).(x) <- ch) pin.Clip.access)
+        net.Clip.pins)
+    c.Clip.nets;
+  for y = c.Clip.rows - 1 downto 0 do
+    for x = 0 to c.Clip.cols - 1 do
+      Buffer.add_char buf grid.(y).(x);
+      Buffer.add_char buf ' '
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let section_fig7 () =
+  banner "Figure 7: routing clips extracted per technology";
+  List.iter
+    (fun tech ->
+      match
+        Experiments.difficult_clips
+          ~params:{ bench_params with Experiments.top_clips = 1 }
+          tech
+      with
+      | clip :: _ -> print_string (render_clip clip)
+      | [] -> Printf.printf "(no clip extracted for %s)\n" tech.Tech.name)
+    Tech.all
+
+let section_fig8 () =
+  banner "Figure 8: pin cost distributions (N7-9T, AES and M0)";
+  let series = Experiments.fig8 () in
+  let rows =
+    List.map
+      (fun (s : Experiments.fig8_series) ->
+        let n = Array.length s.Experiments.top_costs in
+        let v i = s.Experiments.top_costs.(min i (max 0 (n - 1))) in
+        [
+          s.Experiments.label;
+          string_of_int n;
+          Printf.sprintf "%.1f" (v (n - 1));
+          Printf.sprintf "%.1f" (v (n / 2));
+          Printf.sprintf "%.1f" (v 0);
+        ])
+      series
+  in
+  print_string
+    (Report.Table.render
+       ~header:[ "version"; "#top clips"; "min"; "median"; "max" ]
+       rows);
+  print_string
+    (Report.Series.plot ~y_label:"top pin costs (sorted descending)"
+       (List.map
+          (fun (s : Experiments.fig8_series) ->
+            (s.Experiments.label, s.Experiments.top_costs))
+          series));
+  Printf.printf "paper-claim scoreboard:\n";
+  Format.printf "%a" Scoreboard.pp_findings (Scoreboard.fig8_findings series);
+  ensure_results_dir ();
+  Report.Csv.write_file
+    (Filename.concat results_dir "fig8.csv")
+    ~header:[ "version"; "rank"; "pin_cost" ]
+    (List.concat_map
+       (fun (s : Experiments.fig8_series) ->
+         Array.to_list
+           (Array.mapi
+              (fun i c ->
+                [ s.Experiments.label; string_of_int i; Printf.sprintf "%.3f" c ])
+              s.Experiments.top_costs))
+       series)
+
+let section_fig9 () =
+  banner "Figure 9: NAND2X1 pin shapes per technology";
+  List.iter
+    (fun tech -> print_endline (Cells.render tech (Cells.nand2 tech)))
+    Tech.all
+
+let fig10_for name tech =
+  banner
+    (Printf.sprintf "Figure 10%s: dcost per rule, %s (reduced scale)" name
+       tech.Tech.name);
+  let entries = Experiments.fig10 ~params:bench_params tech in
+  if entries = [] then print_endline "(no routable clips at this scale)"
+  else begin
+    let series = Sweep.series entries in
+    print_string
+      (Report.Series.plot ~y_label:"sorted dcost (500 = unroutable)" series);
+    let counts = Sweep.infeasible_counts entries in
+    let rows =
+      List.map
+        (fun (rule, n) ->
+          let values = List.assoc rule series in
+          let finite = Array.to_list values |> List.filter (fun v -> v < 499.0) in
+          let solved = List.length finite in
+          let mean =
+            match finite with
+            | [] -> "-"
+            | _ ->
+              Printf.sprintf "%.1f"
+                (List.fold_left ( +. ) 0.0 finite /. float_of_int solved)
+          in
+          [
+            rule;
+            string_of_int (Array.length values);
+            string_of_int solved;
+            mean;
+            string_of_int n;
+          ])
+        counts
+    in
+    print_string
+      (Report.Table.render
+         ~header:
+           [ "rule"; "#clips"; "#solved"; "mean dcost (solved)"; "#infeasible" ]
+         rows);
+    Printf.printf "paper-claim scoreboard:\n";
+    Format.printf "%a" Scoreboard.pp_findings (Scoreboard.fig10_findings entries);
+    ensure_results_dir ();
+    Report.Csv.write_file
+      (Filename.concat results_dir (Printf.sprintf "fig10%s.csv" name))
+      ~header:[ "clip"; "rule"; "base_cost"; "cost"; "dcost" ]
+      (List.map
+         (fun (e : Sweep.entry) ->
+           [
+             e.Sweep.clip_name;
+             e.Sweep.rule_name;
+             string_of_int e.Sweep.base_cost;
+             (match e.Sweep.cost with Some c -> string_of_int c | None -> "");
+             Printf.sprintf "%.0f" (Sweep.delta_value e.Sweep.delta);
+           ])
+         entries)
+  end
+
+let section_ilpsize () =
+  banner "Section 4.2: ILP variable/constraint counts";
+  print_string
+    (Report.Table.render ~header:Experiments.ilp_size_header
+       (Experiments.ilp_size_rows ()))
+
+let section_validate () =
+  banner "Footnote 6: OptRouter vs heuristic baseline (RULE1)";
+  let rows = ref [] in
+  let deltas = ref [] in
+  List.iter
+    (fun tech ->
+      let params = { bench_params with Experiments.top_clips = 3 } in
+      List.iter
+        (fun (v : Experiments.validation) ->
+          let delta =
+            match (v.Experiments.opt_cost, v.Experiments.baseline_cost) with
+            | Some o, Some b ->
+              deltas := float_of_int (o - b) :: !deltas;
+              string_of_int (o - b)
+            | _, _ -> "-"
+          in
+          rows :=
+            [
+              tech.Tech.name;
+              v.Experiments.v_clip;
+              (match v.Experiments.opt_cost with
+              | Some c -> string_of_int c
+              | None -> "-");
+              (match v.Experiments.baseline_cost with
+              | Some c -> string_of_int c
+              | None -> "-");
+              delta;
+            ]
+            :: !rows)
+        (Experiments.validate ~params tech))
+    Tech.all;
+  print_string
+    (Report.Table.render
+       ~header:[ "tech"; "clip"; "OptRouter"; "baseline"; "dcost" ]
+       (List.rev !rows));
+  match !deltas with
+  | [] -> ()
+  | ds ->
+    let mean = List.fold_left ( +. ) 0.0 ds /. float_of_int (List.length ds) in
+    Printf.printf
+      "average dcost (OptRouter - baseline): %.1f (paper reports -10..-15 on \
+       an average cost of ~380)\n"
+      mean
+
+let section_runtime () =
+  banner "Section 5: OptRouter runtime per switchbox";
+  let rows =
+    List.map
+      (fun (label, without_rules, with_rules) ->
+        [
+          label;
+          Printf.sprintf "%.2f s" without_rules;
+          Printf.sprintf "%.2f s" with_rules;
+        ])
+      (Experiments.runtime ~params:bench_params ())
+  in
+  print_string
+    (Report.Table.render
+       ~header:[ "switchbox size"; "no SADP/via rules"; "SADP + via rules" ]
+       rows)
+
+let section_ablation () =
+  banner "Ablation: via cost weight (routing cost = WL + w * #vias)";
+  let clip =
+    match
+      Experiments.difficult_clips
+        ~params:{ bench_params with Experiments.top_clips = 1 }
+        Tech.n28_12t
+    with
+    | c :: _ -> c
+    | [] -> failwith "no clip"
+  in
+  let rows =
+    List.map
+      (fun w ->
+        let tech = { Tech.n28_12t with Tech.via_weight = w } in
+        match
+          (Optrouter.route ~tech ~rules:(Rules.rule 1) clip).Optrouter.verdict
+        with
+        | Optrouter.Routed sol ->
+          [
+            string_of_int w;
+            string_of_int sol.Route.metrics.wirelength;
+            string_of_int sol.Route.metrics.vias;
+            string_of_int sol.Route.metrics.cost;
+          ]
+        | Optrouter.Unroutable | Optrouter.Limit _ ->
+          [ string_of_int w; "-"; "-"; "-" ])
+      [ 1; 2; 4; 8 ]
+  in
+  print_string
+    (Report.Table.render ~header:[ "via weight"; "WL"; "#vias"; "cost" ] rows);
+  banner "Ablation: SADP linearisation (collapsed vs paper aux binaries)";
+  let g = Graph.build ~tech:Tech.n28_12t ~rules:(Rules.rule 2) clip in
+  let time f =
+    let t0 = Sys.time () in
+    let r = f () in
+    (r, Sys.time () -. t0)
+  in
+  let run options =
+    time (fun () ->
+        let config = { Optrouter.default_config with Optrouter.options } in
+        Optrouter.route_graph ~config ~rules:(Rules.rule 2) g)
+  in
+  let collapsed, t_collapsed = run Formulate.default_options in
+  let aux, t_aux =
+    run { Formulate.default_options with Formulate.sadp_aux_vars = true }
+  in
+  let cost r =
+    match Optrouter.cost_of r with Some c -> string_of_int c | None -> "-"
+  in
+  print_string
+    (Report.Table.render
+       ~header:[ "linearisation"; "cost"; "CPU s" ]
+       [
+         [ "collapsed (default)"; cost collapsed; Printf.sprintf "%.2f" t_collapsed ];
+         [ "paper (9) aux vars"; cost aux; Printf.sprintf "%.2f" t_aux ];
+       ]);
+  banner "Ablation: unidirectional vs bidirectional layers";
+  (* The paper fixes all layers unidirectional ('used because of better
+     robustness, scalability and manufacturability'); this quantifies what
+     that choice costs on the representative clip. *)
+  let rep = Experiments.representative_clip in
+  let route_dir bidirectional =
+    let config = { Optrouter.default_config with Optrouter.bidirectional } in
+    match
+      (Optrouter.route ~config ~tech:Tech.n28_12t ~rules:(Rules.rule 1) rep)
+        .Optrouter.verdict
+    with
+    | Optrouter.Routed sol ->
+      [
+        (if bidirectional then "bidirectional (LELE luxury)"
+         else "unidirectional (paper)");
+        string_of_int sol.Route.metrics.wirelength;
+        string_of_int sol.Route.metrics.vias;
+        string_of_int sol.Route.metrics.cost;
+      ]
+    | Optrouter.Unroutable | Optrouter.Limit _ ->
+      [ (if bidirectional then "bidirectional" else "unidirectional"); "-"; "-"; "-" ]
+  in
+  print_string
+    (Report.Table.render
+       ~header:[ "layer directionality"; "WL"; "#vias"; "cost" ]
+       [ route_dir false; route_dir true ])
+
+(* Bechamel micro-benchmarks of the computational kernels: one Test.make
+   per kernel, measured under a short time quota so the harness stays
+   fast. *)
+let section_micro () =
+  banner "Microbenchmarks (bechamel)";
+  let open Bechamel in
+  let clip = Experiments.representative_clip in
+  let tech = Tech.n28_12t in
+  let g1 = Graph.build ~tech ~rules:(Rules.rule 1) clip in
+  let form1 = Formulate.build ~rules:(Rules.rule 1) g1 in
+  let lp1 = Formulate.lp form1 in
+  let test_graph =
+    Test.make ~name:"graph build (5x5x4, 4 nets)"
+      (Staged.stage (fun () -> Graph.build ~tech ~rules:(Rules.rule 2) clip))
+  in
+  let test_formulate =
+    Test.make ~name:"ILP formulation (RULE2)"
+      (Staged.stage (fun () -> Formulate.build ~rules:(Rules.rule 2) g1))
+  in
+  let test_lp =
+    Test.make ~name:"LP relaxation (simplex)"
+      (Staged.stage (fun () -> Simplex.solve lp1))
+  in
+  let test_pincost =
+    Test.make ~name:"pin cost metric"
+      (Staged.stage (fun () -> Pin_cost.total clip))
+  in
+  let test_maze =
+    Test.make ~name:"heuristic maze route (RULE1)"
+      (Staged.stage (fun () ->
+           Maze.route
+             ~params:{ Maze.default_params with Maze.restarts = 2 }
+             ~rules:(Rules.rule 1) g1))
+  in
+  let tests =
+    Test.make_grouped ~name:"optrouter"
+      [ test_graph; test_formulate; test_lp; test_pincost; test_maze ]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:100 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] -> Printf.printf "%-42s %14.0f ns/run\n" name est
+      | Some _ | None -> Printf.printf "%-42s (no estimate)\n" name)
+    results
+
+let sections =
+  [
+    ("table2", section_table2);
+    ("table3", section_table3);
+    ("fig7", section_fig7);
+    ("fig8", section_fig8);
+    ("fig9", section_fig9);
+    ("fig10a", fun () -> fig10_for "a" Tech.n28_12t);
+    ("fig10b", fun () -> fig10_for "b" Tech.n28_8t);
+    ("fig10c", fun () -> fig10_for "c" Tech.n7_9t);
+    ("ilpsize", section_ilpsize);
+    ("validate", section_validate);
+    ("runtime", section_runtime);
+    ("ablation", section_ablation);
+    ("micro", section_micro);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as args) -> args
+    | _ -> List.map fst sections
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name sections with
+      | Some f ->
+        let t0 = Sys.time () in
+        f ();
+        Printf.printf "[section %s: %.1f s]\n%!" name (Sys.time () -. t0)
+      | None ->
+        Printf.eprintf "unknown section %S; available: %s\n" name
+          (String.concat " " (List.map fst sections));
+        exit 1)
+    requested

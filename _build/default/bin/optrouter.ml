@@ -1,0 +1,485 @@
+(* OptRouter command-line interface.
+
+   Subcommands mirror the paper's flow: [gen] harvests difficult clips
+   from a synthetic design, [route] solves clips optimally under a rule
+   configuration, [sweep] reproduces the Δcost evaluation, [pincost]
+   ranks clips, [show] renders them, and [cells] prints the per-technology
+   pin shapes of Figure 9. *)
+
+module Tech = Optrouter_tech.Tech
+module Rules = Optrouter_tech.Rules
+module Clip = Optrouter_grid.Clip
+module Graph = Optrouter_grid.Graph
+module Cells = Optrouter_cells.Cells
+module Design = Optrouter_design.Design
+module Extract = Optrouter_clips.Extract
+module Pin_cost = Optrouter_clips.Pin_cost
+module Clipfile = Optrouter_clipfile.Clipfile
+module Formulate = Optrouter_core.Formulate
+module Optrouter_drv = Optrouter_core.Optrouter
+module Route = Optrouter_grid.Route
+module Maze = Optrouter_maze.Maze
+module Sweep = Optrouter_eval.Sweep
+module Global = Optrouter_global.Global
+module Experiments = Optrouter_eval.Experiments
+module Report = Optrouter_report.Report
+module Milp = Optrouter_ilp.Milp
+module Lp_file = Optrouter_ilp.Lp_file
+
+open Cmdliner
+
+let setup_logs style_renderer level =
+  Fmt_tty.setup_std_outputs ?style_renderer ();
+  Logs.set_level level;
+  Logs.set_reporter (Logs_fmt.reporter ())
+
+let logs_term =
+  Term.(const setup_logs $ Fmt_cli.style_renderer () $ Logs_cli.level ())
+
+let tech_conv =
+  let parse s =
+    match Tech.by_name s with
+    | t -> Ok t
+    | exception Not_found ->
+      Error (`Msg (Printf.sprintf "unknown technology %S (try N28-12T, N28-8T, N7-9T)" s))
+  in
+  Arg.conv (parse, fun ppf t -> Format.pp_print_string ppf t.Tech.name)
+
+let tech_arg =
+  Arg.(
+    value
+    & opt tech_conv Tech.n28_12t
+    & info [ "tech" ] ~docv:"NAME" ~doc:"Technology preset (N28-12T, N28-8T, N7-9T).")
+
+let rule_conv =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n -> ( match Rules.rule n with r -> Ok r | exception Invalid_argument m -> Error (`Msg m))
+    | None -> Error (`Msg "rule must be a number 1..11")
+  in
+  Arg.conv (parse, fun ppf (r : Rules.t) -> Format.pp_print_string ppf r.Rules.name)
+
+let rule_arg =
+  Arg.(
+    value
+    & opt rule_conv (Rules.rule 1)
+    & info [ "rule" ] ~docv:"N" ~doc:"BEOL rule configuration RULEn (1..11, Table 3).")
+
+let time_limit_arg =
+  Arg.(
+    value
+    & opt float 30.0
+    & info [ "time-limit" ] ~docv:"SECONDS" ~doc:"CPU time limit per ILP solve.")
+
+let clips_file_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"CLIPS" ~doc:"Clip file (see the clipfile format in the docs).")
+
+let load_clips path =
+  match Clipfile.read_file path with
+  | Ok clips -> clips
+  | Error msg ->
+    Printf.eprintf "error: %s: %s\n" path msg;
+    exit 1
+
+let config_of ~time_limit =
+  {
+    Optrouter_drv.default_config with
+    milp =
+      { Milp.default_params with max_nodes = 200_000; time_limit_s = Some time_limit };
+  }
+
+(* ---- route ---- *)
+
+let do_route tech rules time_limit lp_out route_out path () =
+  let clips = load_clips path in
+  let config = config_of ~time_limit in
+  List.iteri
+    (fun i clip ->
+      (match lp_out with
+      | Some base ->
+        let g = Graph.build ~tech ~rules clip in
+        let form = Formulate.build ~rules g in
+        let file = Printf.sprintf "%s.%d.lp" base i in
+        Lp_file.write_file file (Formulate.lp form);
+        Printf.printf "wrote %s\n" file
+      | None -> ());
+      let result = Optrouter_drv.route ~config ~tech ~rules clip in
+      (match (route_out, result.Optrouter_drv.verdict) with
+      | Some base, (Optrouter_drv.Routed sol | Optrouter_drv.Limit (Some sol)) ->
+        let g = Graph.build ~tech ~rules clip in
+        let file = Printf.sprintf "%s.%d.route" base i in
+        Optrouter_clipfile.Routefile.write_file file g sol;
+        Printf.printf "wrote %s\n" file
+      | Some _, (Optrouter_drv.Unroutable | Optrouter_drv.Limit None) | None, _
+        -> ());
+      let stats = result.Optrouter_drv.stats in
+      match result.Optrouter_drv.verdict with
+      | Optrouter_drv.Routed sol ->
+        Printf.printf
+          "%s under %s: cost=%d wirelength=%d vias=%d (vars=%d rows=%d nodes=%d %.2fs)\n"
+          clip.Clip.c_name rules.Rules.name sol.Route.metrics.cost
+          sol.Route.metrics.wirelength sol.Route.metrics.vias
+          stats.Optrouter_drv.sizes.Formulate.vars
+          stats.Optrouter_drv.sizes.Formulate.rows stats.Optrouter_drv.nodes
+          stats.Optrouter_drv.elapsed_s
+      | Optrouter_drv.Unroutable ->
+        Printf.printf "%s under %s: UNROUTABLE (%.2fs)\n" clip.Clip.c_name
+          rules.Rules.name stats.Optrouter_drv.elapsed_s
+      | Optrouter_drv.Limit _ ->
+        Printf.printf "%s under %s: LIMIT after %.2fs (%d nodes)\n"
+          clip.Clip.c_name rules.Rules.name stats.Optrouter_drv.elapsed_s
+          stats.Optrouter_drv.nodes)
+    clips
+
+let lp_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "lp-out" ] ~docv:"BASE" ~doc:"Also dump each clip's ILP as BASE.i.lp.")
+
+let route_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "route-out" ] ~docv:"BASE"
+        ~doc:"Write each routed solution as BASE.i.route.")
+
+let route_cmd =
+  let doc = "Route clips optimally under a rule configuration." in
+  Cmd.v (Cmd.info "route" ~doc)
+    Term.(
+      const do_route $ tech_arg $ rule_arg $ time_limit_arg $ lp_out_arg
+      $ route_out_arg $ clips_file_arg $ logs_term)
+
+(* ---- sweep ---- *)
+
+let do_sweep tech time_limit csv_out path () =
+  let clips = load_clips path in
+  let config = config_of ~time_limit in
+  let rules = Experiments.rules_for tech in
+  let entries =
+    List.concat_map (fun clip -> Sweep.clip_deltas ~config ~tech ~rules clip) clips
+  in
+  (match csv_out with
+  | Some file ->
+    Report.Csv.write_file file
+      ~header:[ "clip"; "rule"; "base_cost"; "cost"; "dcost" ]
+      (List.map
+         (fun (e : Sweep.entry) ->
+           [
+             e.Sweep.clip_name;
+             e.Sweep.rule_name;
+             string_of_int e.Sweep.base_cost;
+             (match e.Sweep.cost with Some c -> string_of_int c | None -> "");
+             Printf.sprintf "%.0f" (Sweep.delta_value e.Sweep.delta);
+           ])
+         entries);
+    Printf.printf "wrote %s\n" file
+  | None -> ());
+  let rows =
+    List.map
+      (fun (e : Sweep.entry) ->
+        [
+          e.Sweep.clip_name;
+          e.Sweep.rule_name;
+          string_of_int e.Sweep.base_cost;
+          (match e.Sweep.cost with Some c -> string_of_int c | None -> "-");
+          (match e.Sweep.delta with
+          | Sweep.Delta d -> string_of_int d
+          | Sweep.Infeasible -> "infeasible"
+          | Sweep.Limit -> "limit");
+        ])
+      entries
+  in
+  print_string
+    (Report.Table.render
+       ~header:[ "clip"; "rule"; "cost(RULE1)"; "cost"; "dcost" ]
+       rows);
+  print_string
+    (Report.Series.plot ~y_label:"sorted dcost per rule" (Sweep.series entries))
+
+let sweep_cmd =
+  let doc = "Evaluate all applicable RULEs on clips and report Δcost." in
+  let csv_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"FILE" ~doc:"Also write the entries as CSV.")
+  in
+  Cmd.v (Cmd.info "sweep" ~doc)
+    Term.(
+      const do_sweep $ tech_arg $ time_limit_arg $ csv_out $ clips_file_arg
+      $ logs_term)
+
+(* ---- gen ---- *)
+
+let do_gen tech profile_name util scale seed top paper out () =
+  let profile =
+    match String.lowercase_ascii profile_name with
+    | "aes" -> Design.aes
+    | "m0" -> Design.m0
+    | other ->
+      Printf.eprintf "error: unknown profile %S (aes or m0)\n" other;
+      exit 1
+  in
+  let profile =
+    {
+      profile with
+      Design.instance_count =
+        max 60 (int_of_float (float_of_int profile.Design.instance_count *. scale));
+    }
+  in
+  let d = Design.generate ~seed profile ~util tech in
+  Printf.printf "%s\n" (Format.asprintf "%a" Design.pp d);
+  let params =
+    if paper then Extract.paper_params tech else Extract.reduced_params
+  in
+  let clips = Extract.windows params d in
+  Printf.printf "extracted %d clips\n" (List.length clips);
+  let ranked = Extract.top_k top clips in
+  Clipfile.write_file out (List.map fst ranked);
+  Printf.printf "wrote top %d clips (by pin cost) to %s\n" (List.length ranked) out
+
+let gen_cmd =
+  let doc = "Generate a synthetic design and write its most difficult clips." in
+  let profile =
+    Arg.(value & opt string "aes" & info [ "profile" ] ~docv:"NAME" ~doc:"aes or m0")
+  in
+  let util =
+    Arg.(value & opt float 0.92 & info [ "util" ] ~docv:"U" ~doc:"Target utilisation.")
+  in
+  let scale =
+    Arg.(
+      value & opt float 0.03
+      & info [ "scale" ] ~docv:"S" ~doc:"Instance count scale factor vs Table 2.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.") in
+  let top =
+    Arg.(value & opt int 10 & info [ "top" ] ~docv:"K" ~doc:"Keep the K hardest clips.")
+  in
+  let paper =
+    Arg.(
+      value & flag
+      & info [ "paper-size" ]
+          ~doc:"Use paper-size windows (7x10 tracks, 8 layers) instead of reduced ones.")
+  in
+  let out =
+    Arg.(
+      value & opt string "clips.txt"
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output clip file.")
+  in
+  Cmd.v (Cmd.info "gen" ~doc)
+    Term.(
+      const do_gen $ tech_arg $ profile $ util $ scale $ seed $ top $ paper $ out
+      $ logs_term)
+
+(* ---- pincost ---- *)
+
+let do_pincost path () =
+  let clips = load_clips path in
+  let rows =
+    List.map
+      (fun c ->
+        [
+          c.Clip.c_name;
+          string_of_int (Clip.num_pins c);
+          Printf.sprintf "%.2f" (Pin_cost.pec c);
+          Printf.sprintf "%.2f" (Pin_cost.pac c);
+          Printf.sprintf "%.2f" (Pin_cost.prc c);
+          Printf.sprintf "%.2f" (Pin_cost.total c);
+        ])
+      clips
+  in
+  print_string
+    (Report.Table.render ~header:[ "clip"; "pins"; "PEC"; "PAC"; "PRC"; "total" ] rows)
+
+let pincost_cmd =
+  let doc = "Rank clips by the pin cost metric (PEC + PAC + PRC)." in
+  Cmd.v (Cmd.info "pincost" ~doc)
+    Term.(const do_pincost $ clips_file_arg $ logs_term)
+
+(* ---- show ---- *)
+
+let render_clip (c : Clip.t) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Format.asprintf "%a@." Clip.pp c);
+  let grid = Array.make_matrix c.Clip.rows c.Clip.cols '.' in
+  List.iteri
+    (fun k (net : Clip.net) ->
+      let ch = Char.chr (Char.code 'a' + (k mod 26)) in
+      List.iter
+        (fun (pin : Clip.pin) ->
+          List.iter (fun (x, y) -> grid.(y).(x) <- ch) pin.Clip.access)
+        net.Clip.pins)
+    c.Clip.nets;
+  List.iter (fun (x, y, z) -> if z = 0 then grid.(y).(x) <- 'X') c.Clip.obstructions;
+  for y = c.Clip.rows - 1 downto 0 do
+    for x = 0 to c.Clip.cols - 1 do
+      Buffer.add_char buf grid.(y).(x);
+      Buffer.add_char buf ' '
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let do_show path () =
+  List.iter (fun c -> print_string (render_clip c)) (load_clips path)
+
+let show_cmd =
+  let doc = "Render clips as ASCII (access points on M2)." in
+  Cmd.v (Cmd.info "show" ~doc) Term.(const do_show $ clips_file_arg $ logs_term)
+
+(* ---- cells ---- *)
+
+let do_cells tech () =
+  List.iter
+    (fun c -> print_endline (Cells.render tech c))
+    (Cells.library tech)
+
+let cells_cmd =
+  let doc = "Print the synthetic cell library's pin layouts (Figure 9)." in
+  Cmd.v (Cmd.info "cells" ~doc) Term.(const do_cells $ tech_arg $ logs_term)
+
+(* ---- baseline ---- *)
+
+let do_baseline tech rules path () =
+  let clips = load_clips path in
+  List.iter
+    (fun clip ->
+      let g = Graph.build ~tech ~rules clip in
+      let r = Maze.route ~rules g in
+      match r.Maze.solution with
+      | Some sol ->
+        Printf.printf "%s under %s (heuristic): cost=%d wirelength=%d vias=%d\n"
+          clip.Clip.c_name rules.Rules.name sol.Route.metrics.cost
+          sol.Route.metrics.wirelength sol.Route.metrics.vias
+      | None ->
+        Printf.printf "%s under %s (heuristic): FAILED\n" clip.Clip.c_name
+          rules.Rules.name)
+    clips
+
+let baseline_cmd =
+  let doc = "Route clips with the heuristic baseline router." in
+  Cmd.v (Cmd.info "baseline" ~doc)
+    Term.(const do_baseline $ tech_arg $ rule_arg $ clips_file_arg $ logs_term)
+
+(* ---- global: congestion view of a generated design ---- *)
+
+let do_global tech profile_name util scale seed () =
+  let profile =
+    match String.lowercase_ascii profile_name with
+    | "aes" -> Design.aes
+    | "m0" -> Design.m0
+    | other ->
+      Printf.eprintf "error: unknown profile %S (aes or m0)\n" other;
+      exit 1
+  in
+  let profile =
+    {
+      profile with
+      Design.instance_count =
+        max 60 (int_of_float (float_of_int profile.Design.instance_count *. scale));
+    }
+  in
+  let d = Design.generate ~seed profile ~util tech in
+  Printf.printf "%s\n" (Format.asprintf "%a" Design.pp d);
+  let params = Extract.reduced_params in
+  let gr =
+    Global.route ~cell_w:params.Extract.window_cols
+      ~cell_h:params.Extract.window_rows d
+  in
+  let ngx, ngy = Global.grid_size gr in
+  let c = Global.congestion gr in
+  Printf.printf
+    "global routing over %dx%d gcells: %d/%d boundaries used, peak %d, %d over capacity\n\n"
+    ngx ngy c.Global.used_edges c.Global.total_edges c.Global.max_usage
+    c.Global.overflowed;
+  print_string (Global.render_congestion gr)
+
+let global_cmd =
+  let doc = "Globally route a generated design and print its congestion map." in
+  let profile =
+    Arg.(value & opt string "aes" & info [ "profile" ] ~docv:"NAME" ~doc:"aes or m0")
+  in
+  let util =
+    Arg.(value & opt float 0.92 & info [ "util" ] ~docv:"U" ~doc:"Target utilisation.")
+  in
+  let scale =
+    Arg.(
+      value & opt float 0.05
+      & info [ "scale" ] ~docv:"S" ~doc:"Instance count scale factor vs Table 2.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.") in
+  Cmd.v (Cmd.info "global" ~doc)
+    Term.(const do_global $ tech_arg $ profile $ util $ scale $ seed $ logs_term)
+
+(* ---- solve-lp: the MILP solver as a standalone utility ---- *)
+
+let do_solve_lp time_limit path () =
+  match Lp_file.read_file path with
+  | Error msg ->
+    Printf.eprintf "error: %s: %s\n" path msg;
+    exit 1
+  | Ok lp ->
+    let has_integers =
+      Array.exists
+        (fun (v : Optrouter_ilp.Lp.var) -> v.Optrouter_ilp.Lp.kind = Optrouter_ilp.Lp.Integer)
+        lp.Optrouter_ilp.Lp.vars
+    in
+    let print_point x =
+      Array.iteri
+        (fun j (v : Optrouter_ilp.Lp.var) ->
+          if Float.abs x.(j) > 1e-9 then
+            Printf.printf "  %s = %g\n" v.Optrouter_ilp.Lp.v_name x.(j))
+        lp.Optrouter_ilp.Lp.vars
+    in
+    if has_integers then begin
+      let params =
+        { Milp.default_params with Milp.time_limit_s = Some time_limit }
+      in
+      let r = Milp.solve ~params lp in
+      match r.Milp.outcome with
+      | Milp.Proved_optimal ->
+        Printf.printf "optimal: %g (%d nodes)\n" r.Milp.objective r.Milp.nodes;
+        print_point r.Milp.x
+      | Milp.Feasible ->
+        Printf.printf "feasible (limit hit): %g, bound %g\n" r.Milp.objective
+          r.Milp.best_bound;
+        print_point r.Milp.x
+      | Milp.Infeasible -> print_endline "infeasible"
+      | Milp.Unbounded -> print_endline "unbounded"
+      | Milp.Unknown ->
+        Printf.printf "unknown (limit hit), bound %g\n" r.Milp.best_bound
+    end
+    else begin
+      let r = Optrouter_ilp.Simplex.solve lp in
+      match r.Optrouter_ilp.Simplex.status with
+      | Optrouter_ilp.Simplex.Optimal ->
+        Printf.printf "optimal: %g (%d iterations)\n"
+          r.Optrouter_ilp.Simplex.objective r.Optrouter_ilp.Simplex.iterations;
+        print_point r.Optrouter_ilp.Simplex.x
+      | Optrouter_ilp.Simplex.Infeasible -> print_endline "infeasible"
+      | Optrouter_ilp.Simplex.Unbounded -> print_endline "unbounded"
+    end
+
+let solve_lp_cmd =
+  let doc = "Solve an LP/MILP from an LP-format file with the bundled solver." in
+  let lp_file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.lp")
+  in
+  Cmd.v (Cmd.info "solve-lp" ~doc)
+    Term.(const do_solve_lp $ time_limit_arg $ lp_file $ logs_term)
+
+let main_cmd =
+  let doc = "optimal ILP-based detailed router for BEOL design-rule evaluation" in
+  Cmd.group
+    (Cmd.info "optrouter" ~version:"1.0.0" ~doc)
+    [
+      route_cmd; sweep_cmd; gen_cmd; pincost_cmd; show_cmd; cells_cmd;
+      baseline_cmd; solve_lp_cmd; global_cmd;
+    ]
+
+let () = exit (Cmd.eval main_cmd)

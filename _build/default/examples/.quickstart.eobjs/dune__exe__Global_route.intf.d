@@ -1,0 +1,1 @@
+examples/global_route.mli:

@@ -1,0 +1,1 @@
+examples/paper_size.ml: Filename Format List Optrouter_core Optrouter_grid Optrouter_ilp Optrouter_maze Optrouter_tech Printf

@@ -1,0 +1,1 @@
+examples/pin_access_7nm.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Optrouter_core Optrouter_grid Optrouter_tech Printf

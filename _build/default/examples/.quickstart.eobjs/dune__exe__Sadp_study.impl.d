@@ -1,0 +1,1 @@
+examples/sadp_study.ml: Format List Optrouter_core Optrouter_grid Optrouter_tech Printf

@@ -1,0 +1,1 @@
+examples/sadp_study.mli:

@@ -1,0 +1,1 @@
+examples/via_shapes.ml: Optrouter_core Optrouter_grid Optrouter_tech Printf

@@ -1,0 +1,1 @@
+examples/via_shapes.mli:

@@ -1,0 +1,107 @@
+(* Optimality gap of heuristic routing (the paper's footnote 6).
+
+   The paper validates OptRouter by observing that its routing cost never
+   exceeds a commercial router's, with an average improvement of -10..-15
+   on costs around 380 (3-4%). This example measures the same quantity
+   against the bundled heuristic baseline over a batch of generated
+   clips, at two baseline strengths: a single-pass sequential router
+   (one net order, no repair — greedy routers of this kind lose real
+   wirelength to ordering, or fail outright) and the full baseline with
+   randomised restarts and rip-up, which on clips this small usually
+   finds the optimum. The optimal column can never be worse than
+   either.
+
+   Run with: dune exec examples/optimality_gap.exe *)
+
+module Clip = Optrouter_grid.Clip
+module Graph = Optrouter_grid.Graph
+module Tech = Optrouter_tech.Tech
+module Rules = Optrouter_tech.Rules
+module Route = Optrouter_grid.Route
+module Optrouter = Optrouter_core.Optrouter
+module Maze = Optrouter_maze.Maze
+module Milp = Optrouter_ilp.Milp
+
+let pin name access = { Clip.p_name = name; access; shape = None }
+
+let two_pin name p1 p2 =
+  { Clip.n_name = name; pins = [ pin (name ^ "s") [ p1 ]; pin (name ^ "t") [ p2 ] ] }
+
+(* Deterministic batch of small clips: even indices hold two crossing
+   nets (routable greedily, often at extra cost), odd indices add a third
+   net through the middle (where one greedy pass usually paints itself
+   into a corner). *)
+let batch =
+  let mk i =
+    let cols = 4 + (i mod 2) and rows = 3 + (i mod 3) in
+    let nets =
+      [
+        two_pin "a" (0, 0) (cols - 1, rows - 1);
+        two_pin "b" (cols - 1, 0) (0, rows - 1);
+      ]
+      @ (if i mod 2 = 1 then [ two_pin "c" (1, 0) (1, rows - 1) ] else [])
+    in
+    Clip.make ~name:(Printf.sprintf "gap%d" i) ~cols ~rows ~layers:3 nets
+  in
+  (* plus two tight channel-crossing clips where greedy ordering costs
+     wirelength without failing *)
+  let channel i =
+    Clip.make ~name:(Printf.sprintf "chan%d" i) ~cols:(5 + i) ~rows:2 ~layers:3
+      [
+        two_pin "a" (0, 0) (4 + i, 1);
+        two_pin "b" (0, 1) (4 + i, 0);
+      ]
+  in
+  List.init 6 mk @ [ channel 0; channel 1 ]
+
+let () =
+  let tech = Tech.n28_12t in
+  let rules = Rules.rule 1 in
+  let config =
+    {
+      Optrouter.default_config with
+      Optrouter.milp =
+        { Milp.default_params with Milp.max_nodes = 20_000; time_limit_s = Some 30.0 };
+    }
+  in
+  Printf.printf "%-8s %12s %10s %10s\n" "clip" "single-pass" "restarts" "optimal";
+  let total_1 = ref 0 and total_r = ref 0 and total_o = ref 0 and complete = ref true in
+  List.iter
+    (fun clip ->
+      let g = Graph.build ~tech ~rules clip in
+      let maze params =
+        match (Maze.route ~params ~rules g).Maze.solution with
+        | Some sol -> Some sol.Route.metrics.cost
+        | None -> None
+      in
+      let single =
+        maze { Maze.default_params with Maze.restarts = 1; rip_up_rounds = 0 }
+      in
+      let restarts = maze Maze.default_params in
+      let optimal =
+        match (Optrouter.route_graph ~config ~rules g).Optrouter.verdict with
+        | Optrouter.Routed sol -> Some sol.Route.metrics.cost
+        | Optrouter.Unroutable | Optrouter.Limit _ -> None
+      in
+      let cell = function Some c -> string_of_int c | None -> "fail" in
+      Printf.printf "%-8s %12s %10s %10s\n" clip.Clip.c_name (cell single)
+        (cell restarts) (cell optimal);
+      match (single, restarts, optimal) with
+      | Some s, Some r, Some o ->
+        assert (o <= r && r <= s);
+        total_1 := !total_1 + s;
+        total_r := !total_r + r;
+        total_o := !total_o + o
+      | _, _, _ -> complete := false)
+    batch;
+  if !total_o > 0 then
+    Printf.printf
+      "\ntotals over clips all three solved: single-pass %d, restarts %d, \
+       optimal %d (single-pass pays %.1f%%; the paper reports ~3-4%% \
+       against a commercial router)\n"
+      !total_1 !total_r !total_o
+      (100.0 *. float_of_int (!total_1 - !total_o) /. float_of_int !total_1);
+  if not !complete then
+    print_endline
+      "(single-pass failures: ordering alone can strand a sequential \
+       router where an optimal routing exists)"

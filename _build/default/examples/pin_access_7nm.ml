@@ -1,0 +1,68 @@
+(* Pin access in 7nm (Figure 9 and Section 4.1).
+
+   Renders the NAND2X1 pin shapes of each technology, then builds a clip
+   from two abutting NAND2 cells and compares routability: the N7-9T pins
+   expose only two adjacent access points, so via restrictions that block
+   8 neighbours (RULE9) leave no legal way to connect both input pins -
+   exactly why the paper does not evaluate RULE2/7/9/10/11 in N7.
+
+   Run with: dune exec examples/pin_access_7nm.exe *)
+
+module Tech = Optrouter_tech.Tech
+module Rules = Optrouter_tech.Rules
+module Cells = Optrouter_cells.Cells
+module Clip = Optrouter_grid.Clip
+module Optrouter = Optrouter_core.Optrouter
+module Route = Optrouter_grid.Route
+
+(* A clip holding the input pins of two side-by-side NAND2 cells: net "x"
+   drives A pins of both gates, net "y" connects the B pins. *)
+let nand_pair_clip tech =
+  let cell = Cells.nand2 tech in
+  let inputs = Cells.inputs cell in
+  let find name =
+    List.find (fun (p : Cells.pin) -> p.Cells.p_name = name) inputs
+  in
+  let a = find "A" and bpin = find "B" in
+  let shift dx (p : Cells.pin) = List.map (fun (x, y) -> (x + dx, y)) p.Cells.offsets in
+  let rows = tech.Tech.cell_height_tracks in
+  let width = cell.Cells.width_cols in
+  let pin name access = { Clip.p_name = name; access; shape = None } in
+  Clip.make
+    ~name:(Printf.sprintf "nand-pair-%s" tech.Tech.name)
+    ~tech_name:tech.Tech.name ~cols:(2 * width) ~rows ~layers:4
+    [
+      { Clip.n_name = "x"; pins = [ pin "g1.A" (shift 0 a); pin "g2.A" (shift width a) ] };
+      { Clip.n_name = "y"; pins = [ pin "g1.B" (shift 0 bpin); pin "g2.B" (shift width bpin) ] };
+    ]
+
+let try_rules tech =
+  let clip = nand_pair_clip tech in
+  Printf.printf "%s: %d access points per input pin\n" tech.Tech.name
+    tech.Tech.access_points_per_pin;
+  List.iter
+    (fun n ->
+      let rules = Rules.rule n in
+      let applicable = Rules.applicable ~tech_name:tech.Tech.name rules in
+      let verdict =
+        match (Optrouter.route ~tech ~rules clip).Optrouter.verdict with
+        | Optrouter.Routed sol ->
+          Printf.sprintf "cost %d" sol.Route.metrics.cost
+        | Optrouter.Unroutable -> "UNROUTABLE"
+        | Optrouter.Limit _ -> "limit"
+      in
+      Printf.printf "  %-7s %-12s %s\n" rules.Rules.name verdict
+        (if applicable then "" else "(paper skips this rule for N7)"))
+    [ 1; 6; 9 ];
+  print_newline ()
+
+let () =
+  print_endline "NAND2X1 pin shapes (Figure 9): '=' are power rails,";
+  print_endline "letters are pin access points.";
+  print_newline ();
+  List.iter
+    (fun tech -> print_endline (Cells.render tech (Cells.nand2 tech)))
+    Tech.all;
+  print_endline "Routing two abutting NAND2 gates' input nets:";
+  print_newline ();
+  List.iter try_rules Tech.all

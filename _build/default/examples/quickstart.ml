@@ -1,0 +1,54 @@
+(* Quickstart: define a small switchbox clip, route it optimally under two
+   rule configurations, and print the solutions.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Clip = Optrouter_grid.Clip
+module Tech = Optrouter_tech.Tech
+module Rules = Optrouter_tech.Rules
+module Optrouter = Optrouter_core.Optrouter
+module Render = Optrouter_core.Render
+module Route = Optrouter_grid.Route
+module Graph = Optrouter_grid.Graph
+
+let pin name access = { Clip.p_name = name; access; shape = None }
+
+(* A 6x4-track clip with three layers (M2 horizontal, M3 vertical, M4
+   horizontal) and three nets; net "a" has three pins, so its optimal
+   route is a Steiner tree. *)
+let clip =
+  Clip.make ~name:"quickstart" ~cols:6 ~rows:4 ~layers:3
+    [
+      {
+        Clip.n_name = "a";
+        pins =
+          [
+            pin "a.out" [ (0, 0) ];
+            pin "a.in1" [ (5, 0) ];
+            pin "a.in2" [ (3, 3) ];
+          ];
+      };
+      { Clip.n_name = "b"; pins = [ pin "b.out" [ (1, 1) ]; pin "b.in" [ (1, 3) ] ] };
+      { Clip.n_name = "c"; pins = [ pin "c.out" [ (4, 1) ]; pin "c.in" [ (4, 2) ] ] };
+    ]
+
+let route_and_show rules =
+  Printf.printf "--- %s ---\n" (Format.asprintf "%a" Rules.pp rules);
+  let result = Optrouter.route ~tech:Tech.n28_12t ~rules clip in
+  match result.Optrouter.verdict with
+  | Optrouter.Routed sol ->
+    let g = Graph.build ~tech:Tech.n28_12t ~rules clip in
+    print_string (Render.solution g sol);
+    Printf.printf "solved in %.2fs, %d branch-and-bound nodes\n\n"
+      result.Optrouter.stats.Optrouter.elapsed_s
+      result.Optrouter.stats.Optrouter.nodes
+  | Optrouter.Unroutable -> print_endline "unroutable under these rules\n"
+  | Optrouter.Limit _ -> print_endline "solver limit reached\n"
+
+let () =
+  print_endline "OptRouter quickstart: optimal switchbox routing";
+  Printf.printf "clip: %s\n\n" (Format.asprintf "%a" Clip.pp clip);
+  (* RULE1: all layers LELE, no via restrictions - the baseline. *)
+  route_and_show (Rules.rule 1);
+  (* RULE3: SADP patterning on M3 and above. *)
+  route_and_show (Rules.rule 3)

@@ -1,0 +1,1 @@
+lib/cells/cells.ml: Array Buffer Format List Optrouter_geom Optrouter_tech Printf String

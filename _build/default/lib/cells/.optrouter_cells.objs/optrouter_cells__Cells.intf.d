@@ -1,0 +1,1 @@
+lib/cells/cells.mli: Format Optrouter_geom Optrouter_tech

@@ -1,0 +1,1 @@
+lib/clipfile/clipfile.ml: Format List Optrouter_geom Optrouter_grid Printf Result String

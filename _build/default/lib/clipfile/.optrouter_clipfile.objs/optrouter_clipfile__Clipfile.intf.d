@@ -1,0 +1,1 @@
+lib/clipfile/clipfile.mli: Format Optrouter_grid Result

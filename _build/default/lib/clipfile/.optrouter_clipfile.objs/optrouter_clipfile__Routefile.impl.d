@@ -1,0 +1,1 @@
+lib/clipfile/routefile.ml: Array Format List Optrouter_grid Optrouter_tech

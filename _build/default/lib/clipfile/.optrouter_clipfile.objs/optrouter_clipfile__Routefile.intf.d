@@ -1,0 +1,1 @@
+lib/clipfile/routefile.mli: Format Optrouter_grid

@@ -1,0 +1,29 @@
+(** Textual clip interchange format.
+
+    The paper moves clips between its OpenAccess/LEF/DEF environment and
+    the router; this project uses a small self-describing text format
+    instead, so clips can be saved, hand-edited and replayed from the CLI:
+
+    {v
+    # comment
+    clip <name>
+    tech <tech-name>
+    size <cols> <rows> <layers>
+    obs <x> <y> <z>
+    net <name>
+    pin <name> [shape <xlo> <ylo> <xhi> <yhi>] access <x>,<y> ...
+    endnet
+    endclip
+    v}
+
+    Multiple clips may appear in one file. [to_string]/[of_string] round-
+    trip exactly. *)
+
+val pp : Format.formatter -> Optrouter_grid.Clip.t -> unit
+val to_string : Optrouter_grid.Clip.t -> string
+
+(** [of_string s] parses every clip in [s]. *)
+val of_string : string -> (Optrouter_grid.Clip.t list, string) Result.t
+
+val write_file : string -> Optrouter_grid.Clip.t list -> unit
+val read_file : string -> (Optrouter_grid.Clip.t list, string) Result.t

@@ -1,0 +1,63 @@
+module Clip = Optrouter_grid.Clip
+module Graph = Optrouter_grid.Graph
+module Route = Optrouter_grid.Route
+module Via_shape = Optrouter_tech.Via_shape
+
+let coords (g : Graph.t) v =
+  match g.Graph.vertex.(v) with
+  | Graph.Grid { x; y; z } -> Some (x, y, z)
+  | Graph.Via_node _ | Graph.Super _ -> None
+
+let pp (g : Graph.t) ppf (sol : Route.solution) =
+  Format.fprintf ppf "route %s tech %s cost %d wirelength %d vias %d@."
+    g.Graph.clip.Clip.c_name g.Graph.clip.Clip.tech_name sol.Route.metrics.cost
+    sol.Route.metrics.wirelength sol.Route.metrics.vias;
+  Array.iter
+    (fun (r : Route.net_route) ->
+      Format.fprintf ppf "net %s@." g.Graph.nets.(r.Route.net).Graph.n_name;
+      List.iter
+        (fun gid ->
+          let e = g.Graph.edges.(gid) in
+          match e.Graph.kind with
+          | Graph.Wire z -> (
+            match (coords g e.Graph.u, coords g e.Graph.v) with
+            | Some (x1, y1, _), Some (x2, y2, _) ->
+              Format.fprintf ppf "  wire M%d %d %d -> %d %d@." (z + 2) x1 y1 x2
+                y2
+            | _, _ -> ())
+          | Graph.Via z -> (
+            match coords g e.Graph.u with
+            | Some (x, y, _) ->
+              Format.fprintf ppf "  via V%d%d %d %d@." (z + 2) (z + 3) x y
+            | None -> ())
+          | Graph.Shape_lower z -> (
+            (* the lower member edge carries the instance; report the
+               anchor and the shape's footprint *)
+            match g.Graph.vertex.(e.Graph.v) with
+            | Graph.Via_node { shape; x; y; _ } ->
+              Format.fprintf ppf "  via V%d%d %dx%d %d %d@." (z + 2) (z + 3)
+                shape.Via_shape.width shape.Via_shape.height x y
+            | Graph.Grid _ | Graph.Super _ -> ())
+          | Graph.Shape_upper _ -> ()
+          | Graph.Access -> (
+            let pt =
+              match (coords g e.Graph.u, coords g e.Graph.v) with
+              | Some p, _ | _, Some p -> Some p
+              | None, None -> None
+            in
+            match pt with
+            | Some (x, y, _) -> Format.fprintf ppf "  access %d %d@." x y
+            | None -> ()))
+        r.Route.edges;
+      Format.fprintf ppf "endnet@.")
+    sol.Route.routes;
+  Format.fprintf ppf "endroute@."
+
+let to_string g sol = Format.asprintf "%a" (pp g) sol
+
+let write_file path g sol =
+  let oc = open_out path in
+  let ppf = Format.formatter_of_out_channel oc in
+  pp g ppf sol;
+  Format.pp_print_flush ppf ();
+  close_out oc

@@ -1,0 +1,29 @@
+(** Textual export of routed solutions.
+
+    A routed clip is written as one record per net listing its wire
+    segments (with layer), via placements (with via layer and shape) and
+    the pin access points used — the information a downstream tool (or a
+    human with grep) needs to consume OptRouter's output:
+
+    {v
+    route <clip-name> tech <tech> cost <c> wirelength <wl> vias <v>
+    net <name>
+      wire M2 0 3 -> 1 3
+      via V23 1 3
+      via V23 2x1 1 3        # multi-site via shapes carry their size
+      access 0 3
+    endnet
+    endroute
+    v} *)
+
+val pp :
+  Optrouter_grid.Graph.t ->
+  Format.formatter ->
+  Optrouter_grid.Route.solution ->
+  unit
+
+val to_string :
+  Optrouter_grid.Graph.t -> Optrouter_grid.Route.solution -> string
+
+val write_file :
+  string -> Optrouter_grid.Graph.t -> Optrouter_grid.Route.solution -> unit

@@ -1,0 +1,1 @@
+lib/clips/extract.ml: Array Float Hashtbl Int List Option Optrouter_design Optrouter_geom Optrouter_global Optrouter_grid Optrouter_tech Pin_cost Printf

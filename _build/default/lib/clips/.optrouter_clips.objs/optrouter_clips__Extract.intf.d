@@ -1,0 +1,1 @@
+lib/clips/extract.mli: Optrouter_design Optrouter_grid Optrouter_tech

@@ -1,0 +1,1 @@
+lib/clips/pin_cost.ml: Float List Optrouter_geom Optrouter_grid

@@ -1,0 +1,1 @@
+lib/clips/pin_cost.mli: Optrouter_grid

@@ -1,0 +1,337 @@
+module Clip = Optrouter_grid.Clip
+module Design = Optrouter_design.Design
+module Tech = Optrouter_tech.Tech
+module Rect = Optrouter_geom.Rect
+module Point = Optrouter_geom.Point
+module Global = Optrouter_global.Global
+
+type params = {
+  window_cols : int;
+  window_rows : int;
+  layers : int;
+  max_nets : int;
+  min_nets : int;
+  stride_cols : int;
+  stride_rows : int;
+  include_pass_throughs : bool;
+}
+
+let paper_params tech =
+  let cols, rows = Tech.clip_tracks_1um tech in
+  {
+    window_cols = cols;
+    window_rows = rows;
+    layers = tech.Tech.num_layers;
+    max_nets = 12;
+    min_nets = 2;
+    stride_cols = cols;
+    stride_rows = rows;
+    include_pass_throughs = true;
+  }
+
+let reduced_params =
+  {
+    window_cols = 5;
+    window_rows = 5;
+    layers = 4;
+    max_nets = 3;
+    min_nets = 2;
+    stride_cols = 5;
+    stride_rows = 5;
+    include_pass_throughs = false;
+  }
+
+(* Place a boundary port for a net that leaves the window, on the side the
+   outside pins pull towards. Returns a free (col, row) or None if the
+   preferred boundary positions are all taken. *)
+let port_position ~cols ~rows ~taken (inside_x, inside_y) (out_x, out_y) =
+  let dx = out_x - inside_x and dy = out_y - inside_y in
+  let clamp v lo hi = max lo (min hi v) in
+  let candidates =
+    if abs dx >= abs dy then
+      (* exit left or right *)
+      let x = if dx >= 0 then cols - 1 else 0 in
+      List.init rows (fun i ->
+          let y0 = clamp inside_y 0 (rows - 1) in
+          let y = (y0 + i) mod rows in
+          (x, y))
+    else
+      let y = if dy >= 0 then rows - 1 else 0 in
+      List.init cols (fun i ->
+          let x0 = clamp inside_x 0 (cols - 1) in
+          let x = (x0 + i) mod cols in
+          (x, y))
+  in
+  List.find_opt (fun p -> not (Hashtbl.mem taken p)) candidates
+
+let windows params (d : Design.t) =
+  let total_cols, total_rows = Design.extent d in
+  let tech = d.Design.tech in
+  let clips = ref [] in
+  let conns_of_net (net : Design.dnet) = net.Design.driver :: net.Design.loads in
+  (* Access positions are computed once per connection, and nets are
+     bucketed by the window tiles their pins land in, so each window only
+     examines nets that actually touch it. *)
+  let located_nets =
+    Array.map
+      (fun (net : Design.dnet) ->
+        ( net,
+          List.map (fun conn -> (conn, Design.access_positions d conn)) (conns_of_net net) ))
+      d.Design.nets
+  in
+  let global_routes =
+    if params.include_pass_throughs then
+      Some
+        (Global.route ~cell_w:params.window_cols ~cell_h:params.window_rows d)
+    else None
+  in
+  let nwx = max 0 (((total_cols - params.window_cols) / params.stride_cols) + 1) in
+  let nwy = max 0 (((total_rows - params.window_rows) / params.stride_rows) + 1) in
+  let buckets = Hashtbl.create 1024 in
+  let window_indices_of_point (x, y) =
+    (* all window grid indices (ix, iy) whose window contains (x, y) *)
+    let range pos extent stride count =
+      let lo = max 0 (((pos - extent + 1) + stride - 1) / stride) in
+      let hi = min (count - 1) (pos / stride) in
+      if hi < lo then [] else List.init (hi - lo + 1) (fun i -> lo + i)
+    in
+    let xs = range x params.window_cols params.stride_cols nwx in
+    let ys = range y params.window_rows params.stride_rows nwy in
+    List.concat_map (fun ix -> List.map (fun iy -> (ix, iy)) ys) xs
+  in
+  Array.iteri
+    (fun ni (_, conns) ->
+      let seen = Hashtbl.create 8 in
+      List.iter
+        (fun (_, pts) ->
+          List.iter
+            (fun pt ->
+              List.iter
+                (fun key ->
+                  if not (Hashtbl.mem seen key) then begin
+                    Hashtbl.add seen key ();
+                    let old = Option.value ~default:[] (Hashtbl.find_opt buckets key) in
+                    Hashtbl.replace buckets key (ni :: old)
+                  end)
+                (window_indices_of_point pt))
+            pts)
+        conns)
+    located_nets;
+  let wx = ref 0 in
+  while !wx + params.window_cols <= total_cols do
+    let wy = ref 0 in
+    while !wy + params.window_rows <= total_rows do
+      let x0 = !wx and y0 = !wy in
+      let x1 = x0 + params.window_cols - 1 and y1 = y0 + params.window_rows - 1 in
+      let inside (x, y) = x >= x0 && x <= x1 && y >= y0 && y <= y1 in
+      let taken = Hashtbl.create 32 in
+      let candidates = ref [] in
+      let key = (x0 / params.stride_cols, y0 / params.stride_rows) in
+      let net_ids = Option.value ~default:[] (Hashtbl.find_opt buckets key) in
+      List.iter
+        (fun ni ->
+          let net, conns = located_nets.(ni) in
+          let located =
+            List.map (fun (conn, pts) -> (conn, pts, List.filter inside pts)) conns
+          in
+          let inside_conns =
+            List.filter (fun (_, _, ins) -> ins <> []) located
+          in
+          let outside_conns =
+            List.filter (fun (_, _, ins) -> ins = []) located
+          in
+          if inside_conns <> [] then
+            candidates := (net, inside_conns, outside_conns) :: !candidates)
+        net_ids;
+      (* larger nets first, cap at max_nets *)
+      let ranked =
+        List.sort
+          (fun (_, a, _) (_, b, _) ->
+            Int.compare (List.length b) (List.length a))
+          !candidates
+      in
+      let rec take n = function
+        | [] -> []
+        | _ when n = 0 -> []
+        | x :: rest -> x :: take (n - 1) rest
+      in
+      let chosen = take params.max_nets ranked in
+      let window_origin_nm =
+        Point.make (x0 * tech.Tech.vpitch) (y0 * tech.Tech.hpitch)
+      in
+      let local (x, y) = (x - x0, y - y0) in
+      let mk_pin conn pts =
+        let access = List.map local pts in
+        List.iter (fun p -> Hashtbl.replace taken p ()) access;
+        let shape =
+          let global = Design.pin_shape d conn in
+          Some
+            (Rect.translate global
+               (Point.make (-window_origin_nm.Point.x) (-window_origin_nm.Point.y)))
+        in
+        let inst = d.Design.instances.(conn.Design.inst) in
+        {
+          Clip.p_name = inst.Design.i_name ^ "/" ^ conn.Design.pin;
+          access;
+          shape;
+        }
+      in
+      let nets =
+        List.filter_map
+          (fun ((net : Design.dnet), inside_conns, outside_conns) ->
+            let pins =
+              List.map (fun (conn, _, ins) -> mk_pin conn ins) inside_conns
+            in
+            let needs_port = outside_conns <> [] in
+            let port =
+              if not needs_port then None
+              else begin
+                (* representative inside / outside points steer the port *)
+                let inside_pt =
+                  match pins with
+                  | { Clip.access = (x, y) :: _; _ } :: _ -> (x + x0, y + y0)
+                  | _ -> (x0, y0)
+                in
+                let out_pt =
+                  match outside_conns with
+                  | (_, pt :: _, _) :: _ -> pt
+                  | _ -> (total_cols / 2, total_rows / 2)
+                in
+                match
+                  port_position ~cols:params.window_cols
+                    ~rows:params.window_rows ~taken
+                    (local inside_pt) (local out_pt)
+                with
+                | Some p ->
+                  Hashtbl.replace taken p ();
+                  Some { Clip.p_name = net.Design.dn_name ^ "/port"; access = [ p ]; shape = None }
+                | None -> None
+              end
+            in
+            let pins = match port with Some p -> pins @ [ p ] | None -> pins in
+            if List.length pins >= 2 then
+              Some { Clip.n_name = net.Design.dn_name; pins }
+            else None)
+          chosen
+      in
+      (* Pass-through nets from the global routing: a crossing net enters
+         and leaves the window; model it as a 2-pin net between boundary
+         ports on the crossed sides. *)
+      let nets =
+        match global_routes with
+        | None -> nets
+        | Some gr ->
+          let budget = params.max_nets - List.length nets in
+          if budget <= 0 then nets
+          else begin
+            let gx = x0 / params.stride_cols and gy = y0 / params.stride_rows in
+            let present = Hashtbl.create 8 in
+            List.iter
+              (fun (n : Clip.net) -> Hashtbl.replace present n.Clip.n_name ())
+              nets;
+            let thru =
+              Global.nets_through gr ~gx ~gy
+              |> List.filter (fun ni ->
+                     not
+                       (Hashtbl.mem present
+                          d.Design.nets.(ni).Design.dn_name))
+              |> List.filter (fun ni ->
+                     List.length (Global.crossings gr ~net:ni ~gx ~gy) >= 2)
+            in
+            let rec take n = function
+              | [] -> []
+              | _ when n = 0 -> []
+              | x :: rest -> x :: take (n - 1) rest
+            in
+            let side_port (gx', gy') =
+              (* a free position on the boundary facing the neighbour *)
+              let candidates =
+                if gx' > gx then
+                  List.init params.window_rows (fun i ->
+                      (params.window_cols - 1, i))
+                else if gx' < gx then
+                  List.init params.window_rows (fun i -> (0, i))
+                else if gy' > gy then
+                  List.init params.window_cols (fun i ->
+                      (i, params.window_rows - 1))
+                else List.init params.window_cols (fun i -> (i, 0))
+              in
+              (* walk outward from the middle of the side *)
+              let mid = List.length candidates / 2 in
+              let ordered =
+                List.sort
+                  (fun a b ->
+                    let pos l p =
+                      let rec go i = function
+                        | [] -> max_int
+                        | q :: rest -> if q = p then i else go (i + 1) rest
+                      in
+                      go 0 l
+                    in
+                    compare
+                      (abs (pos candidates a - mid))
+                      (abs (pos candidates b - mid)))
+                  candidates
+              in
+              List.find_opt (fun p -> not (Hashtbl.mem taken p)) ordered
+            in
+            let extra =
+              List.filter_map
+                (fun ni ->
+                  match Global.crossings gr ~net:ni ~gx ~gy with
+                  | side1 :: side2 :: _ -> (
+                    match side_port side1 with
+                    | None -> None
+                    | Some p1 ->
+                      Hashtbl.replace taken p1 ();
+                      (match side_port side2 with
+                      | None ->
+                        Hashtbl.remove taken p1;
+                        None
+                      | Some p2 ->
+                        Hashtbl.replace taken p2 ();
+                        let name = d.Design.nets.(ni).Design.dn_name in
+                        Some
+                          {
+                            Clip.n_name = name;
+                            pins =
+                              [
+                                { Clip.p_name = name ^ "/in"; access = [ p1 ]; shape = None };
+                                { Clip.p_name = name ^ "/out"; access = [ p2 ]; shape = None };
+                              ];
+                          }))
+                  | _ -> None)
+                (take budget thru)
+            in
+            nets @ extra
+          end
+      in
+      if List.length nets >= params.min_nets then begin
+        let clip =
+          Clip.make
+            ~name:(Printf.sprintf "%s@%d_%d" d.Design.d_name x0 y0)
+            ~tech_name:tech.Tech.name ~cols:params.window_cols
+            ~rows:params.window_rows ~layers:params.layers nets
+        in
+        match Clip.validate clip with
+        | Ok () -> clips := clip :: !clips
+        | Error _ ->
+          (* overlapping access points across nets can occur when two pins
+             share a track position; drop such windows *)
+          ()
+      end;
+      wy := !wy + params.stride_rows
+    done;
+    wx := !wx + params.stride_cols
+  done;
+  List.rev !clips
+
+let top_k k clips =
+  let scored = List.map (fun c -> (c, Pin_cost.total c)) clips in
+  let sorted = List.sort (fun (_, a) (_, b) -> Float.compare b a) scored in
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: rest -> x :: take (n - 1) rest
+  in
+  take k sorted

@@ -1,0 +1,41 @@
+(** Clip extraction from placed designs (Figure 6, left side).
+
+    The chip is tiled with windows of the requested track dimensions; each
+    window becomes a clip holding the nets with pins inside it. A net with
+    exactly one pin in the window and others outside gets a synthetic
+    {e port} pin on the window boundary facing the outside pins — the role
+    the global route plays in the paper's flow. Windows with fewer than
+    [min_nets] usable nets are discarded, and a window's net list is capped
+    at [max_nets] (largest pin count first) to keep ILP instances within
+    the solver's reach. *)
+
+type params = {
+  window_cols : int;
+  window_rows : int;
+  layers : int;
+  max_nets : int;
+  min_nets : int;
+  stride_cols : int;
+  stride_rows : int;
+  include_pass_throughs : bool;
+      (** also include nets whose {e global route} crosses the window
+          without having pins in it, as boundary-port to boundary-port
+          nets — the routed-layout context the paper's clips carry. Uses
+          {!Optrouter_global.Global} with one gcell per window; requires
+          [stride = window] alignment. *)
+}
+
+(** Paper-scale windows: the technology's 1.0um x 1.0um clip (7 x 10 tracks
+    in 28nm) with all 8 routing layers, up to 12 nets. *)
+val paper_params : Optrouter_tech.Tech.t -> params
+
+(** Reduced windows sized for the pure-OCaml MILP solver (see DESIGN.md):
+    ~5 x 5 tracks, 4 layers, at most 3 nets. *)
+val reduced_params : params
+
+(** All clips of a design under the given tiling. Clip names encode the
+    design and window position. *)
+val windows : params -> Optrouter_design.Design.t -> Optrouter_grid.Clip.t list
+
+(** [top_k k clips] are the [k] highest pin-cost clips, cost descending. *)
+val top_k : int -> Optrouter_grid.Clip.t list -> (Optrouter_grid.Clip.t * float) list

@@ -1,0 +1,40 @@
+module Clip = Optrouter_grid.Clip
+module Rect = Optrouter_geom.Rect
+
+let default_theta = 500.0
+
+let shapes (clip : Clip.t) =
+  List.concat_map
+    (fun (net : Clip.net) ->
+      List.filter_map (fun (p : Clip.pin) -> p.Clip.shape) net.Clip.pins)
+    clip.Clip.nets
+
+let pec (clip : Clip.t) = float_of_int (Clip.num_pins clip)
+
+(* Pin areas are measured in units of 10*theta nm^2 so that, with
+   theta = 500, typical standard-cell pins (4e3..2e5 nm^2) land in the
+   exponent range the metric discriminates on: tiny 7nm pins score near
+   2^1.3, large 12-track fingers near 2^-6. *)
+let pac ?(theta = default_theta) clip =
+  List.fold_left
+    (fun acc shape ->
+      let area = float_of_int (Rect.area shape) in
+      acc +. Float.pow 2.0 (2.0 -. (area /. (10.0 *. theta))))
+    0.0 (shapes clip)
+
+let prc ?(theta = default_theta) clip =
+  let rec pairs acc = function
+    | [] -> acc
+    | s :: rest ->
+      let acc =
+        List.fold_left
+          (fun acc s' ->
+            let spacing = float_of_int (Rect.distance s s') in
+            acc +. Float.pow 2.0 (2.0 -. (spacing /. (3.0 *. theta))))
+          acc rest
+      in
+      pairs acc rest
+  in
+  pairs 0.0 (shapes clip)
+
+let total ?theta clip = pec clip +. pac ?theta clip +. prc ?theta clip

@@ -1,0 +1,1 @@
+lib/core/formulate.ml: Array Hashtbl List Option Optrouter_grid Optrouter_ilp Optrouter_tech Printf

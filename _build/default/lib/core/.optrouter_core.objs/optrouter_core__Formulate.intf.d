@@ -1,0 +1,1 @@
+lib/core/formulate.mli: Optrouter_grid Optrouter_ilp Optrouter_tech

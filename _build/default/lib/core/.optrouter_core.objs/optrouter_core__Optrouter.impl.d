@@ -1,0 +1,1 @@
+lib/core/optrouter.ml: Format Formulate List Logs Optrouter_grid Optrouter_ilp Optrouter_maze Optrouter_tech Sys

@@ -1,0 +1,1 @@
+lib/core/optrouter.mli: Formulate Optrouter_grid Optrouter_ilp Optrouter_tech

@@ -1,0 +1,1 @@
+lib/core/render.ml: Array Buffer Char List Optrouter_grid Optrouter_tech Printf

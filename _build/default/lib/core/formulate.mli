@@ -1,0 +1,72 @@
+(** ILP formulation of the minimum-cost switchbox routing problem
+    (Section 3 of the paper).
+
+    From a routing graph this module instantiates:
+
+    - arc usage binaries [e] and flow variables [f] per net and direction,
+      with the linking constraints (2)-(3);
+    - the arc exclusivity constraint (1) per undirected edge;
+    - multi-commodity flow conservation (4), with [|T_k|] units leaving
+      each supersource;
+    - via adjacency restrictions (Section 3.2, "Via restrictions") between
+      neighbouring single-via sites;
+    - via-shape constraints (5): one member edge per side per net, plus
+      blocking of all footprint vertices against other nets;
+    - SADP end-of-line variables [p] (6)-(10) on SADP-patterned layers and
+      the forbidden-configuration rows (11)-(12);
+    - optionally, vertex exclusivity: no two nets may touch the same grid
+      vertex. The paper's constraint set is arc-based; without this
+      addition a via of one net may land on a wire of another, which the
+      independent DRC checker (rightly) rejects. Kept as an option so the
+      exact paper formulation can be studied too.
+
+    Two linearisations of the SADP [p] definitions are provided: the
+    paper's, with four auxiliary product binaries per (net, vertex, side)
+    as in constraint (9), and a collapsed one that lower-bounds [p]
+    directly by [a + b - 1] for each product pair — equivalent at integral
+    points because [p] only ever appears in "at most one" rows, but with
+    40% fewer binaries. The collapsed form is the default; the paper form
+    is used by the ILP-size study. *)
+
+type options = {
+  vertex_exclusivity : bool;  (** default [true] *)
+  sadp_aux_vars : bool;  (** paper-style linearisation (9); default [false] *)
+  aggregated_flows : bool;
+      (** the paper's single aggregated flow per arc with [e >= f/|T_k|]
+          (constraint (2)) instead of the default disaggregated per-sink
+          unit flows. Integer optima are identical; the disaggregated LP
+          relaxation is strictly tighter and solves far faster under the
+          bundled branch and bound. Default [false]. *)
+}
+
+val default_options : options
+
+type sizes = {
+  vars : int;
+  binaries : int;
+  rows : int;
+  nonzeros : int;
+}
+
+type t
+
+val build :
+  ?options:options -> rules:Optrouter_tech.Rules.t -> Optrouter_grid.Graph.t -> t
+val lp : t -> Optrouter_ilp.Lp.t
+val graph : t -> Optrouter_grid.Graph.t
+val sizes : t -> sizes
+
+(** [e_var t ~net ~edge ~dir] is the LP column of the arc-usage binary, or
+    -1 when the net may not use the edge. [dir] 0 is u->v, 1 is v->u. *)
+val e_var : t -> net:int -> edge:int -> dir:int -> int
+
+(** [decode t x] reads a routing solution out of an (integral) LP point. *)
+val decode : t -> float array -> Optrouter_grid.Route.solution
+
+(** [encode t solution] lifts a decoded (geometric) routing solution back
+    to a full LP point — arcs, flows and auxiliaries — suitable as a
+    branch-and-bound incumbent. Returns [None] if the solution is not a
+    clean Steiner forest or does not satisfy the formulation (the ILP's
+    SADP indicator is deliberately conservative, so rare DRC-clean
+    solutions are rejected). *)
+val encode : t -> Optrouter_grid.Route.solution -> float array option

@@ -1,0 +1,128 @@
+module Drc = Optrouter_grid.Drc
+module Route = Optrouter_grid.Route
+module Graph = Optrouter_grid.Graph
+module Clip = Optrouter_grid.Clip
+module Rules = Optrouter_tech.Rules
+module Tech = Optrouter_tech.Tech
+module Via_shape = Optrouter_tech.Via_shape
+module Milp = Optrouter_ilp.Milp
+
+type stats = {
+  sizes : Formulate.sizes;
+  nodes : int;
+  simplex_iterations : int;
+  elapsed_s : float;
+}
+
+type verdict =
+  | Routed of Route.solution
+  | Unroutable
+  | Limit of Route.solution option
+
+type result = { verdict : verdict; stats : stats }
+
+type config = {
+  options : Formulate.options;
+  via_shapes : Via_shape.t list;
+  single_vias : bool;
+  bidirectional : bool;
+  milp : Milp.params;
+  drc_check : bool;
+  heuristic_incumbent : bool;
+}
+
+let default_config =
+  {
+    options = Formulate.default_options;
+    via_shapes = [];
+    single_vias = true;
+    bidirectional = false;
+    milp =
+      { Milp.default_params with max_nodes = 20_000; time_limit_s = Some 60.0 };
+    drc_check = true;
+    heuristic_incumbent = true;
+  }
+
+exception Drc_failure of string
+
+let src = Logs.Src.create "optrouter.core" ~doc:"optimal router"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let audit ~rules g sol =
+  match Drc.check ~rules g sol with
+  | [] -> ()
+  | v :: _ as all ->
+    let msg =
+      Format.asprintf "%d violation(s), first: %a" (List.length all)
+        (Drc.pp_violation g) v
+    in
+    raise (Drc_failure msg)
+
+let route_graph ?(config = default_config) ~rules (g : Graph.t) =
+  let start = Sys.time () in
+  let form = Formulate.build ~options:config.options ~rules g in
+  (* A quick heuristic routing, lifted to an LP point, seeds branch and
+     bound with an incumbent; on these instances the LP bound then prunes
+     most of the tree immediately. [Formulate.encode] re-validates the
+     point, so an unlucky heuristic result can never corrupt the search. *)
+  let initial =
+    if not config.heuristic_incumbent then None
+    else begin
+      let params =
+        {
+          Optrouter_maze.Maze.default_params with
+          Optrouter_maze.Maze.restarts = 10;
+          rip_up_rounds = 8;
+        }
+      in
+      match
+        (Optrouter_maze.Maze.route ~params ~rules g).Optrouter_maze.Maze.solution
+      with
+      | Some sol -> Formulate.encode form sol
+      | None -> None
+    end
+  in
+  let milp_result = Milp.solve ?initial ~params:config.milp (Formulate.lp form) in
+  let elapsed_s = Sys.time () -. start in
+  let stats =
+    {
+      sizes = Formulate.sizes form;
+      nodes = milp_result.Milp.nodes;
+      simplex_iterations = milp_result.Milp.simplex_iterations;
+      elapsed_s;
+    }
+  in
+  let decode () =
+    let sol = Formulate.decode form milp_result.Milp.x in
+    if config.drc_check then audit ~rules g sol;
+    sol
+  in
+  let verdict =
+    match milp_result.Milp.outcome with
+    | Milp.Proved_optimal ->
+      let sol = decode () in
+      Log.debug (fun m ->
+          m "routed: cost=%d nodes=%d" sol.Route.metrics.cost
+            milp_result.Milp.nodes);
+      Routed sol
+    | Milp.Infeasible -> Unroutable
+    | Milp.Feasible -> Limit (Some (decode ()))
+    | Milp.Unknown -> Limit None
+    | Milp.Unbounded ->
+      (* all variables are bounded, so this cannot happen *)
+      assert false
+  in
+  { verdict; stats }
+
+let route ?(config = default_config) ~tech ~rules clip =
+  let g =
+    Graph.build ~via_shapes:config.via_shapes ~single_vias:config.single_vias
+      ~bidirectional:config.bidirectional ~tech ~rules clip
+  in
+  route_graph ~config ~rules g
+
+let cost_of result =
+  match result.verdict with
+  | Routed sol | Limit (Some sol) -> Some sol.Route.metrics.cost
+  | Unroutable | Limit None -> None

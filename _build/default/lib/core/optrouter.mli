@@ -1,0 +1,63 @@
+(** OptRouter: cost-optimal, design-rule-correct switchbox routing.
+
+    The end-to-end driver of the paper's Figure 6 inner loop: elaborate a
+    clip into a routing graph under a rule configuration, build the ILP,
+    solve it with branch and bound, decode the optimal routing and verify
+    it with the independent DRC checker.
+
+    Routing cost is [wirelength + via_weight * #vias] (the paper uses
+    via_weight = 4, carried by the technology preset). *)
+
+type stats = {
+  sizes : Formulate.sizes;
+  nodes : int;  (** branch-and-bound nodes *)
+  simplex_iterations : int;
+  elapsed_s : float;  (** CPU seconds *)
+}
+
+type verdict =
+  | Routed of Optrouter_grid.Route.solution  (** proved optimal *)
+  | Unroutable  (** the ILP is infeasible under this rule configuration *)
+  | Limit of Optrouter_grid.Route.solution option
+      (** node/time limit hit; holds the incumbent if one was found *)
+
+type result = { verdict : verdict; stats : stats }
+
+type config = {
+  options : Formulate.options;
+  via_shapes : Optrouter_tech.Via_shape.t list;
+  single_vias : bool;
+  bidirectional : bool;
+  milp : Optrouter_ilp.Milp.params;
+  drc_check : bool;
+      (** audit optimal solutions with {!Optrouter_grid.Drc} and raise on
+          violation; default [true] — a violation means a formulation bug *)
+  heuristic_incumbent : bool;
+      (** seed branch and bound with a quick {!Optrouter_maze.Maze} routing
+          lifted through {!Formulate.encode}; default [true]. Optimality is
+          unaffected (the point is re-validated), only solve time. *)
+}
+
+val default_config : config
+
+exception Drc_failure of string
+
+(** Route a clip under a rule configuration. *)
+val route :
+  ?config:config ->
+  tech:Optrouter_tech.Tech.t ->
+  rules:Optrouter_tech.Rules.t ->
+  Optrouter_grid.Clip.t ->
+  result
+
+(** Route over an already-built graph (the graph must have been built with
+    the same rules). *)
+val route_graph :
+  ?config:config ->
+  rules:Optrouter_tech.Rules.t ->
+  Optrouter_grid.Graph.t ->
+  result
+
+(** [cost_of result] is the routing cost, or [None] when unroutable /
+    no incumbent. *)
+val cost_of : result -> int option

@@ -1,0 +1,90 @@
+module Drc = Optrouter_grid.Drc
+module Route = Optrouter_grid.Route
+module Clip = Optrouter_grid.Clip
+module Graph = Optrouter_grid.Graph
+module Layer = Optrouter_tech.Layer
+
+let net_char k = Char.chr (Char.code 'a' + (k mod 26))
+
+(* Character canvas per layer: vertices at even (2x, 2y) cells so wire
+   segments can occupy the odd cells between them. *)
+let layer (g : Graph.t) (sol : Route.solution) ~z =
+  let cols = g.clip.Clip.cols and rows = g.clip.Clip.rows in
+  let w = (2 * cols) - 1 and h = (2 * rows) - 1 in
+  let canvas = Array.make_matrix h w ' ' in
+  for y = 0 to rows - 1 do
+    for x = 0 to cols - 1 do
+      canvas.(2 * y).(2 * x) <- '.'
+    done
+  done;
+  let decode v =
+    match g.vertex.(v) with
+    | Graph.Grid { x; y; z = vz } -> Some (x, y, vz)
+    | Graph.Via_node _ | Graph.Super _ -> None
+  in
+  Array.iter
+    (fun (r : Route.net_route) ->
+      let ch = net_char r.Route.net in
+      List.iter
+        (fun gid ->
+          let e = g.edges.(gid) in
+          match (e.Graph.kind, decode e.Graph.u, decode e.Graph.v) with
+          | Graph.Wire wz, Some (x1, y1, _), Some (x2, y2, _) when wz = z ->
+            canvas.(2 * y1).(2 * x1) <- ch;
+            canvas.(2 * y2).(2 * x2) <- ch;
+            canvas.(y1 + y2).(x1 + x2) <-
+              (if y1 = y2 then '-' else '|')
+          | Graph.Via vz, Some (x, y, _), Some _ ->
+            if vz = z then canvas.(2 * y).(2 * x) <- '^'
+            else if vz = z - 1 then canvas.(2 * y).(2 * x) <- 'v'
+          | Graph.Shape_lower vz, Some (x, y, _), _ when vz = z ->
+            canvas.(2 * y).(2 * x) <- '^'
+          | Graph.Shape_upper vz, _, Some (x, y, _) when vz + 1 = z ->
+            canvas.(2 * y).(2 * x) <- 'v'
+          | Graph.Access, u, v -> (
+            let pt = match (u, v) with Some p, _ | _, Some p -> Some p | _ -> None in
+            match pt with
+            | Some (x, y, vz) when vz = z ->
+              canvas.(2 * y).(2 * x) <- Char.uppercase_ascii ch
+            | Some _ | None -> ())
+          | (Graph.Wire _ | Graph.Via _ | Graph.Shape_lower _ | Graph.Shape_upper _), _, _
+            -> ())
+        r.Route.edges)
+    sol.Route.routes;
+  let buf = Buffer.create ((h + 1) * (w + 4)) in
+  Buffer.add_string buf
+    (Printf.sprintf "M%d (%s):\n" (z + 2)
+       (match g.layers.(z).Layer.dir with
+       | Layer.Horizontal -> "horizontal"
+       | Layer.Vertical -> "vertical"));
+  for y = h - 1 downto 0 do
+    Buffer.add_string buf "  ";
+    for x = 0 to w - 1 do
+      Buffer.add_char buf canvas.(y).(x)
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let solution g sol =
+  let buf = Buffer.create 1024 in
+  let used_layer = Array.make g.Graph.clip.Clip.layers false in
+  Array.iter
+    (fun (r : Route.net_route) ->
+      List.iter
+        (fun gid ->
+          match g.edges.(gid).Graph.kind with
+          | Graph.Wire z -> used_layer.(z) <- true
+          | Graph.Via z | Graph.Shape_lower z | Graph.Shape_upper z ->
+            used_layer.(z) <- true;
+            if z + 1 < Array.length used_layer then used_layer.(z + 1) <- true
+          | Graph.Access -> used_layer.(0) <- true)
+        r.Route.edges)
+    sol.Route.routes;
+  Array.iteri
+    (fun z used -> if used then Buffer.add_string buf (layer g sol ~z))
+    used_layer;
+  Buffer.add_string buf
+    (Printf.sprintf "cost=%d wirelength=%d vias=%d\n" sol.Route.metrics.cost
+       sol.Route.metrics.wirelength sol.Route.metrics.vias);
+  Buffer.contents buf

@@ -1,0 +1,13 @@
+(** ASCII rendering of routing solutions, one panel per metal layer.
+
+    Wire segments are drawn with the owning net's letter, vias as [v]
+    (via below) / [^] (via above) markers on the vertices they pass
+    through, and pin access points as the net letter in upper case. Meant
+    for examples and debugging, not precision: each grid vertex is one
+    character cell. *)
+
+val solution :
+  Optrouter_grid.Graph.t -> Optrouter_grid.Route.solution -> string
+
+(** [layer g sol ~z] renders a single layer panel. *)
+val layer : Optrouter_grid.Graph.t -> Optrouter_grid.Route.solution -> z:int -> string

@@ -1,0 +1,1 @@
+lib/design/design.ml: Array Float Format Fun Hashtbl List Optrouter_cells Optrouter_geom Optrouter_tech Printf Random String

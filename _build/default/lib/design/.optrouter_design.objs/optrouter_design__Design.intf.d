@@ -1,0 +1,1 @@
+lib/design/design.mli: Format Optrouter_cells Optrouter_geom Optrouter_tech

@@ -1,0 +1,1 @@
+lib/eval/experiments.ml: Array Float List Option Optrouter_cells Optrouter_clips Optrouter_core Optrouter_design Optrouter_grid Optrouter_ilp Optrouter_maze Optrouter_tech Printf Sweep

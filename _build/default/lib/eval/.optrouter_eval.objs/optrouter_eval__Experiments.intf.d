@@ -1,0 +1,1 @@
+lib/eval/experiments.mli: Optrouter_clips Optrouter_grid Optrouter_tech Sweep

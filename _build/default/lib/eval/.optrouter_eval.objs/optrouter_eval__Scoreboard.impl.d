@@ -1,0 +1,1 @@
+lib/eval/scoreboard.ml: Array Experiments Float Format Hashtbl List Option Printf String Sweep

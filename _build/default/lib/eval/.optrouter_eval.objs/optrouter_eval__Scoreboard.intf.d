@@ -1,0 +1,1 @@
+lib/eval/scoreboard.mli: Experiments Format Sweep

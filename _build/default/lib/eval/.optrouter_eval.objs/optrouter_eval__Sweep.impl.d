@@ -1,0 +1,1 @@
+lib/eval/sweep.ml: Array Float Hashtbl List Option Optrouter_core Optrouter_grid Optrouter_ilp Optrouter_tech Printf Sys

@@ -1,0 +1,1 @@
+lib/eval/sweep.mli: Optrouter_core Optrouter_grid Optrouter_tech

@@ -1,0 +1,76 @@
+(** Drivers for every table and figure in the paper's evaluation.
+
+    Each function returns printable data; the benchmark harness
+    ([bench/main.exe]) renders them with {!Optrouter_report.Report} and the
+    CLI exposes them individually. Experiments that need ILP solves run at
+    a reduced default scale (see DESIGN.md, "Substitutions"); the scale is
+    a parameter so paper-size runs remain possible. *)
+
+(** Table 2: benchmark designs — technology, design, clock period,
+    instance count, utilisation range. *)
+val table2_rows : ?seed:int -> unit -> string list list
+
+val table2_header : string list
+
+(** Table 3: the RULE1..RULE11 configuration matrix. *)
+val table3_rows : unit -> string list list
+
+val table3_header : string list
+
+type fig8_series = { label : string; top_costs : float array }
+
+(** Figure 8: sorted top-[top] pin costs of AES and M0 implementations in
+    N7-9T at three utilisations each. Runs at full design scale —
+    extraction involves no ILP. *)
+val fig8 : ?seed:int -> ?top:int -> unit -> fig8_series list
+
+type fig10_params = {
+  seed : int;
+  instance_scale : float;  (** scales Table-2 instance counts down *)
+  utils : float list;
+  extract : Optrouter_clips.Extract.params;
+  top_clips : int;  (** paper: 100; reduced default: 8 *)
+  time_limit_s : float;  (** per ILP solve *)
+}
+
+val default_fig10_params : fig10_params
+
+(** The difficult clips used by Figure 10 for one technology: harvested
+    from AES and M0 designs at the given utilisations and ranked by pin
+    cost. *)
+val difficult_clips :
+  ?params:fig10_params -> Optrouter_tech.Tech.t -> Optrouter_grid.Clip.t list
+
+(** Rules evaluated for a technology (Section 4.1: N7-9T skips the rules
+    its pin shapes cannot satisfy), excluding the RULE1 baseline. *)
+val rules_for : Optrouter_tech.Tech.t -> Optrouter_tech.Rules.t list
+
+(** Figure 10 (a/b/c by technology): Δcost entries for every (clip, rule)
+    pair. Feed to {!Sweep.series} for the sorted profiles. *)
+val fig10 : ?params:fig10_params -> Optrouter_tech.Tech.t -> Sweep.entry list
+
+(** A deterministic 5x5-track, 4-layer, 4-net clip used by the size
+    analysis and the microbenchmarks. *)
+val representative_clip : Optrouter_grid.Clip.t
+
+(** Section 4.2 "Analysis of the number of variables and constraints":
+    measured ILP sizes of one representative clip under the formulation
+    variants, next to the graph quantities the paper's O(.) bounds use. *)
+val ilp_size_rows : unit -> string list list
+
+val ilp_size_header : string list
+
+type validation = {
+  v_clip : string;
+  opt_cost : int option;
+  baseline_cost : int option;
+}
+
+(** Footnote 6: OptRouter vs the heuristic baseline on difficult clips
+    under RULE1. OptRouter's Δcost must be <= 0 wherever both route. *)
+val validate : ?params:fig10_params -> Optrouter_tech.Tech.t -> validation list
+
+(** Section 5 runtime study: mean OptRouter CPU seconds on clips of two
+    switchbox sizes, with and without SADP + via-restriction rules.
+    Returns (size label, without rules, with rules) triples. *)
+val runtime : ?params:fig10_params -> unit -> (string * float * float) list

@@ -1,0 +1,187 @@
+type verdict = Reproduced | Diverged of string | Inconclusive of string
+
+type finding = { claim : string; verdict : verdict }
+
+(* Per-rule statistics over sweep entries. *)
+type stats = {
+  total : int;
+  solved : int;  (** entries with a proved Δcost *)
+  zero : int;  (** proved Δcost = 0 *)
+  infeasible : int;
+  limits : int;
+  mean : float;  (** over proved entries; nan if none *)
+}
+
+let stats_of entries rule_name =
+  let sel =
+    List.filter (fun (e : Sweep.entry) -> e.Sweep.rule_name = rule_name) entries
+  in
+  let total = List.length sel in
+  let solved, zero, infeasible, limits, sum =
+    List.fold_left
+      (fun (s, z, i, l, sum) (e : Sweep.entry) ->
+        match e.Sweep.delta with
+        | Sweep.Delta d -> (s + 1, (if d = 0 then z + 1 else z), i, l, sum + d)
+        | Sweep.Infeasible -> (s, z, i + 1, l, sum)
+        | Sweep.Limit -> (s, z, i, l + 1, sum))
+      (0, 0, 0, 0, 0) sel
+  in
+  {
+    total;
+    solved;
+    zero;
+    infeasible;
+    limits;
+    mean = (if solved = 0 then nan else float_of_int sum /. float_of_int solved);
+  }
+
+let have entries rule = stats_of entries rule
+
+(* A rule's "severity" when comparing configurations: proved infeasibility
+   counts heavily, proved mean Δcost adds on top. *)
+let severity s =
+  if s.solved + s.infeasible = 0 then None
+  else
+    Some
+      ((float_of_int s.infeasible *. 500.0)
+       +. (if s.solved = 0 then 0.0 else s.mean *. float_of_int s.solved))
+
+let fig10_findings entries =
+  let rules =
+    List.sort_uniq String.compare
+      (List.map (fun (e : Sweep.entry) -> e.Sweep.rule_name) entries)
+  in
+  let s = Hashtbl.create 16 in
+  List.iter (fun r -> Hashtbl.replace s r (have entries r)) rules;
+  let get r = Hashtbl.find_opt s r in
+  let findings = ref [] in
+  let add claim verdict = findings := { claim; verdict } :: !findings in
+  (* 1. upper-layer SADP rules barely move Δcost *)
+  (match (get "RULE4", get "RULE5") with
+  | Some r4, Some r5 when r4.solved + r5.solved > 0 ->
+    let solved_mean =
+      let vals =
+        List.concat_map
+          (fun (st : stats) -> if st.solved > 0 then [ st.mean ] else [])
+          [ r4; r5 ]
+      in
+      List.fold_left ( +. ) 0.0 vals /. float_of_int (List.length vals)
+    in
+    if solved_mean <= 2.0 && r4.infeasible + r5.infeasible = 0 then
+      add "SADP >= M4/M5 has little Δcost impact" Reproduced
+    else
+      add "SADP >= M4/M5 has little Δcost impact"
+        (Diverged
+           (Printf.sprintf "mean Δcost %.1f, %d infeasible" solved_mean
+              (r4.infeasible + r5.infeasible)))
+  | _, _ ->
+    add "SADP >= M4/M5 has little Δcost impact"
+      (Inconclusive "RULE4/RULE5 not evaluated"));
+  (* 2. via restrictions cause at least as much infeasibility as
+     SADP-only rules *)
+  let infeasibility names =
+    let counted =
+      List.filter_map
+        (fun r -> Option.map (fun st -> st.infeasible) (get r))
+        names
+    in
+    if counted = [] then None else Some (List.fold_left ( + ) 0 counted)
+  in
+  (match
+     (infeasibility [ "RULE6"; "RULE9" ], infeasibility [ "RULE3"; "RULE4"; "RULE5" ])
+   with
+  | Some via, Some sadp ->
+    if via >= sadp then
+      add "via restrictions drive infeasibility at least as hard as SADP"
+        Reproduced
+    else
+      add "via restrictions drive infeasibility at least as hard as SADP"
+        (Diverged (Printf.sprintf "via %d < sadp %d unroutable" via sadp))
+  | _, _ ->
+    add "via restrictions drive infeasibility at least as hard as SADP"
+      (Inconclusive "via-restriction rules not evaluated"));
+  (* 3. broader SADP scope is at least as severe (RULE2 worst of 2..5) *)
+  (match
+     List.filter_map
+       (fun r -> Option.bind (get r) severity)
+       [ "RULE2"; "RULE3"; "RULE4"; "RULE5" ]
+   with
+  | (_ :: _ :: _ as sevs) -> (
+    let worst = List.fold_left Float.max neg_infinity sevs in
+    match Option.bind (get "RULE2") severity with
+    | Some s2 when s2 >= worst -. 1e-6 ->
+      add "SADP on every layer (RULE2) is the most severe SADP rule" Reproduced
+    | Some s2 ->
+      add "SADP on every layer (RULE2) is the most severe SADP rule"
+        (Diverged (Printf.sprintf "RULE2 severity %.0f < worst %.0f" s2 worst))
+    | None ->
+      add "SADP on every layer (RULE2) is the most severe SADP rule"
+        (Inconclusive "RULE2 hit solver limits on every clip"))
+  | _ ->
+    add "SADP on every layer (RULE2) is the most severe SADP rule"
+      (Inconclusive "not enough SADP rules evaluated"));
+  (* 4. many clips show zero Δcost under upper-layer rules (the pin-cost
+     vs switchbox-routability gap) *)
+  (match get "RULE4" with
+  | Some r4 when r4.solved > 0 ->
+    let share = float_of_int r4.zero /. float_of_int r4.solved in
+    if share >= 0.4 then
+      add "a large share of clips is untouched by upper-layer rules" Reproduced
+    else
+      add "a large share of clips is untouched by upper-layer rules"
+        (Diverged (Printf.sprintf "only %.0f%% at zero Δcost" (share *. 100.0)))
+  | Some _ | None ->
+    add "a large share of clips is untouched by upper-layer rules"
+      (Inconclusive "RULE4 not proved on any clip"));
+  List.rev !findings
+
+let fig8_findings (series : Experiments.fig8_series list) =
+  let range (s : Experiments.fig8_series) =
+    let a = s.Experiments.top_costs in
+    if Array.length a = 0 then None
+    else Some (a.(Array.length a - 1), a.(0))
+  in
+  let ranges = List.filter_map range series in
+  let findings = ref [] in
+  let add claim verdict = findings := { claim; verdict } :: !findings in
+  (match ranges with
+  | [] | [ _ ] -> add "pin-cost ranges overlap across versions" (Inconclusive "fewer than two series")
+  | (lo0, hi0) :: rest ->
+    (* every pair of ranges must overlap *)
+    let overlap =
+      List.for_all
+        (fun (lo, hi) -> lo <= hi0 && lo0 <= hi)
+        rest
+    in
+    if overlap then add "pin-cost ranges overlap across versions" Reproduced
+    else add "pin-cost ranges overlap across versions" (Diverged "disjoint ranges found"));
+  (match ranges with
+  | [] -> add "medians vary little with utilisation" (Inconclusive "no data")
+  | _ ->
+    let medians =
+      List.filter_map
+        (fun (s : Experiments.fig8_series) ->
+          let a = s.Experiments.top_costs in
+          if Array.length a = 0 then None else Some a.(Array.length a / 2))
+        series
+    in
+    let lo = List.fold_left Float.min infinity medians in
+    let hi = List.fold_left Float.max neg_infinity medians in
+    if hi -. lo <= 0.3 *. hi then
+      add "medians vary little with utilisation" Reproduced
+    else
+      add "medians vary little with utilisation"
+        (Diverged (Printf.sprintf "median spread %.1f..%.1f" lo hi)));
+  List.rev !findings
+
+let pp_finding ppf f =
+  let tag, detail =
+    match f.verdict with
+    | Reproduced -> ("REPRODUCED ", "")
+    | Diverged why -> ("DIVERGED   ", " — " ^ why)
+    | Inconclusive why -> ("INCONCLUSIVE", " — " ^ why)
+  in
+  Format.fprintf ppf "  [%s] %s%s" tag f.claim detail
+
+let pp_findings ppf findings =
+  List.iter (fun f -> Format.fprintf ppf "%a@." pp_finding f) findings

@@ -1,0 +1,124 @@
+module Clip = Optrouter_grid.Clip
+module Rules = Optrouter_tech.Rules
+module Optrouter = Optrouter_core.Optrouter
+module Route = Optrouter_grid.Route
+
+type delta = Delta of int | Infeasible | Limit
+
+let infeasible_delta = 500
+
+let delta_value = function
+  | Delta d -> float_of_int d
+  | Infeasible | Limit -> float_of_int infeasible_delta
+
+type entry = {
+  clip_name : string;
+  rule_name : string;
+  delta : delta;
+  cost : int option;
+  base_cost : int;
+}
+
+(* Progress trace for long sweeps, enabled by OPTROUTER_PROGRESS=1. *)
+let progress_enabled = Sys.getenv_opt "OPTROUTER_PROGRESS" <> None
+
+let progress fmt =
+  if progress_enabled then Printf.eprintf fmt
+  else Printf.ifprintf stderr fmt
+
+let clip_deltas ?config ~tech ~rules clip =
+  let route r =
+    let t0 = Sys.time () in
+    let result = Optrouter.route ?config ~tech ~rules:r clip in
+    progress "[sweep] %s %s: %s (%.1fs)\n%!" clip.Clip.c_name r.Rules.name
+      (match result.Optrouter.verdict with
+      | Optrouter.Routed sol ->
+        Printf.sprintf "cost %d" sol.Route.metrics.cost
+      | Optrouter.Unroutable -> "unroutable"
+      | Optrouter.Limit _ -> "limit")
+      (Sys.time () -. t0);
+    result
+  in
+  (* The RULE1 baseline gets a triple budget: if it cannot be proved the
+     whole clip is dropped, wasting every other solve. *)
+  let baseline_config =
+    Option.map
+      (fun (c : Optrouter.config) ->
+        {
+          c with
+          Optrouter.milp =
+            {
+              c.Optrouter.milp with
+              Optrouter_ilp.Milp.time_limit_s =
+                Option.map (fun t -> 3.0 *. t)
+                  c.Optrouter.milp.Optrouter_ilp.Milp.time_limit_s;
+            };
+        })
+      config
+  in
+  let baseline =
+    let t0 = Sys.time () in
+    let result =
+      Optrouter.route ?config:baseline_config ~tech ~rules:(Rules.rule 1) clip
+    in
+    progress "[sweep] %s RULE1: %s (%.1fs)\n%!" clip.Clip.c_name
+      (match result.Optrouter.verdict with
+      | Optrouter.Routed sol -> Printf.sprintf "cost %d" sol.Route.metrics.cost
+      | Optrouter.Unroutable -> "unroutable"
+      | Optrouter.Limit _ -> "limit")
+      (Sys.time () -. t0);
+    result
+  in
+  match baseline.Optrouter.verdict with
+  | Optrouter.Unroutable | Optrouter.Limit None -> []
+  | Optrouter.Limit (Some _) ->
+    (* an unproved baseline would poison every delta; skip the clip *)
+    []
+  | Optrouter.Routed base ->
+    let base_cost = base.Route.metrics.cost in
+    List.map
+      (fun r ->
+        let delta, cost =
+          match (route r).Optrouter.verdict with
+          | Optrouter.Routed sol ->
+            (Delta (sol.Route.metrics.cost - base_cost), Some sol.Route.metrics.cost)
+          | Optrouter.Unroutable -> (Infeasible, None)
+          | Optrouter.Limit (Some sol) -> (Limit, Some sol.Route.metrics.cost)
+          | Optrouter.Limit None -> (Limit, None)
+        in
+        {
+          clip_name = clip.Clip.c_name;
+          rule_name = r.Rules.name;
+          delta;
+          cost;
+          base_cost;
+        })
+      rules
+
+let series entries =
+  let by_rule = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun e ->
+      if not (Hashtbl.mem by_rule e.rule_name) then order := e.rule_name :: !order;
+      let old = Option.value ~default:[] (Hashtbl.find_opt by_rule e.rule_name) in
+      Hashtbl.replace by_rule e.rule_name (delta_value e.delta :: old))
+    entries;
+  List.rev_map
+    (fun name ->
+      let values = Array.of_list (Hashtbl.find by_rule name) in
+      Array.sort Float.compare values;
+      (name, values))
+    !order
+
+let infeasible_counts entries =
+  let by_rule = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun e ->
+      if not (Hashtbl.mem by_rule e.rule_name) then order := e.rule_name :: !order;
+      let old = Option.value ~default:0 (Hashtbl.find_opt by_rule e.rule_name) in
+      let bump = match e.delta with Infeasible -> 1 | Delta _ | Limit -> 0 in
+      Hashtbl.replace by_rule e.rule_name (old + bump))
+    entries;
+  List.rev_map (fun name -> (name, Hashtbl.find by_rule name)) !order

@@ -1,0 +1,44 @@
+(** BEOL rule sweep over clips (the inner loop of Figure 6).
+
+    Each clip is routed optimally under RULE1 to establish the baseline
+    cost, then under every requested rule configuration; the result is the
+    Δcost profile the paper plots in Figure 10. Following the paper's
+    plotting convention, unroutable clips are reported with Δcost = 500
+    ({!infeasible_delta}); solver limits are folded into the same bucket
+    (and counted separately). *)
+
+type delta =
+  | Delta of int  (** cost - cost(RULE1) *)
+  | Infeasible
+  | Limit  (** solver gave up before proving either way *)
+
+(** The paper's plotting constant for unroutable clips. *)
+val infeasible_delta : int
+
+val delta_value : delta -> float
+
+type entry = {
+  clip_name : string;
+  rule_name : string;
+  delta : delta;
+  cost : int option;
+  base_cost : int;
+}
+
+(** [clip_deltas ?config ~tech ~rules clip] routes [clip] under RULE1 and
+    each configuration in [rules]. Clips that are unroutable even under
+    RULE1 are dropped (returns []). *)
+val clip_deltas :
+  ?config:Optrouter_core.Optrouter.config ->
+  tech:Optrouter_tech.Tech.t ->
+  rules:Optrouter_tech.Rules.t list ->
+  Optrouter_grid.Clip.t ->
+  entry list
+
+(** [series entries] groups by rule and sorts each rule's Δcost values
+    ascending (infeasible / limit = 500 landing last), ready for a
+    Figure-10 style plot. *)
+val series : entry list -> (string * float array) list
+
+(** Count of infeasible clips per rule, as discussed in Section 4.2. *)
+val infeasible_counts : entry list -> (string * int) list

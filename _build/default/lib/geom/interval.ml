@@ -1,0 +1,18 @@
+type t = { lo : int; hi : int }
+
+let make lo hi = { lo; hi }
+let of_endpoints a b = if a <= b then { lo = a; hi = b } else { lo = b; hi = a }
+let is_empty i = i.lo > i.hi
+let length i = if is_empty i then 0 else i.hi - i.lo
+let cardinal i = if is_empty i then 0 else i.hi - i.lo + 1
+let contains i x = i.lo <= x && x <= i.hi
+let overlaps a b = a.lo <= b.hi && b.lo <= a.hi
+let inter a b = { lo = max a.lo b.lo; hi = min a.hi b.hi }
+let hull a b = { lo = min a.lo b.lo; hi = max a.hi b.hi }
+
+let distance a b =
+  if overlaps a b then 0 else if a.hi < b.lo then b.lo - a.hi else a.lo - b.hi
+
+let expand i d = { lo = i.lo - d; hi = i.hi + d }
+let equal a b = a.lo = b.lo && a.hi = b.hi
+let pp ppf i = Format.fprintf ppf "[%d, %d]" i.lo i.hi

@@ -1,0 +1,36 @@
+(** Closed integer intervals [lo, hi].
+
+    An interval with [lo > hi] is empty. Used for track ranges and 1-D
+    projections of rectangles. *)
+
+type t = { lo : int; hi : int }
+
+val make : int -> int -> t
+
+(** [of_endpoints a b] orders its arguments, so the result is never empty. *)
+val of_endpoints : int -> int -> t
+
+val is_empty : t -> bool
+
+(** Length of the closed interval; 0 when empty, [hi - lo] otherwise. *)
+val length : t -> int
+
+(** Number of integer points contained; 0 when empty. *)
+val cardinal : t -> int
+
+val contains : t -> int -> bool
+val overlaps : t -> t -> bool
+
+(** [inter a b] is the intersection (possibly empty). *)
+val inter : t -> t -> t
+
+(** [hull a b] is the smallest interval containing both. *)
+val hull : t -> t -> t
+
+(** [distance a b] is the gap between two disjoint intervals, 0 if they
+    overlap or touch. *)
+val distance : t -> t -> int
+
+val expand : t -> int -> t
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,14 @@
+type t = { x : int; y : int }
+
+let make x y = { x; y }
+let add a b = { x = a.x + b.x; y = a.y + b.y }
+let sub a b = { x = a.x - b.x; y = a.y - b.y }
+let manhattan a b = abs (a.x - b.x) + abs (a.y - b.y)
+let chebyshev a b = max (abs (a.x - b.x)) (abs (a.y - b.y))
+let equal a b = a.x = b.x && a.y = b.y
+
+let compare a b =
+  match Int.compare a.x b.x with 0 -> Int.compare a.y b.y | c -> c
+
+let pp ppf p = Format.fprintf ppf "(%d, %d)" p.x p.y
+let to_string p = Format.asprintf "%a" pp p

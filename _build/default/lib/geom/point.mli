@@ -1,0 +1,25 @@
+(** Integer 2-D points, in nanometers.
+
+    All layout geometry in this project is expressed on an integer nanometer
+    grid, which keeps comparisons exact and avoids floating-point drift in
+    design-rule arithmetic. *)
+
+type t = { x : int; y : int }
+
+val make : int -> int -> t
+
+(** Coordinate-wise addition and subtraction. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+
+(** [manhattan a b] is the L1 distance |ax - bx| + |ay - by|. *)
+val manhattan : t -> t -> int
+
+(** [chebyshev a b] is the Linf distance max(|ax - bx|, |ay - by|). *)
+val chebyshev : t -> t -> int
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,60 @@
+type t = { xlo : int; ylo : int; xhi : int; yhi : int }
+
+let make ~xlo ~ylo ~xhi ~yhi =
+  assert (xlo <= xhi && ylo <= yhi);
+  { xlo; ylo; xhi; yhi }
+
+let of_corners (a : Point.t) (b : Point.t) =
+  { xlo = min a.x b.x; ylo = min a.y b.y; xhi = max a.x b.x; yhi = max a.y b.y }
+
+let width r = r.xhi - r.xlo
+let height r = r.yhi - r.ylo
+let area r = width r * height r
+let center r = Point.make ((r.xlo + r.xhi) / 2) ((r.ylo + r.yhi) / 2)
+let x_interval r = Interval.make r.xlo r.xhi
+let y_interval r = Interval.make r.ylo r.yhi
+
+let contains_point r (p : Point.t) =
+  r.xlo <= p.x && p.x <= r.xhi && r.ylo <= p.y && p.y <= r.yhi
+
+let contains outer inner =
+  outer.xlo <= inner.xlo && inner.xhi <= outer.xhi && outer.ylo <= inner.ylo
+  && inner.yhi <= outer.yhi
+
+let overlaps a b =
+  a.xlo <= b.xhi && b.xlo <= a.xhi && a.ylo <= b.yhi && b.ylo <= a.yhi
+
+let inter a b =
+  if overlaps a b then
+    Some
+      {
+        xlo = max a.xlo b.xlo;
+        ylo = max a.ylo b.ylo;
+        xhi = min a.xhi b.xhi;
+        yhi = min a.yhi b.yhi;
+      }
+  else None
+
+let hull a b =
+  {
+    xlo = min a.xlo b.xlo;
+    ylo = min a.ylo b.ylo;
+    xhi = max a.xhi b.xhi;
+    yhi = max a.yhi b.yhi;
+  }
+
+let distance a b =
+  let dx = Interval.distance (x_interval a) (x_interval b) in
+  let dy = Interval.distance (y_interval a) (y_interval b) in
+  dx + dy
+
+let expand r d =
+  { xlo = r.xlo - d; ylo = r.ylo - d; xhi = r.xhi + d; yhi = r.yhi + d }
+
+let translate r (p : Point.t) =
+  { xlo = r.xlo + p.x; ylo = r.ylo + p.y; xhi = r.xhi + p.x; yhi = r.yhi + p.y }
+
+let equal a b = a.xlo = b.xlo && a.ylo = b.ylo && a.xhi = b.xhi && a.yhi = b.yhi
+
+let pp ppf r =
+  Format.fprintf ppf "{x:[%d, %d] y:[%d, %d]}" r.xlo r.xhi r.ylo r.yhi

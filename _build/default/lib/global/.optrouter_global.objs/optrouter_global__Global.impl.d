@@ -1,0 +1,1 @@
+lib/global/global.ml: Array Buffer Char Hashtbl List Option Optrouter_design

@@ -1,0 +1,1 @@
+lib/global/global.mli: Optrouter_design

@@ -1,0 +1,204 @@
+module Design = Optrouter_design.Design
+
+type congestion = {
+  total_edges : int;
+  used_edges : int;
+  max_usage : int;
+  overflowed : int;
+}
+
+type t = {
+  cell_w : int;
+  cell_h : int;
+  ngx : int;
+  ngy : int;
+  capacity : int;
+  net_cells : (int * int) list array;
+  net_edges : ((int * int) * (int * int)) list array;
+  usage_h : int array;  (** edge (gx,gy)-(gx+1,gy) at gy * (ngx-1) + gx *)
+  usage_v : int array;  (** edge (gx,gy)-(gx,gy+1) at gy * ngx + gx *)
+  by_cell : int list array;  (** gcell -> nets visiting, gy * ngx + gx *)
+}
+
+let grid_size t = (t.ngx, t.ngy)
+
+let hidx t gx gy = (gy * (t.ngx - 1)) + gx
+let vidx t gx gy = (gy * t.ngx) + gx
+
+(* Cost of one gcell-boundary crossing: congestion-quadratic so hot edges
+   repel later nets strongly. *)
+let edge_cost usage = 1 + (usage * usage)
+
+let step_cost t (x1, y1) (x2, y2) =
+  if y1 = y2 then edge_cost t.usage_h.(hidx t (min x1 x2) y1)
+  else edge_cost t.usage_v.(vidx t x1 (min y1 y2))
+
+let bump_usage t (x1, y1) (x2, y2) =
+  if y1 = y2 then begin
+    let i = hidx t (min x1 x2) y1 in
+    t.usage_h.(i) <- t.usage_h.(i) + 1
+  end
+  else begin
+    let i = vidx t x1 (min y1 y2) in
+    t.usage_v.(i) <- t.usage_v.(i) + 1
+  end
+
+(* The two L-shaped gcell paths between two gcells (as step lists); for
+   aligned gcells both collapse to the same straight path. *)
+let l_paths (x1, y1) (x2, y2) =
+  let xs = List.init (abs (x2 - x1)) (fun i -> x1 + ((i + 1) * compare x2 x1)) in
+  let ys = List.init (abs (y2 - y1)) (fun i -> y1 + ((i + 1) * compare y2 y1)) in
+  let horiz_then_vert =
+    List.map (fun x -> (x, y1)) xs @ List.map (fun y -> (x2, y)) ys
+  in
+  let vert_then_horiz =
+    List.map (fun y -> (x1, y)) ys @ List.map (fun x -> (x, y2)) xs
+  in
+  if xs = [] || ys = [] then [ horiz_then_vert ]
+  else [ horiz_then_vert; vert_then_horiz ]
+
+let path_cost t src path =
+  let rec go prev acc = function
+    | [] -> acc
+    | cell :: rest -> go cell (acc + step_cost t prev cell) rest
+  in
+  go src 0 path
+
+let route ?(capacity = 8) ~cell_w ~cell_h (d : Design.t) =
+  if cell_w <= 0 || cell_h <= 0 then invalid_arg "Global.route: bad gcell size";
+  let cols, rows = Design.extent d in
+  let ngx = max 1 ((cols + cell_w - 1) / cell_w) in
+  let ngy = max 1 ((rows + cell_h - 1) / cell_h) in
+  let nnets = Array.length d.Design.nets in
+  let t =
+    {
+      cell_w;
+      cell_h;
+      ngx;
+      ngy;
+      capacity;
+      net_cells = Array.make nnets [];
+      net_edges = Array.make nnets [];
+      usage_h = Array.make (max 1 ((ngx - 1) * ngy)) 0;
+      usage_v = Array.make (max 1 (ngx * max 1 (ngy - 1))) 0;
+      by_cell = Array.make (ngx * ngy) [];
+    }
+  in
+  let gcell_of (x, y) = (min (x / cell_w) (ngx - 1), min (y / cell_h) (ngy - 1)) in
+  Array.iteri
+    (fun ni (net : Design.dnet) ->
+      let pins =
+        List.concat_map
+          (fun conn -> List.map gcell_of (Design.access_positions d conn))
+          (net.Design.driver :: net.Design.loads)
+        |> List.sort_uniq compare
+      in
+      match pins with
+      | [] -> ()
+      | first :: rest ->
+        let tree = Hashtbl.create 8 in
+        Hashtbl.replace tree first ();
+        let edges = ref [] in
+        List.iter
+          (fun target ->
+            if not (Hashtbl.mem tree target) then begin
+              (* nearest tree gcell by Manhattan distance *)
+              let src =
+                Hashtbl.fold
+                  (fun cell () best ->
+                    let dist (x1, y1) (x2, y2) = abs (x1 - x2) + abs (y1 - y2) in
+                    match best with
+                    | Some b when dist b target <= dist cell target -> best
+                    | Some _ | None -> Some cell)
+                  tree None
+              in
+              let src = Option.get src in
+              let best_path =
+                List.fold_left
+                  (fun best path ->
+                    let c = path_cost t src path in
+                    match best with
+                    | Some (bc, _) when bc <= c -> best
+                    | Some _ | None -> Some (c, path))
+                  None (l_paths src target)
+              in
+              match best_path with
+              | None -> ()
+              | Some (_, path) ->
+                (* walk the L outward; if it re-enters the tree early the
+                   connection is already made and the tail is dropped *)
+                let rec commit prev = function
+                  | [] -> ()
+                  | cell :: rest ->
+                    if Hashtbl.mem tree cell then commit cell rest
+                    else begin
+                      bump_usage t prev cell;
+                      edges := (prev, cell) :: !edges;
+                      Hashtbl.replace tree cell ();
+                      commit cell rest
+                    end
+                in
+                commit src path
+            end)
+          rest;
+        let cells = Hashtbl.fold (fun c () acc -> c :: acc) tree [] in
+        t.net_cells.(ni) <- List.sort compare cells;
+        t.net_edges.(ni) <- List.rev !edges;
+        List.iter
+          (fun (gx, gy) ->
+            let i = (gy * ngx) + gx in
+            t.by_cell.(i) <- ni :: t.by_cell.(i))
+          cells)
+    d.Design.nets;
+  Array.iteri (fun i l -> t.by_cell.(i) <- List.rev l) t.by_cell;
+  t
+
+let net_gcells t ni = t.net_cells.(ni)
+
+let nets_through t ~gx ~gy =
+  if gx < 0 || gx >= t.ngx || gy < 0 || gy >= t.ngy then []
+  else t.by_cell.((gy * t.ngx) + gx)
+
+let crossings t ~net ~gx ~gy =
+  List.filter_map
+    (fun (a, b) ->
+      if a = (gx, gy) then Some b else if b = (gx, gy) then Some a else None)
+    t.net_edges.(net)
+
+let congestion t =
+  let fold arr (used, mx, over) =
+    Array.fold_left
+      (fun (used, mx, over) u ->
+        ( (if u > 0 then used + 1 else used),
+          max mx u,
+          if u > t.capacity then over + 1 else over ))
+      (used, mx, over) arr
+  in
+  let used, mx, over = fold t.usage_v (fold t.usage_h (0, 0, 0)) in
+  {
+    total_edges = Array.length t.usage_h + Array.length t.usage_v;
+    used_edges = used;
+    max_usage = mx;
+    overflowed = over;
+  }
+
+let render_congestion t =
+  let buf = Buffer.create (t.ngx * t.ngy * 2) in
+  for gy = t.ngy - 1 downto 0 do
+    for gx = 0 to t.ngx - 1 do
+      (* demand at a gcell: sum of usage on its incident boundaries *)
+      let total = ref 0 in
+      if gx < t.ngx - 1 then total := !total + t.usage_h.(hidx t gx gy);
+      if gx > 0 then total := !total + t.usage_h.(hidx t (gx - 1) gy);
+      if gy < t.ngy - 1 then total := !total + t.usage_v.(vidx t gx gy);
+      if gy > 0 then total := !total + t.usage_v.(vidx t gx (gy - 1));
+      let c =
+        if !total = 0 then '.'
+        else if !total <= 9 then Char.chr (Char.code '0' + !total)
+        else '*'
+      in
+      Buffer.add_char buf c
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf

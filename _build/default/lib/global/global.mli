@@ -1,0 +1,59 @@
+(** Gcell-based global router.
+
+    The paper's clips are switchboxes "approximately the size of a single
+    gcell" harvested from routed layouts, so nets that merely {e pass
+    through} a clip window appear in its routing problem alongside the
+    nets with pins inside. This module supplies that routed context: a
+    congestion-negotiated global routing of a placed design over a grid
+    of gcells.
+
+    Each net is routed as a rectilinear tree on the gcell grid: pins are
+    connected to the growing tree one at a time through L-shaped paths,
+    picking, per connection, the bend with the lower congestion cost;
+    edge usage feeds back into the cost so later nets avoid hot regions
+    (one-shot negotiation — adequate for context generation, not a
+    competitive global router).
+
+    Gcell coordinates: gcell (gx, gy) covers track columns
+    [gx * cell_w .. (gx+1) * cell_w - 1] and rows [gy * cell_h ..], with
+    the partial last gcell clipped to the die. *)
+
+type t
+
+type congestion = {
+  total_edges : int;
+  used_edges : int;
+  max_usage : int;
+  overflowed : int;  (** edges above [capacity] *)
+}
+
+(** [route ?capacity ~cell_w ~cell_h design] globally routes every net of
+    the design over gcells of [cell_w] x [cell_h] tracks. [capacity] is
+    the nominal per-gcell-boundary wire capacity used for congestion
+    statistics (default 8). *)
+val route :
+  ?capacity:int ->
+  cell_w:int ->
+  cell_h:int ->
+  Optrouter_design.Design.t ->
+  t
+
+val grid_size : t -> int * int
+
+(** Gcells traversed by a net (including the gcells of its pins). *)
+val net_gcells : t -> int -> (int * int) list
+
+(** [nets_through t ~gx ~gy] lists nets whose global route visits the
+    gcell — both nets with pins there and pass-throughs. *)
+val nets_through : t -> gx:int -> gy:int -> int list
+
+(** [crossings t ~net ~gx ~gy] is the list of neighbouring gcells this
+    net's route connects to from (gx, gy) — the window borders a
+    pass-through net enters/leaves by. *)
+val crossings : t -> net:int -> gx:int -> gy:int -> (int * int) list
+
+val congestion : t -> congestion
+
+(** ASCII heat map of gcell-edge usage (congestion per gcell,
+    0-9 / '*' above nine). *)
+val render_congestion : t -> string

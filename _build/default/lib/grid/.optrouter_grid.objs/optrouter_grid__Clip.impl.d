@@ -1,0 +1,1 @@
+lib/grid/clip.ml: Format Hashtbl List Optrouter_geom Result

@@ -1,0 +1,1 @@
+lib/grid/clip.mli: Format Optrouter_geom Result

@@ -1,0 +1,1 @@
+lib/grid/drc.ml: Array Clip Format Graph Hashtbl List Option Optrouter_tech Route

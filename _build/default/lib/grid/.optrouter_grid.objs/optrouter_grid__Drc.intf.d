@@ -1,0 +1,1 @@
+lib/grid/drc.mli: Format Graph Optrouter_tech Route

@@ -1,0 +1,1 @@
+lib/grid/graph.ml: Array Clip Format List Optrouter_tech

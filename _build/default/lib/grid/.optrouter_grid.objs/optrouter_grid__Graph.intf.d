@@ -1,0 +1,1 @@
+lib/grid/graph.mli: Clip Format Optrouter_tech

@@ -1,0 +1,1 @@
+lib/grid/route.ml: Array Format Graph Hashtbl List

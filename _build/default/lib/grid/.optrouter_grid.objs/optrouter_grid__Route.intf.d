@@ -1,0 +1,1 @@
+lib/grid/route.mli: Format Graph

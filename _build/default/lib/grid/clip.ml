@@ -1,0 +1,105 @@
+module Rect = Optrouter_geom.Rect
+
+type pin = {
+  p_name : string;
+  access : (int * int) list;
+  shape : Rect.t option;
+}
+
+type net = { n_name : string; pins : pin list }
+
+type t = {
+  c_name : string;
+  tech_name : string;
+  cols : int;
+  rows : int;
+  layers : int;
+  nets : net list;
+  obstructions : (int * int * int) list;
+}
+
+let make ?(name = "clip") ?(tech_name = "N28-12T") ?(obstructions = []) ~cols
+    ~rows ~layers nets =
+  { c_name = name; tech_name; cols; rows; layers; nets; obstructions }
+
+let num_nets t = List.length t.nets
+let num_pins t = List.fold_left (fun acc n -> acc + List.length n.pins) 0 t.nets
+
+let access_points t =
+  List.concat
+    (List.mapi
+       (fun k net ->
+         List.concat_map
+           (fun pin -> List.map (fun (x, y) -> (k, x, y)) pin.access)
+           net.pins)
+       t.nets)
+
+let validate t =
+  let ( let* ) = Result.bind in
+  let err fmt = Format.kasprintf (fun s -> Error s) fmt in
+  let* () =
+    if t.cols > 0 && t.rows > 0 && t.layers > 0 then Ok ()
+    else err "clip %s: non-positive dimensions" t.c_name
+  in
+  let* () =
+    List.fold_left
+      (fun acc (net : net) ->
+        let* () = acc in
+        let* () =
+          if List.length net.pins >= 2 then Ok ()
+          else err "net %s: fewer than two pins" net.n_name
+        in
+        List.fold_left
+          (fun acc (pin : pin) ->
+            let* () = acc in
+            let* () =
+              if pin.access <> [] then Ok ()
+              else err "pin %s of net %s: no access points" pin.p_name net.n_name
+            in
+            List.fold_left
+              (fun acc (x, y) ->
+                let* () = acc in
+                if x >= 0 && x < t.cols && y >= 0 && y < t.rows then Ok ()
+                else
+                  err "pin %s of net %s: access point (%d, %d) out of range"
+                    pin.p_name net.n_name x y)
+              (Ok ()) pin.access)
+          (Ok ()) net.pins)
+      (Ok ()) t.nets
+  in
+  let* () =
+    List.fold_left
+      (fun acc (x, y, z) ->
+        let* () = acc in
+        if x >= 0 && x < t.cols && y >= 0 && y < t.rows && z >= 0 && z < t.layers
+        then Ok ()
+        else err "obstruction (%d, %d, %d) out of range" x y z)
+      (Ok ()) t.obstructions
+  in
+  (* An access point claimed by two different nets is a short. *)
+  let tbl = Hashtbl.create 16 in
+  List.fold_left
+    (fun acc (k, x, y) ->
+      let* () = acc in
+      match Hashtbl.find_opt tbl (x, y) with
+      | Some k' when k' <> k ->
+        err "access point (%d, %d) shared by nets %d and %d" x y k' k
+      | Some _ | None ->
+        Hashtbl.replace tbl (x, y) k;
+        Ok ())
+    (Ok ()) (access_points t)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>clip %s [%s] %dx%d tracks, %d layers, %d nets"
+    t.c_name t.tech_name t.cols t.rows t.layers (num_nets t);
+  List.iter
+    (fun net ->
+      Format.fprintf ppf "@   net %s:" net.n_name;
+      List.iter
+        (fun pin ->
+          Format.fprintf ppf " %s{" pin.p_name;
+          List.iter (fun (x, y) -> Format.fprintf ppf "(%d,%d)" x y) pin.access;
+          Format.fprintf ppf "}")
+        net.pins)
+    t.nets;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,286 @@
+
+
+module Layer = Optrouter_tech.Layer
+module Rules = Optrouter_tech.Rules
+
+type violation =
+  | Edge_conflict of { edge : int; net1 : int; net2 : int }
+  | Vertex_conflict of { vertex : int; net1 : int; net2 : int }
+  | Disconnected of { net : int; sink : int }
+  | Dangling of { net : int; vertex : int }
+  | Via_adjacency of { site1 : int; site2 : int }
+  | Shape_side of { rep : int; net : int }
+  | Shape_blocking of { rep : int; net : int; other : int; vertex : int }
+  | Sadp_conflict of { v1 : int; side1 : int; v2 : int; side2 : int }
+
+let check ~(rules : Rules.t) (g : Graph.t) (sol : Route.solution) =
+  let violations = ref [] in
+  let add v = violations := v :: !violations in
+  let nedges = Array.length g.edges in
+  let nnets = Array.length g.nets in
+  let cols = g.clip.Clip.cols
+  and rows = g.clip.Clip.rows
+  and nz = g.clip.Clip.layers in
+  let ngrid = cols * rows * nz in
+  (* Edge ownership. *)
+  let owner = Array.make nedges (-1) in
+  Array.iter
+    (fun (r : Route.net_route) ->
+      List.iter
+        (fun gid ->
+          if owner.(gid) >= 0 && owner.(gid) <> r.net then
+            add (Edge_conflict { edge = gid; net1 = owner.(gid); net2 = r.net })
+          else owner.(gid) <- r.net)
+        r.edges)
+    sol.routes;
+  (* Per-net connectivity and stub detection. *)
+  Array.iter
+    (fun (r : Route.net_route) ->
+      let net = g.nets.(r.net) in
+      let used = Hashtbl.create 32 in
+      List.iter (fun gid -> Hashtbl.replace used gid ()) r.edges;
+      let reached = Hashtbl.create 32 in
+      let rec bfs v =
+        if not (Hashtbl.mem reached v) then begin
+          Hashtbl.add reached v ();
+          Array.iter
+            (fun (gid, other) -> if Hashtbl.mem used gid then bfs other)
+            g.adj.(v)
+        end
+      in
+      bfs net.Graph.source;
+      Array.iter
+        (fun s ->
+          if not (Hashtbl.mem reached s) then
+            add (Disconnected { net = r.net; sink = s }))
+        net.Graph.sinks;
+      (* Degree-1 vertices of the used subgraph must be terminals. *)
+      let deg = Hashtbl.create 32 in
+      List.iter
+        (fun gid ->
+          let e = g.edges.(gid) in
+          let bump v = Hashtbl.replace deg v (1 + Option.value ~default:0 (Hashtbl.find_opt deg v)) in
+          bump e.Graph.u;
+          bump e.Graph.v)
+        r.edges;
+      let is_terminal v =
+        v = net.Graph.source || Array.exists (fun s -> s = v) net.Graph.sinks
+      in
+      Hashtbl.iter
+        (fun v d ->
+          if d = 1 && not (is_terminal v) then
+            add (Dangling { net = r.net; vertex = v }))
+        deg)
+    sol.routes;
+  (* Vertex exclusivity over grid vertices. *)
+  let vertex_owner = Array.make ngrid (-1) in
+  Array.iter
+    (fun (r : Route.net_route) ->
+      List.iter
+        (fun gid ->
+          let e = g.edges.(gid) in
+          let claim v =
+            if v < ngrid then
+              if vertex_owner.(v) >= 0 && vertex_owner.(v) <> r.net then
+                add
+                  (Vertex_conflict
+                     { vertex = v; net1 = vertex_owner.(v); net2 = r.net })
+              else vertex_owner.(v) <- r.net
+          in
+          claim e.Graph.u;
+          claim e.Graph.v)
+        r.edges)
+    sol.routes;
+  (* Via adjacency restriction. *)
+  let offsets =
+    match rules.Rules.via_restriction with
+    | Rules.No_blocking -> []
+    | Rules.Orthogonal -> [ (1, 0); (0, 1) ]
+    | Rules.Orthogonal_diagonal -> [ (1, 0); (0, 1); (1, 1); (1, -1) ]
+  in
+  if offsets <> [] then
+    for z = 0 to nz - 2 do
+      for y = 0 to rows - 1 do
+        for x = 0 to cols - 1 do
+          match g.via_site.(((z * rows) + y) * cols + x) with
+          | None -> ()
+          | Some s1 when owner.(s1) < 0 -> ()
+          | Some s1 ->
+            List.iter
+              (fun (dx, dy) ->
+                let x' = x + dx and y' = y + dy in
+                if x' >= 0 && x' < cols && y' >= 0 && y' < rows then
+                  match g.via_site.(((z * rows) + y') * cols + x') with
+                  | Some s2 when owner.(s2) >= 0 ->
+                    add (Via_adjacency { site1 = s1; site2 = s2 })
+                  | Some _ | None -> ())
+              offsets
+        done
+      done
+    done;
+  (* Access points are V12 vias: the adjacency restriction applies to
+     them as well. *)
+  if offsets <> [] then begin
+    let access_used x y =
+      List.exists (fun gid -> owner.(gid) >= 0) g.access_sites.((y * cols) + x)
+    in
+    let some_used x y =
+      List.find_opt (fun gid -> owner.(gid) >= 0) g.access_sites.((y * cols) + x)
+    in
+    for y = 0 to rows - 1 do
+      for x = 0 to cols - 1 do
+        if access_used x y then
+          List.iter
+            (fun (dx, dy) ->
+              let x' = x + dx and y' = y + dy in
+              if x' >= 0 && x' < cols && y' >= 0 && y' < rows && access_used x' y'
+              then
+                match (some_used x y, some_used x' y') with
+                | Some s1, Some s2 -> add (Via_adjacency { site1 = s1; site2 = s2 })
+                | _, _ -> ())
+            offsets
+      done
+    done
+  end;
+  (* Via shapes: one member edge per side per net; footprint blocking. *)
+  Array.iter
+    (fun (rep : Graph.via_rep) ->
+      let rep_edges =
+        Array.to_list rep.Graph.lower_edges @ Array.to_list rep.Graph.upper_edges
+      in
+      for k = 0 to nnets - 1 do
+        let side_count edges =
+          Array.fold_left
+            (fun acc gid -> if owner.(gid) = k then acc + 1 else acc)
+            0 edges
+        in
+        if side_count rep.Graph.lower_edges > 1 || side_count rep.Graph.upper_edges > 1
+        then add (Shape_side { rep = rep.Graph.rep; net = k });
+        let uses = List.exists (fun gid -> owner.(gid) = k) rep_edges in
+        if uses then begin
+          let members =
+            Array.to_list rep.Graph.lower_members
+            @ Array.to_list rep.Graph.upper_members
+          in
+          List.iter
+            (fun mv ->
+              Array.iter
+                (fun (gid2, _) ->
+                  if
+                    (not (List.mem gid2 rep_edges))
+                    && owner.(gid2) >= 0
+                    && owner.(gid2) <> k
+                  then
+                    add
+                      (Shape_blocking
+                         {
+                           rep = rep.Graph.rep;
+                           net = k;
+                           other = owner.(gid2);
+                           vertex = mv;
+                         }))
+                g.adj.(mv))
+            members
+        end
+      done)
+    g.via_reps;
+  (* SADP end-of-line conflicts: geometric line ends. *)
+  let wire_low = Array.make ngrid (-1) and wire_high = Array.make ngrid (-1) in
+  Array.iteri
+    (fun gid (ed : Graph.edge) ->
+      match ed.Graph.kind with
+      | Graph.Wire _ ->
+        wire_high.(ed.Graph.u) <- gid;
+        wire_low.(ed.Graph.v) <- gid
+      | Graph.Via _ | Graph.Shape_lower _ | Graph.Shape_upper _ | Graph.Access
+        -> ())
+    g.edges;
+  (* Patterning is resolved from the rule configuration being checked, not
+     from the rules the graph happened to be built with — the checker is
+     routinely pointed at a solution routed under a different rule. *)
+  let sadp z = Rules.patterning_of rules ~metal:(z + 2) = Layer.Sadp in
+  let vialike_used v =
+    Array.exists
+      (fun (gid, _) ->
+        owner.(gid) >= 0
+        &&
+        match g.edges.(gid).Graph.kind with
+        | Graph.Via _ | Graph.Shape_lower _ | Graph.Shape_upper _ | Graph.Access
+          -> true
+        | Graph.Wire _ -> false)
+      g.adj.(v)
+  in
+  let used gid = gid >= 0 && owner.(gid) >= 0 in
+  (* eol.(v).(side): side 0 = wire from low, 1 = wire from high. *)
+  let eol = Array.make_matrix ngrid 2 false in
+  for v = 0 to ngrid - 1 do
+    let z = v / (cols * rows) in
+    if sadp z then begin
+      if used wire_low.(v) && (not (used wire_high.(v))) && vialike_used v then
+        eol.(v).(0) <- true;
+      if used wire_high.(v) && (not (used wire_low.(v))) && vialike_used v then
+        eol.(v).(1) <- true
+    end
+  done;
+  for z = 0 to nz - 1 do
+    if sadp z then begin
+      let horizontal = g.layers.(z).Layer.dir = Layer.Horizontal in
+      let vat a c =
+        let x, y = if horizontal then (a, c) else (c, a) in
+        if x < 0 || x >= cols || y < 0 || y >= rows then None
+        else Some (((z * rows) + y) * cols + x)
+      in
+      let amax = (if horizontal then cols else rows) - 1 in
+      let cmax = (if horizontal then rows else cols) - 1 in
+      for a = 0 to amax do
+        for c = 0 to cmax do
+          match vat a c with
+          | None -> ()
+          | Some v ->
+            let clash side offs other_side =
+              if eol.(v).(side) then
+                List.iter
+                  (fun (da, dc) ->
+                    match vat (a + da) (c + dc) with
+                    | Some j when eol.(j).(other_side) ->
+                      add
+                        (Sadp_conflict { v1 = v; side1 = side; v2 = j; side2 = other_side })
+                    | Some _ | None -> ())
+                  offs
+            in
+            (* side 1 = From_high = paper's p_r. Same sets as Formulate. *)
+            clash 1 [ (-1, 0); (-1, -1); (-1, 1); (0, -1); (0, 1) ] 0;
+            clash 1 [ (-1, 0); (-1, -1); (-1, 1); (1, -1); (1, 1) ] 1;
+            clash 0 [ (1, 0); (1, -1); (1, 1); (-1, -1); (-1, 1) ] 0
+        done
+      done
+    end
+  done;
+  List.rev !violations
+
+let pp_violation (g : Graph.t) ppf = function
+  | Edge_conflict { edge; net1; net2 } ->
+    Format.fprintf ppf "edge %d shared by nets %d and %d (%a-%a)" edge net1 net2
+      (Graph.pp_vertex g) g.edges.(edge).Graph.u (Graph.pp_vertex g)
+      g.edges.(edge).Graph.v
+  | Vertex_conflict { vertex; net1; net2 } ->
+    Format.fprintf ppf "vertex %a touched by nets %d and %d" (Graph.pp_vertex g)
+      vertex net1 net2
+  | Disconnected { net; sink } ->
+    Format.fprintf ppf "net %d does not reach sink %a" net (Graph.pp_vertex g)
+      sink
+  | Dangling { net; vertex } ->
+    Format.fprintf ppf "net %d has a dangling stub at %a" net (Graph.pp_vertex g)
+      vertex
+  | Via_adjacency { site1; site2 } ->
+    Format.fprintf ppf "adjacent vias in use (edges %d, %d)" site1 site2
+  | Shape_side { rep; net } ->
+    Format.fprintf ppf "via shape at vertex %d used twice on one side by net %d"
+      rep net
+  | Shape_blocking { rep; net; other; vertex } ->
+    Format.fprintf ppf
+      "via shape %d of net %d has net %d inside its footprint at %a" rep net
+      other (Graph.pp_vertex g) vertex
+  | Sadp_conflict { v1; side1; v2; side2 } ->
+    Format.fprintf ppf "SADP EOL conflict: %a(side %d) vs %a(side %d)"
+      (Graph.pp_vertex g) v1 side1 (Graph.pp_vertex g) v2 side2

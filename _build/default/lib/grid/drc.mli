@@ -1,0 +1,34 @@
+(** Independent design-rule checker for decoded routing solutions.
+
+    This module re-derives rule compliance {e geometrically} from the edge
+    sets of a solution, without looking at the ILP: it is the test oracle
+    showing that the formulation's constraints actually encode the rules.
+    It is also used to audit the heuristic baseline router.
+
+    Checked: arc exclusivity, per-net source-to-sink connectivity, no
+    dangling stubs, vertex exclusivity (no two nets touching the same grid
+    vertex), via adjacency restrictions, via-shape footprint blocking, and
+    SADP end-of-line conflicts. The SADP check uses the geometric notion of
+    a line end (wire present on exactly one side, leaving through a via),
+    which is implied by the formulation's conservative indicator. *)
+
+type violation =
+  | Edge_conflict of { edge : int; net1 : int; net2 : int }
+  | Vertex_conflict of { vertex : int; net1 : int; net2 : int }
+  | Disconnected of { net : int; sink : int }
+  | Dangling of { net : int; vertex : int }
+  | Via_adjacency of { site1 : int; site2 : int }
+      (** edge ids of two conflicting vias *)
+  | Shape_side of { rep : int; net : int }
+      (** a via shape entered through two members on one side *)
+  | Shape_blocking of { rep : int; net : int; other : int; vertex : int }
+  | Sadp_conflict of { v1 : int; side1 : int; v2 : int; side2 : int }
+
+val check :
+  rules:Optrouter_tech.Rules.t ->
+  Graph.t ->
+  Route.solution ->
+  violation list
+
+val pp_violation :
+  Graph.t -> Format.formatter -> violation -> unit

@@ -1,0 +1,53 @@
+
+
+type net_route = { net : int; edges : int list }
+type metrics = { wirelength : int; vias : int; cost : int }
+type solution = { routes : net_route array; metrics : metrics }
+
+let metrics_of (g : Graph.t) routes =
+  let wirelength = ref 0 and vias = ref 0 and cost = ref 0 in
+  Array.iter
+    (fun r ->
+      List.iter
+        (fun id ->
+          let e = g.edges.(id) in
+          cost := !cost + e.Graph.cost;
+          match e.Graph.kind with
+          | Graph.Wire _ -> incr wirelength
+          | Graph.Via _ -> incr vias
+          | Graph.Shape_lower _ ->
+            (* one lower edge per via-shape use: counts the instance *)
+            incr vias
+          | Graph.Shape_upper _ | Graph.Access -> ())
+        r.edges)
+    routes;
+  { wirelength = !wirelength; vias = !vias; cost = !cost }
+
+let uses_edge sol id =
+  let found = ref None in
+  Array.iter
+    (fun r -> if List.mem id r.edges then found := Some r.net)
+    sol.routes;
+  !found
+
+let edge_set sol ~net =
+  let tbl = Hashtbl.create 64 in
+  Array.iter
+    (fun r -> if r.net = net then List.iter (fun id -> Hashtbl.replace tbl id ()) r.edges)
+    sol.routes;
+  fun id -> Hashtbl.mem tbl id
+
+let pp (g : Graph.t) ppf sol =
+  Format.fprintf ppf "@[<v>cost=%d wl=%d vias=%d" sol.metrics.cost
+    sol.metrics.wirelength sol.metrics.vias;
+  Array.iter
+    (fun r ->
+      Format.fprintf ppf "@ net %s:" g.nets.(r.net).Graph.n_name;
+      List.iter
+        (fun id ->
+          let e = g.edges.(id) in
+          Format.fprintf ppf " %a-%a" (Graph.pp_vertex g) e.Graph.u
+            (Graph.pp_vertex g) e.Graph.v)
+        r.edges)
+    sol.routes;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,27 @@
+(** Decoded routing solutions and their metrics. *)
+
+type net_route = {
+  net : int;
+  edges : int list;  (** edge ids of {!Graph.t} used by the net *)
+}
+
+type metrics = {
+  wirelength : int;  (** number of in-layer track segments *)
+  vias : int;  (** single-site vias plus via-shape instances *)
+  cost : int;  (** weighted routing cost: wirelength + via weights *)
+}
+
+type solution = { routes : net_route array; metrics : metrics }
+
+(** [metrics_of graph routes] recomputes the metrics from the edge sets. A
+    via-shape instance counts as one via however many member edges tie it
+    in; access edges count as neither wire nor via. *)
+val metrics_of : Graph.t -> net_route array -> metrics
+
+(** [uses_edge solution edge_id] is the net using the edge, if any. *)
+val uses_edge : solution -> int -> int option
+
+(** Edge ids of a given net's route, as a set membership test. *)
+val edge_set : solution -> net:int -> (int -> bool)
+
+val pp : Graph.t -> Format.formatter -> solution -> unit

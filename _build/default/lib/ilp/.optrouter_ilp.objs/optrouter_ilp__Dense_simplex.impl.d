@@ -1,0 +1,1 @@
+lib/ilp/dense_simplex.ml: Array Float List Lp

@@ -1,0 +1,1 @@
+lib/ilp/dense_simplex.mli: Lp

@@ -1,0 +1,1 @@
+lib/ilp/lp.ml: Array Float Format Fun Hashtbl Int List Option Printf

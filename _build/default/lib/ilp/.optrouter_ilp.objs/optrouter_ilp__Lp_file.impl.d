@@ -1,0 +1,1 @@
+lib/ilp/lp_file.ml: Array Float Format Hashtbl List Lp Option Printf Result String

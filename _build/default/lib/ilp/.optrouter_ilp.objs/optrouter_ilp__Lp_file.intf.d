@@ -1,0 +1,1 @@
+lib/ilp/lp_file.mli: Format Lp Result

@@ -1,0 +1,1 @@
+lib/ilp/milp.ml: Array Float List Logs Lp Option Presolve Simplex Sys

@@ -1,0 +1,1 @@
+lib/ilp/presolve.ml: Array Float Fun List Lp Printf

@@ -1,0 +1,1 @@
+lib/ilp/simplex.ml: Array Float Int List Lp Option Printf Sys

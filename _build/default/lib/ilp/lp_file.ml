@@ -1,0 +1,304 @@
+(* LP-format identifiers may not contain a few reserved characters; our
+   generated names are already clean, but sanitise defensively. *)
+let clean name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '.' | '(' | ')' -> c
+      | _ -> '_')
+    name
+
+let pp_terms ppf (lp : Lp.t) terms =
+  let first = ref true in
+  List.iter
+    (fun (j, a) ->
+      let name = clean lp.vars.(j).Lp.v_name in
+      if !first then begin
+        Format.fprintf ppf "%g %s" a name;
+        first := false
+      end
+      else if a >= 0.0 then Format.fprintf ppf " + %g %s" a name
+      else Format.fprintf ppf " - %g %s" (Float.abs a) name)
+    terms;
+  if !first then Format.pp_print_string ppf "0"
+
+let pp ppf (lp : Lp.t) =
+  Format.fprintf ppf "Minimize@.  obj: ";
+  let obj_terms = ref [] in
+  Array.iteri
+    (fun j (v : Lp.var) -> if v.obj <> 0.0 then obj_terms := (j, v.obj) :: !obj_terms)
+    lp.vars;
+  pp_terms ppf lp (List.rev !obj_terms);
+  Format.fprintf ppf "@.Subject To@.";
+  Array.iter
+    (fun (row : Lp.row) ->
+      Format.fprintf ppf "  %s: " (clean row.r_name);
+      pp_terms ppf lp (Array.to_list row.coeffs);
+      let op =
+        match row.sense with Lp.Le -> "<=" | Lp.Ge -> ">=" | Lp.Eq -> "="
+      in
+      Format.fprintf ppf " %s %g@." op row.rhs)
+    lp.rows;
+  Format.fprintf ppf "Bounds@.";
+  Array.iter
+    (fun (v : Lp.var) ->
+      let name = clean v.v_name in
+      match (v.lower, v.upper) with
+      | l, u when l = neg_infinity && u = infinity ->
+        Format.fprintf ppf "  %s free@." name
+      | l, u when u = infinity -> Format.fprintf ppf "  %s >= %g@." name l
+      | l, u when l = neg_infinity -> Format.fprintf ppf "  %s <= %g@." name u
+      | l, u -> Format.fprintf ppf "  %g <= %s <= %g@." l name u)
+    lp.vars;
+  let integers =
+    Array.to_list lp.vars
+    |> List.filter_map (fun (v : Lp.var) ->
+           match v.kind with
+           | Lp.Integer -> Some (clean v.v_name)
+           | Lp.Continuous -> None)
+  in
+  if integers <> [] then begin
+    Format.fprintf ppf "General@.";
+    List.iter (fun name -> Format.fprintf ppf "  %s@." name) integers
+  end;
+  Format.fprintf ppf "End@."
+
+let to_string lp = Format.asprintf "%a" pp lp
+
+let write_file path lp =
+  let oc = open_out path in
+  let ppf = Format.formatter_of_out_channel oc in
+  pp ppf lp;
+  Format.pp_print_flush ppf ();
+  close_out oc
+
+(* ------------------------------------------------------------------ *)
+(* Parser for the subset of the LP format the printer emits.            *)
+(* ------------------------------------------------------------------ *)
+
+type section = In_objective | In_constraints | In_bounds | In_general | Done
+
+type pstate = {
+  mutable section : section;
+  mutable maximize : bool;
+  vars : (string, int) Hashtbl.t;  (* name -> index *)
+  mutable order : string list;  (* reverse order of first appearance *)
+  mutable nvars : int;
+  obj : (int, float) Hashtbl.t;
+  mutable rows : (string * (int * float) list * Lp.sense * float) list;
+  bounds : (int, float * float) Hashtbl.t;
+  integers : (int, unit) Hashtbl.t;
+}
+
+let tokenize line =
+  (* split on spaces, then further split glued +/- signs off numbers *)
+  String.split_on_char ' ' line
+  |> List.concat_map (fun t -> String.split_on_char '\t' t)
+  |> List.filter (fun t -> t <> "")
+
+let var_index st name =
+  match Hashtbl.find_opt st.vars name with
+  | Some i -> i
+  | None ->
+    let i = st.nvars in
+    Hashtbl.replace st.vars name i;
+    st.order <- name :: st.order;
+    st.nvars <- i + 1;
+    i
+
+(* Parse a linear expression given as alternating [sign] coeff var tokens,
+   e.g. ["3"; "x"; "+"; "2"; "y"; "-"; "z"]. Returns (terms, rest) where
+   rest starts at the first token that is neither sign, number nor
+   identifier-after-number. *)
+let parse_linear st tokens =
+  let terms = ref [] in
+  let rec go sign = function
+    | "+" :: rest -> go 1.0 rest
+    | "-" :: rest -> go (-1.0) rest
+    | tok :: rest -> (
+      match float_of_string_opt tok with
+      | Some c -> (
+        match rest with
+        | v :: rest' when float_of_string_opt v = None ->
+          terms := (var_index st v, sign *. c) :: !terms;
+          go 1.0 rest'
+        | _ ->
+          (* bare constant (e.g. the "0" an empty objective prints):
+             a harmless offset, ignore it *)
+          go 1.0 rest)
+      | None ->
+        (* implicit coefficient 1 *)
+        terms := (var_index st tok, sign) :: !terms;
+        go 1.0 rest)
+    | [] -> Ok (List.rev !terms)
+  and go_start = function
+    | [] -> Ok []
+    | toks -> go 1.0 toks
+  in
+  go_start tokens
+
+let split_relation tokens =
+  let rec go acc = function
+    | ("<=" | "<") :: rest -> Some (List.rev acc, Lp.Le, rest)
+    | (">=" | ">") :: rest -> Some (List.rev acc, Lp.Ge, rest)
+    | "=" :: rest -> Some (List.rev acc, Lp.Eq, rest)
+    | tok :: rest -> go (tok :: acc) rest
+    | [] -> None
+  in
+  go [] tokens
+
+let of_string text =
+  let ( let* ) = Result.bind in
+  let st =
+    {
+      section = Done;
+      maximize = false;
+      vars = Hashtbl.create 64;
+      order = [];
+      nvars = 0;
+      obj = Hashtbl.create 64;
+      rows = [];
+      bounds = Hashtbl.create 64;
+      integers = Hashtbl.create 16;
+    }
+  in
+  let strip_label tokens =
+    match tokens with
+    | t :: rest when String.length t > 0 && t.[String.length t - 1] = ':' ->
+      (String.sub t 0 (String.length t - 1), rest)
+    | _ -> ("", tokens)
+  in
+  let parse_line line =
+    let trimmed = String.trim line in
+    if trimmed = "" || trimmed.[0] = '\\' then Ok ()
+    else
+      match String.lowercase_ascii trimmed with
+      | "minimize" | "min" ->
+        st.section <- In_objective;
+        st.maximize <- false;
+        Ok ()
+      | "maximize" | "max" ->
+        st.section <- In_objective;
+        st.maximize <- true;
+        Ok ()
+      | "subject to" | "st" | "s.t." ->
+        st.section <- In_constraints;
+        Ok ()
+      | "bounds" ->
+        st.section <- In_bounds;
+        Ok ()
+      | "general" | "binary" | "binaries" | "integers" ->
+        st.section <- In_general;
+        Ok ()
+      | "end" ->
+        st.section <- Done;
+        Ok ()
+      | _ -> (
+        let tokens = tokenize trimmed in
+        match st.section with
+        | In_objective ->
+          let _, tokens = strip_label tokens in
+          let* terms = parse_linear st tokens in
+          List.iter
+            (fun (j, c) ->
+              let prev = Option.value ~default:0.0 (Hashtbl.find_opt st.obj j) in
+              Hashtbl.replace st.obj j (prev +. c))
+            terms;
+          Ok ()
+        | In_constraints -> (
+          let label, tokens = strip_label tokens in
+          match split_relation tokens with
+          | None -> Error (Printf.sprintf "row %S: no relation" trimmed)
+          | Some (lhs, sense, rhs) -> (
+            let* terms = parse_linear st lhs in
+            match rhs with
+            | [ r ] -> (
+              match float_of_string_opt r with
+              | Some rhs ->
+                let name =
+                  if label = "" then Printf.sprintf "r%d" (List.length st.rows)
+                  else label
+                in
+                st.rows <- (name, terms, sense, rhs) :: st.rows;
+                Ok ()
+              | None -> Error (Printf.sprintf "bad rhs %S" r))
+            | _ -> Error (Printf.sprintf "row %S: malformed rhs" trimmed)))
+        | In_bounds -> (
+          (* forms: "x free" | "l <= x <= u" | "x >= l" | "x <= u" *)
+          let num tok =
+            match String.lowercase_ascii tok with
+            | "-inf" | "-infinity" -> Some neg_infinity
+            | "+inf" | "inf" | "+infinity" | "infinity" -> Some infinity
+            | _ -> float_of_string_opt tok
+          in
+          match tokens with
+          | [ v; f ] when String.lowercase_ascii f = "free" ->
+            Hashtbl.replace st.bounds (var_index st v) (neg_infinity, infinity);
+            Ok ()
+          | [ l; "<="; v; "<="; u ] -> (
+            match (num l, num u) with
+            | Some l, Some u ->
+              Hashtbl.replace st.bounds (var_index st v) (l, u);
+              Ok ()
+            | _ -> Error (Printf.sprintf "bad bounds %S" trimmed))
+          | [ v; ">="; l ] -> (
+            match num l with
+            | Some l ->
+              let _, u =
+                Option.value ~default:(0.0, infinity)
+                  (Hashtbl.find_opt st.bounds (var_index st v))
+              in
+              Hashtbl.replace st.bounds (var_index st v) (l, u);
+              Ok ()
+            | None -> Error (Printf.sprintf "bad bound %S" trimmed))
+          | [ v; "<="; u ] -> (
+            match num u with
+            | Some u ->
+              let l, _ =
+                Option.value ~default:(0.0, infinity)
+                  (Hashtbl.find_opt st.bounds (var_index st v))
+              in
+              Hashtbl.replace st.bounds (var_index st v) (l, u);
+              Ok ()
+            | None -> Error (Printf.sprintf "bad bound %S" trimmed))
+          | _ -> Error (Printf.sprintf "bad bounds line %S" trimmed))
+        | In_general ->
+          List.iter
+            (fun v -> Hashtbl.replace st.integers (var_index st v) ())
+            tokens;
+          Ok ()
+        | Done -> Error (Printf.sprintf "content outside sections: %S" trimmed))
+  in
+  let* () =
+    List.fold_left
+      (fun acc line ->
+        let* () = acc in
+        parse_line line)
+      (Ok ())
+      (String.split_on_char '\n' text)
+  in
+  let b = Lp.Builder.create () in
+  let names = Array.of_list (List.rev st.order) in
+  Array.iteri
+    (fun j name ->
+      let lower, upper =
+        Option.value ~default:(0.0, infinity) (Hashtbl.find_opt st.bounds j)
+      in
+      let obj =
+        let c = Option.value ~default:0.0 (Hashtbl.find_opt st.obj j) in
+        if st.maximize then -.c else c
+      in
+      let kind = if Hashtbl.mem st.integers j then Lp.Integer else Lp.Continuous in
+      ignore (Lp.Builder.add_var b ~name ~lower ~upper ~obj kind))
+    names;
+  List.iter
+    (fun (name, terms, sense, rhs) -> Lp.Builder.add_row b ~name terms sense rhs)
+    (List.rev st.rows);
+  Ok (Lp.Builder.finish b)
+
+let read_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  of_string s

@@ -1,0 +1,18 @@
+(** CPLEX LP-format export.
+
+    Handy for eyeballing formulations and for replaying an instance in an
+    external solver. Only the subset of the format we need is emitted:
+    objective, constraints, bounds and a [General]/[Binary] section. *)
+
+val pp : Format.formatter -> Lp.t -> unit
+val to_string : Lp.t -> string
+val write_file : string -> Lp.t -> unit
+
+(** [of_string s] parses the same LP-format subset the printer emits:
+    [Minimize]/[Maximize] with one objective line, [Subject To], [Bounds],
+    [General]/[Binary] and [End]. Maximisation is converted to
+    minimisation by negating the objective. Unknown variables appearing
+    only in the objective or rows get default bounds [0, +inf). *)
+val of_string : string -> (Lp.t, string) Result.t
+
+val read_file : string -> (Lp.t, string) Result.t

@@ -1,0 +1,257 @@
+type outcome = Proved_optimal | Feasible | Infeasible | Unbounded | Unknown
+
+type result = {
+  outcome : outcome;
+  objective : float;
+  x : float array;
+  nodes : int;
+  best_bound : float;
+  simplex_iterations : int;
+}
+
+type params = {
+  max_nodes : int;
+  time_limit_s : float option;
+  integrality_tol : float;
+  log : bool;
+}
+
+let default_params =
+  { max_nodes = 500_000; time_limit_s = None; integrality_tol = 1e-6; log = false }
+
+let src = Logs.Src.create "optrouter.milp" ~doc:"branch and bound"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type node = {
+  lower : float array;
+  upper : float array;
+  warm : Simplex.basis option;
+  parent_bound : float;
+  depth : int;
+}
+
+let is_near_integer tol v = Float.abs (v -. Float.round v) <= tol
+
+(* LP bounds may be rounded up to the next integer only when the objective
+   is guaranteed integral at every feasible integral point: each variable
+   with a nonzero cost must be an integer variable with an integer cost. *)
+let objective_is_integral (lp : Lp.t) =
+  Array.for_all
+    (fun (v : Lp.var) ->
+      v.obj = 0.0 || (v.kind = Lp.Integer && is_near_integer 1e-12 v.obj))
+    lp.vars
+
+(* Branching variable: fractionality weighted by objective coefficient, so
+   expensive decisions (vias, in the routing instances) are fixed first —
+   they move the bound fastest. *)
+let most_fractional tol (lp : Lp.t) x =
+  let best = ref None in
+  Array.iteri
+    (fun j (v : Lp.var) ->
+      if v.kind = Lp.Integer then begin
+        let f = x.(j) -. Float.of_int (int_of_float (Float.floor x.(j))) in
+        let dist = Float.min f (1.0 -. f) in
+        if dist > tol then begin
+          let score = dist *. (1.0 +. Float.abs v.obj) in
+          match !best with
+          | Some (_, s) when s >= score -> ()
+          | Some _ | None -> best := Some (j, score)
+        end
+      end)
+    lp.vars;
+  Option.map fst !best
+
+let rec solve ?(params = default_params) ?(presolve = false) ?initial ?cutoff
+    (lp : Lp.t) =
+  if presolve then
+    match Presolve.presolve lp with
+    | Presolve.Infeasible _ ->
+      {
+        outcome = Infeasible;
+        objective = infinity;
+        x = Array.make (Lp.nvars lp) 0.0;
+        nodes = 0;
+        best_bound = infinity;
+        simplex_iterations = 0;
+      }
+    | Presolve.Reduced (lp', m) ->
+      let offset = Presolve.objective_offset m in
+      let initial = Option.map (Presolve.project m) initial in
+      let cutoff = Option.map (fun c -> c -. offset) cutoff in
+      let res = solve ~params ~presolve:false ?initial ?cutoff lp' in
+      {
+        res with
+        objective = res.objective +. offset;
+        best_bound = res.best_bound +. offset;
+        x = (if Array.length res.x = Lp.nvars lp' then Presolve.restore m res.x else res.x);
+      }
+  else solve_unreduced ~params ?initial ?cutoff lp
+
+and solve_unreduced ~params ?initial ?cutoff (lp : Lp.t) =
+  let inst = Simplex.Instance.create lp in
+  let n = Lp.nvars lp in
+  let start = Sys.time () in
+  let out_of_time () =
+    match params.time_limit_s with
+    | None -> false
+    | Some limit -> Sys.time () -. start > limit
+  in
+  let integral_obj = objective_is_integral lp in
+  let round_bound b = if integral_obj then Float.ceil (b -. 1e-6) else b in
+  let incumbent = ref None in
+  let incumbent_obj = ref (Option.value cutoff ~default:infinity) in
+  (match initial with
+  | Some x0
+    when Array.length x0 = n
+         && Lp.is_feasible lp x0
+         && Lp.is_integral ~tol:params.integrality_tol lp x0 ->
+    let obj = Lp.objective_value lp x0 in
+    if obj < !incumbent_obj then begin
+      incumbent := Some (Array.copy x0);
+      incumbent_obj := obj
+    end
+  | Some _ | None -> ());
+  let nodes = ref 0 in
+  let iters = ref 0 in
+  let hit_limit = ref false in
+  let root_unbounded = ref false in
+  let root_lower = Array.map (fun (v : Lp.var) -> v.lower) lp.vars in
+  let root_upper = Array.map (fun (v : Lp.var) -> v.upper) lp.vars in
+  let stack =
+    ref
+      [
+        {
+          lower = root_lower;
+          upper = root_upper;
+          warm = None;
+          parent_bound = neg_infinity;
+          depth = 0;
+        };
+      ]
+  in
+  let numerical_trouble = ref false in
+  let deadline_s = Option.map (fun l -> start +. l) params.time_limit_s in
+  let solve_lp node =
+    let attempt basis =
+      Simplex.Instance.solve ?basis ~lower:node.lower ~upper:node.upper
+        ?deadline_s inst
+    in
+    match attempt node.warm with
+    | r -> Some r
+    | exception Simplex.Numerical_failure _ when out_of_time () ->
+      (* past the global budget: do not even try a cold re-solve *)
+      numerical_trouble := true;
+      None
+    | exception Simplex.Numerical_failure _ -> (
+      (* A stale warm basis occasionally defeats the factorisation; a cold
+         start is slower but always well-posed. If even that fails, the
+         node cannot be resolved safely: the search degrades to a limit. *)
+      match attempt None with
+      | r -> Some r
+      | exception Simplex.Numerical_failure _ ->
+        numerical_trouble := true;
+        None)
+  in
+  let record_incumbent res =
+    if res.Simplex.objective < !incumbent_obj -. 1e-9 then begin
+      incumbent := Some (Array.copy res.Simplex.x);
+      incumbent_obj := res.Simplex.objective;
+      if params.log then
+        Log.info (fun m ->
+            m "node %d: incumbent %.6g" !nodes res.Simplex.objective)
+    end
+  in
+  let branch node res j =
+    let xj = res.Simplex.x.(j) in
+    let fl = Float.floor xj and ce = Float.ceil xj in
+    let down =
+      let upper = Array.copy node.upper in
+      upper.(j) <- fl;
+      {
+        upper;
+        lower = node.lower;
+        warm = Some res.Simplex.basis;
+        parent_bound = res.Simplex.objective;
+        depth = node.depth + 1;
+      }
+    in
+    let up =
+      let lower = Array.copy node.lower in
+      lower.(j) <- ce;
+      {
+        lower;
+        upper = node.upper;
+        warm = Some res.Simplex.basis;
+        parent_bound = res.Simplex.objective;
+        depth = node.depth + 1;
+      }
+    in
+    (* Explore the rounding-preferred side first (it is pushed last). *)
+    if xj -. fl <= 0.5 then stack := down :: up :: !stack
+    else stack := up :: down :: !stack
+  in
+  let rec run () =
+    match !stack with
+    | [] -> ()
+    | node :: rest ->
+      stack := rest;
+      if !nodes >= params.max_nodes || out_of_time () then begin
+        (* Put the node back so its bound still counts toward the gap. *)
+        stack := node :: rest;
+        hit_limit := true
+      end
+      else begin
+        incr nodes;
+        if round_bound node.parent_bound < !incumbent_obj -. 1e-9 then begin
+          match solve_lp node with
+          | None ->
+            (* unresolved node: keep it so the bound stays honest *)
+            stack := node :: !stack;
+            hit_limit := true
+          | Some res ->
+          iters := !iters + res.Simplex.iterations;
+          (match res.Simplex.status with
+          | Simplex.Infeasible -> ()
+          | Simplex.Unbounded ->
+            if node.depth = 0 then root_unbounded := true
+            else
+              (* bounds only tighten below the root, so a truly unbounded
+                 child implies an unbounded root; treat conservatively *)
+              root_unbounded := true
+          | Simplex.Optimal ->
+            let bound = round_bound res.Simplex.objective in
+            if bound < !incumbent_obj -. 1e-9 then begin
+              match most_fractional params.integrality_tol lp res.Simplex.x with
+              | None -> record_incumbent res
+              | Some j -> branch node res j
+            end);
+          if not !root_unbounded then run ()
+        end
+        else run ()
+      end
+  in
+  run ();
+  let best_bound =
+    if !root_unbounded then neg_infinity
+    else
+      List.fold_left
+        (fun acc node -> Float.min acc (round_bound node.parent_bound))
+        !incumbent_obj !stack
+  in
+  let outcome, objective, x =
+    if !root_unbounded then (Unbounded, neg_infinity, Array.make n 0.0)
+    else
+      match !incumbent with
+      | Some x when (not !hit_limit) && !stack = [] ->
+        (Proved_optimal, !incumbent_obj, x)
+      | Some x -> (Feasible, !incumbent_obj, x)
+      | None when cutoff <> None && (not !hit_limit) && !stack = [] ->
+        (* nothing strictly better than the external solution exists *)
+        (Proved_optimal, !incumbent_obj, [||])
+      | None when cutoff <> None -> (Feasible, !incumbent_obj, [||])
+      | None when (not !hit_limit) && !stack = [] ->
+        (Infeasible, infinity, Array.make n 0.0)
+      | None -> (Unknown, infinity, Array.make n 0.0)
+  in
+  { outcome; objective; x; nodes = !nodes; best_bound; simplex_iterations = !iters }

@@ -1,0 +1,58 @@
+(** Branch-and-bound solver for mixed integer linear programs.
+
+    Solves the LP relaxation with {!Simplex}, branches on the most
+    fractional [Integer] variable, and explores depth-first (taking the
+    rounding-preferred child first) with warm-started bases. When every
+    variable carrying a nonzero objective coefficient is integral with an
+    integral coefficient, LP bounds are rounded up, which prunes much
+    earlier on routing instances whose costs are small integers. *)
+
+type outcome =
+  | Proved_optimal
+  | Feasible  (** a limit was hit; [x] holds the best incumbent found *)
+  | Infeasible
+  | Unbounded
+  | Unknown  (** a limit was hit before any incumbent was found *)
+
+type result = {
+  outcome : outcome;
+  objective : float;  (** incumbent objective; meaningless for [Infeasible]/[Unknown] *)
+  x : float array;
+  nodes : int;
+  best_bound : float;  (** global lower bound at termination *)
+  simplex_iterations : int;
+}
+
+type params = {
+  max_nodes : int;
+  time_limit_s : float option;  (** CPU seconds, measured with [Sys.time] *)
+  integrality_tol : float;
+  log : bool;
+}
+
+val default_params : params
+
+(** [solve ?params ?initial ?cutoff lp] minimizes.
+
+    [initial], when given, is a known feasible integral point used as the
+    starting incumbent (it is re-validated; an infeasible or fractional
+    point is silently ignored). Providing a good initial solution — e.g.
+    from a problem-specific heuristic — lets the very first bound
+    comparisons prune, which on routing instances routinely collapses the
+    tree to a handful of nodes.
+
+    [cutoff] is a weaker form: only the objective of a known solution.
+    Nodes that cannot beat it are pruned and only strictly better
+    incumbents are recorded; if the search completes without finding one,
+    the outcome is [Proved_optimal] with [objective = cutoff] and an empty
+    [x] — the external solution was already optimal. *)
+val solve :
+  ?params:params ->
+  ?presolve:bool ->
+  ?initial:float array ->
+  ?cutoff:float ->
+  Lp.t ->
+  result
+(** [presolve] (default [false]) applies {!Presolve} first and lifts the
+    solution back; initial points and cutoffs are translated into the
+    reduced space automatically. *)

@@ -1,0 +1,177 @@
+type mapping = {
+  n_original : int;
+  keep : int array;  (** reduced index -> original index *)
+  fixed : (int * float) list;  (** original index -> pinned value *)
+  offset : float;
+  rows_removed : int;
+}
+
+type result = Reduced of Lp.t * mapping | Infeasible of string
+
+let removed m = (List.length m.fixed, m.rows_removed)
+let objective_offset m = m.offset
+
+let project m x_original =
+  Array.map (fun o -> x_original.(o)) m.keep
+
+let restore m x_reduced =
+  let x = Array.make m.n_original 0.0 in
+  Array.iteri (fun r o -> x.(o) <- x_reduced.(r)) m.keep;
+  List.iter (fun (o, v) -> x.(o) <- v) m.fixed;
+  x
+
+(* Working state: mutable bounds plus an alive flag per variable/row. *)
+type work = {
+  lp : Lp.t;
+  lo : float array;
+  up : float array;
+  var_alive : bool array;
+  row_alive : bool array;
+  mutable changed : bool;
+}
+
+let feq a b = Float.abs (a -. b) <= 1e-12
+
+let round_integer_bounds (w : work) j =
+  match w.lp.vars.(j).Lp.kind with
+  | Lp.Continuous -> ()
+  | Lp.Integer ->
+    if w.lo.(j) > neg_infinity then w.lo.(j) <- Float.ceil (w.lo.(j) -. 1e-9);
+    if w.up.(j) < infinity then w.up.(j) <- Float.floor (w.up.(j) +. 1e-9)
+
+(* Remaining activity of a row over alive variables, treating dead
+   (fixed) variables as constants folded into [rhs]. Returns the live
+   coefficients and the adjusted rhs. *)
+let live_row (w : work) (row : Lp.row) =
+  let rhs = ref row.Lp.rhs in
+  let live = ref [] in
+  Array.iter
+    (fun (j, a) ->
+      if w.var_alive.(j) then live := (j, a) :: !live
+      else rhs := !rhs -. (a *. w.lo.(j) (* dead => lo = up = value *)))
+    row.Lp.coeffs;
+  (List.rev !live, !rhs)
+
+let tighten (w : work) j lo' up' =
+  if lo' > w.lo.(j) +. 1e-12 then begin
+    w.lo.(j) <- lo';
+    w.changed <- true
+  end;
+  if up' < w.up.(j) -. 1e-12 then begin
+    w.up.(j) <- up';
+    w.changed <- true
+  end;
+  round_integer_bounds w j
+
+let pass (w : work) =
+  let error = ref None in
+  let fail msg = if !error = None then error := Some msg in
+  (* fix variables with equal bounds *)
+  for j = 0 to Lp.nvars w.lp - 1 do
+    if w.var_alive.(j) then begin
+      if w.lo.(j) > w.up.(j) +. 1e-9 then
+        fail
+          (Printf.sprintf "variable %s has empty domain [%g, %g]"
+             w.lp.vars.(j).Lp.v_name w.lo.(j) w.up.(j))
+      else if
+        w.lo.(j) > neg_infinity && w.up.(j) < infinity && feq w.lo.(j) w.up.(j)
+      then begin
+        (* normalise the pinned value exactly and retire the variable *)
+        w.up.(j) <- w.lo.(j);
+        w.var_alive.(j) <- false;
+        w.changed <- true
+      end
+    end
+  done;
+  (* simplify rows *)
+  Array.iteri
+    (fun r (row : Lp.row) ->
+      if w.row_alive.(r) && !error = None then begin
+        let live, rhs = live_row w row in
+        match live with
+        | [] ->
+          let ok =
+            match row.Lp.sense with
+            | Lp.Le -> 0.0 <= rhs +. 1e-9
+            | Lp.Ge -> 0.0 >= rhs -. 1e-9
+            | Lp.Eq -> Float.abs rhs <= 1e-9
+          in
+          if ok then begin
+            w.row_alive.(r) <- false;
+            w.changed <- true
+          end
+          else fail (Printf.sprintf "row %s is unsatisfiable" row.Lp.r_name)
+        | [ (j, a) ] ->
+          (* singleton: turn into a bound and drop the row *)
+          let bound = rhs /. a in
+          (match (row.Lp.sense, a > 0.0) with
+          | Lp.Le, true | Lp.Ge, false -> tighten w j neg_infinity bound
+          | Lp.Ge, true | Lp.Le, false -> tighten w j bound infinity
+          | Lp.Eq, _ -> tighten w j bound bound);
+          w.row_alive.(r) <- false;
+          w.changed <- true
+        | _ :: _ :: _ -> ()
+      end)
+    w.lp.rows;
+  !error
+
+let presolve (lp : Lp.t) =
+  let n = Lp.nvars lp in
+  let w =
+    {
+      lp;
+      lo = Array.map (fun (v : Lp.var) -> v.Lp.lower) lp.vars;
+      up = Array.map (fun (v : Lp.var) -> v.Lp.upper) lp.vars;
+      var_alive = Array.make n true;
+      row_alive = Array.make (Lp.nrows lp) true;
+      changed = true;
+    }
+  in
+  let error = ref None in
+  let guard = ref 0 in
+  while w.changed && !error = None && !guard < 100 do
+    w.changed <- false;
+    incr guard;
+    error := pass w
+  done;
+  match !error with
+  | Some msg -> Infeasible msg
+  | None ->
+    let keep =
+      Array.of_list
+        (List.filter (fun j -> w.var_alive.(j)) (List.init n Fun.id))
+    in
+    let reduced_index = Array.make n (-1) in
+    Array.iteri (fun r o -> reduced_index.(o) <- r) keep;
+    let fixed =
+      List.filter_map
+        (fun j -> if w.var_alive.(j) then None else Some (j, w.lo.(j)))
+        (List.init n Fun.id)
+    in
+    let offset =
+      List.fold_left (fun acc (j, v) -> acc +. (lp.vars.(j).Lp.obj *. v)) 0.0 fixed
+    in
+    let b = Lp.Builder.create () in
+    Array.iter
+      (fun o ->
+        let v = lp.vars.(o) in
+        (* sub-tolerance bound crossings survive the infeasibility check;
+           collapse them rather than trip the builder's validation *)
+        let lower = Float.min w.lo.(o) w.up.(o) in
+        ignore
+          (Lp.Builder.add_var b ~name:v.Lp.v_name ~lower ~upper:w.up.(o)
+             ~obj:v.Lp.obj v.Lp.kind))
+      keep;
+    let rows_removed = ref 0 in
+    Array.iteri
+      (fun r (row : Lp.row) ->
+        if not w.row_alive.(r) then incr rows_removed
+        else begin
+          let live, rhs = live_row w row in
+          let coeffs = List.map (fun (j, a) -> (reduced_index.(j), a)) live in
+          Lp.Builder.add_row b ~name:row.Lp.r_name coeffs row.Lp.sense rhs
+        end)
+      lp.rows;
+    Reduced
+      ( Lp.Builder.finish b,
+        { n_original = n; keep; fixed; offset; rows_removed = !rows_removed } )

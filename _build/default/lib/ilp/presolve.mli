@@ -1,0 +1,44 @@
+(** LP/MILP presolve: cheap reductions applied before the simplex.
+
+    Implemented reductions, iterated to a fixed point:
+
+    - {e empty rows}: [0 <= rhs]-style rows are dropped when trivially
+      satisfied and reported as infeasible otherwise;
+    - {e fixed variables} ([lower = upper]): substituted into every row's
+      right-hand side and removed from the problem;
+    - {e singleton rows} ([a x <= b] with one nonzero): converted into a
+      bound tightening on the variable and dropped. For [Integer]
+      variables the tightened bounds are rounded inward;
+    - {e inconsistent bounds} ([lower > upper] after tightening): reported
+      as infeasible.
+
+    The reduced problem's variables are a subset of the original's;
+    {!restore} lifts a reduced solution back to the original index space
+    (fixed variables get their pinned value). The objective value is
+    unchanged by construction: eliminated variables contribute their fixed
+    cost, which {!objective_offset} reports.
+
+    Presolve is optional equipment — the routing pipeline does not apply
+    it by default — but it is exact: optima before and after agree, which
+    the test suite checks by property. *)
+
+type mapping
+
+type result =
+  | Reduced of Lp.t * mapping
+  | Infeasible of string  (** human-readable reason *)
+
+val presolve : Lp.t -> result
+
+(** Number of variables / rows removed. *)
+val removed : mapping -> int * int
+
+(** Constant objective contribution of the eliminated fixed variables. *)
+val objective_offset : mapping -> float
+
+(** [restore mapping x_reduced] is a point in the original variable space. *)
+val restore : mapping -> float array -> float array
+
+(** [project mapping x_original] drops the eliminated variables — the
+    inverse of {!restore} on the kept coordinates. *)
+val project : mapping -> float array -> float array

@@ -1,0 +1,958 @@
+type vstat = Basic | At_lower | At_upper | Nb_free
+type basis = { vstat : vstat array; basic : int array }
+type status = Optimal | Infeasible | Unbounded
+
+type result = {
+  status : status;
+  objective : float;
+  x : float array;
+  duals : float array;
+  reduced_costs : float array;
+  basis : basis;
+  iterations : int;
+}
+
+exception Numerical_failure of string
+
+let dual_tol = 1e-9
+let feas_tol = 1e-7
+let zero_tol = 1e-12
+let pivot_tol = 1e-8
+let refactor_every = 128
+
+(* Eta matrix of the product-form inverse: identity with column [e_row]
+   replaced. [e_piv] is the diagonal entry; [e_idx]/[e_val] hold the
+   off-pivot entries of that column. *)
+type eta = {
+  e_row : int;
+  e_piv : float;
+  e_idx : int array;
+  e_val : float array;
+}
+
+module Instance = struct
+  type t = {
+    lp : Lp.t;
+    n : int;
+    m : int;
+    ncols : int;
+    cidx : int array array;
+    cval : float array array;
+    base_lo : float array;
+    base_up : float array;
+    cost : float array;
+    rhs : float array;
+  }
+
+  let nvars t = t.n
+  let nrows t = t.m
+
+  (* Rows become equalities [a.x + s = rhs] with a bounded logical slack:
+     Le gives s in [0, inf), Ge gives s in (-inf, 0], Eq pins s to 0. *)
+  let create (lp : Lp.t) =
+    let n = Lp.nvars lp and m = Lp.nrows lp in
+    let ncols = n + m in
+    let counts = Array.make ncols 0 in
+    Array.iter
+      (fun (r : Lp.row) ->
+        Array.iter (fun (j, _) -> counts.(j) <- counts.(j) + 1) r.coeffs)
+      lp.rows;
+    for r = 0 to m - 1 do
+      counts.(n + r) <- 1
+    done;
+    let cidx = Array.map (fun c -> Array.make c 0) counts in
+    let cval = Array.map (fun c -> Array.make c 0.0) counts in
+    let fill = Array.make ncols 0 in
+    Array.iteri
+      (fun r (row : Lp.row) ->
+        Array.iter
+          (fun (j, a) ->
+            cidx.(j).(fill.(j)) <- r;
+            cval.(j).(fill.(j)) <- a;
+            fill.(j) <- fill.(j) + 1)
+          row.coeffs)
+      lp.rows;
+    for r = 0 to m - 1 do
+      cidx.(n + r).(0) <- r;
+      cval.(n + r).(0) <- 1.0
+    done;
+    let base_lo = Array.make ncols 0.0 and base_up = Array.make ncols 0.0 in
+    let cost = Array.make ncols 0.0 in
+    Array.iteri
+      (fun j (v : Lp.var) ->
+        base_lo.(j) <- v.lower;
+        base_up.(j) <- v.upper;
+        cost.(j) <- v.obj)
+      lp.vars;
+    Array.iteri
+      (fun r (row : Lp.row) ->
+        let lo, up =
+          match row.sense with
+          | Lp.Le -> (0.0, infinity)
+          | Lp.Ge -> (neg_infinity, 0.0)
+          | Lp.Eq -> (0.0, 0.0)
+        in
+        base_lo.(n + r) <- lo;
+        base_up.(n + r) <- up)
+      lp.rows;
+    let rhs = Array.map (fun (r : Lp.row) -> r.rhs) lp.rows in
+    { lp; n; m; ncols; cidx; cval; base_lo; base_up; cost; rhs }
+
+  type st = {
+    inst : t;
+    lo : float array;
+    up : float array;
+    vstat : vstat array;
+    basic : int array;
+    vpos : int array;
+    xb : float array;
+    w : float array;
+    y : float array;
+    mutable etas : eta array;
+    mutable neta : int;
+    mutable niter : int;
+    mutable pivots_since_refactor : int;
+    mutable bland : bool;
+    mutable degen_count : int;
+    mutable perturbed : bool;
+    mutable perturb_rounds : int;
+    perturb : float array;
+    mutable bounds_shifted : bool;
+    mutable orig_lo : float array;  (** saved when bounds are shifted *)
+    mutable orig_up : float array;
+  }
+
+  let push_eta st e =
+    if st.neta = Array.length st.etas then begin
+      let cap = max 64 (2 * st.neta) in
+      let bigger = Array.make cap e in
+      Array.blit st.etas 0 bigger 0 st.neta;
+      st.etas <- bigger
+    end;
+    st.etas.(st.neta) <- e;
+    st.neta <- st.neta + 1
+
+  let ftran st v =
+    for k = 0 to st.neta - 1 do
+      let e = st.etas.(k) in
+      let t = v.(e.e_row) in
+      if t <> 0.0 then begin
+        v.(e.e_row) <- e.e_piv *. t;
+        let idx = e.e_idx and vl = e.e_val in
+        for p = 0 to Array.length idx - 1 do
+          v.(idx.(p)) <- v.(idx.(p)) +. (vl.(p) *. t)
+        done
+      end
+    done
+
+  let btran st v =
+    for k = st.neta - 1 downto 0 do
+      let e = st.etas.(k) in
+      let s = ref (e.e_piv *. v.(e.e_row)) in
+      let idx = e.e_idx and vl = e.e_val in
+      for p = 0 to Array.length idx - 1 do
+        s := !s +. (vl.(p) *. v.(idx.(p)))
+      done;
+      v.(e.e_row) <- !s
+    done
+
+  let nb_value st j =
+    match st.vstat.(j) with
+    | At_lower -> st.lo.(j)
+    | At_upper -> st.up.(j)
+    | Nb_free -> 0.0
+    | Basic -> assert false
+
+  (* Snap a nonbasic variable onto a representable bound; used when warm
+     starting with changed bounds. *)
+  let normalize_nonbasic st j =
+    match st.vstat.(j) with
+    | Basic -> ()
+    | At_lower when st.lo.(j) > neg_infinity -> ()
+    | At_upper when st.up.(j) < infinity -> ()
+    | At_lower | At_upper | Nb_free ->
+      if st.lo.(j) > neg_infinity then st.vstat.(j) <- At_lower
+      else if st.up.(j) < infinity then st.vstat.(j) <- At_upper
+      else st.vstat.(j) <- Nb_free
+
+  let scatter_column st j v =
+    Array.fill v 0 st.inst.m 0.0;
+    let idx = st.inst.cidx.(j) and vl = st.inst.cval.(j) in
+    for p = 0 to Array.length idx - 1 do
+      v.(idx.(p)) <- vl.(p)
+    done
+
+  let compute_xb st =
+    let m = st.inst.m in
+    let r = Array.make m 0.0 in
+    Array.blit st.inst.rhs 0 r 0 m;
+    for j = 0 to st.inst.ncols - 1 do
+      if st.vstat.(j) <> Basic then begin
+        let v = nb_value st j in
+        if v <> 0.0 then begin
+          let idx = st.inst.cidx.(j) and vl = st.inst.cval.(j) in
+          for p = 0 to Array.length idx - 1 do
+            r.(idx.(p)) <- r.(idx.(p)) -. (vl.(p) *. v)
+          done
+        end
+      end
+    done;
+    ftran st r;
+    Array.blit r 0 st.xb 0 m
+
+  (* Rebuild the eta file from the current basis columns, repairing a
+     singular basis by substituting logical slacks. Columns are processed
+     sparsest-first (a poor man's Markowitz ordering), and unit slack
+     columns that land on an unassigned row produce no eta at all. *)
+  let refactor st =
+    let m = st.inst.m in
+    st.neta <- 0;
+    let assigned = Array.make m false in
+    let old_cols = Array.copy st.basic in
+    Array.sort
+      (fun j1 j2 ->
+        Int.compare (Array.length st.inst.cidx.(j1)) (Array.length st.inst.cidx.(j2)))
+      old_cols;
+    let dropped = ref [] in
+    let place j =
+      scatter_column st j st.w;
+      ftran st st.w;
+      let best = ref (-1) and best_mag = ref 0.0 in
+      for r = 0 to m - 1 do
+        if not assigned.(r) then begin
+          let mag = Float.abs st.w.(r) in
+          if mag > !best_mag then begin
+            best := r;
+            best_mag := mag
+          end
+        end
+      done;
+      if !best < 0 || !best_mag < pivot_tol then dropped := j :: !dropped
+      else begin
+        let r = !best in
+        assigned.(r) <- true;
+        st.basic.(r) <- j;
+        st.vpos.(j) <- r;
+        st.vstat.(j) <- Basic;
+        let piv = st.w.(r) in
+        (* Identity pivot on an otherwise-empty column needs no eta. *)
+        let nontrivial = ref (Float.abs (piv -. 1.0) > zero_tol) in
+        let cnt = ref 0 in
+        for i = 0 to m - 1 do
+          if i <> r && Float.abs st.w.(i) > zero_tol then begin
+            incr cnt;
+            nontrivial := true
+          end
+        done;
+        if !nontrivial then begin
+          let idx = Array.make !cnt 0 and vl = Array.make !cnt 0.0 in
+          let p = ref 0 in
+          for i = 0 to m - 1 do
+            if i <> r && Float.abs st.w.(i) > zero_tol then begin
+              idx.(!p) <- i;
+              vl.(!p) <- -.st.w.(i) /. piv;
+              incr p
+            end
+          done;
+          push_eta st { e_row = r; e_piv = 1.0 /. piv; e_idx = idx; e_val = vl }
+        end
+      end
+    in
+    Array.iter (fun j -> st.vpos.(j) <- -1) old_cols;
+    Array.iter place old_cols;
+    (* Kick singular columns out of the basis... *)
+    List.iter
+      (fun j ->
+        st.vstat.(j) <- At_lower;
+        normalize_nonbasic st j)
+      !dropped;
+    (* ...and let slacks of unassigned rows take their place. *)
+    for r = 0 to m - 1 do
+      if not assigned.(r) then begin
+        let s = st.inst.n + r in
+        if st.vstat.(s) = Basic then
+          raise (Numerical_failure "refactor: slack already basic on unassigned row");
+        place s;
+        if st.vpos.(s) < 0 then
+          raise (Numerical_failure "refactor: singular basis not repairable")
+      end
+    done;
+    st.pivots_since_refactor <- 0;
+    compute_xb st
+
+  let eta_nnz st =
+    let total = ref 0 in
+    for k = 0 to st.neta - 1 do
+      total := !total + 1 + Array.length st.etas.(k).e_idx
+    done;
+    !total
+
+  (* Throw a basis away and restart from the all-slack basis; the composite
+     phase 1 then restores feasibility. Used when a warm-start basis
+     factorises with catastrophic fill-in — iterating on a dense eta file
+     costs more than re-solving. *)
+  let cold_reset st =
+    let n = st.inst.n and m = st.inst.m in
+    st.neta <- 0;
+    for j = 0 to st.inst.ncols - 1 do
+      st.vpos.(j) <- -1;
+      st.vstat.(j) <- At_lower;
+      normalize_nonbasic st j
+    done;
+    for r = 0 to m - 1 do
+      st.basic.(r) <- n + r;
+      st.vstat.(n + r) <- Basic;
+      st.vpos.(n + r) <- r
+    done;
+    st.pivots_since_refactor <- 0;
+    compute_xb st
+
+  (* Primal degeneracy remedy (the EXPAND idea): shift every finite bound
+     outward by a tiny column-specific epsilon so basic variables are never
+     exactly at a bound and ratio tests make strictly positive steps. The
+     shift is withdrawn before optimality is declared; the residual
+     infeasibility is far below the feasibility tolerance of callers. *)
+  let shift_bounds st =
+    let ncols = st.inst.ncols in
+    if not st.bounds_shifted then begin
+      st.orig_lo <- Array.copy st.lo;
+      st.orig_up <- Array.copy st.up
+    end;
+    for j = 0 to ncols - 1 do
+      let h1 = float_of_int ((j + 1) * 40503 land 0xFFF) /. 4096.0 in
+      let h2 = float_of_int ((j + 7) * 48271 land 0xFFF) /. 4096.0 in
+      if st.lo.(j) > neg_infinity then
+        st.lo.(j) <- st.lo.(j) -. (1e-8 *. (1.0 +. h1));
+      if st.up.(j) < infinity then
+        st.up.(j) <- st.up.(j) +. (1e-8 *. (1.0 +. h2))
+    done;
+    st.bounds_shifted <- true;
+    compute_xb st
+
+  let unshift_bounds st =
+    if st.bounds_shifted then begin
+      Array.blit st.orig_lo 0 st.lo 0 (Array.length st.orig_lo);
+      Array.blit st.orig_up 0 st.up 0 (Array.length st.orig_up);
+      st.bounds_shifted <- false;
+      compute_xb st
+    end
+
+  type entering = { q : int; dir : float; dq : float }
+
+  (* Phase-1 objective: sum of bound violations of basic variables. Its
+     gradient with respect to basic variable values is -1 below the lower
+     bound, +1 above the upper bound, 0 otherwise. *)
+  (* Phase-2 cost with the anti-degeneracy perturbation applied. The
+     perturbation is a deterministic, column-specific epsilon far below the
+     cost scale; it breaks the massive ties routing LPs exhibit. It is
+     removed again before optimality is declared. *)
+  let cost_of st j =
+    if st.perturbed then st.inst.cost.(j) +. st.perturb.(j)
+    else st.inst.cost.(j)
+
+  let basic_phase1_cost st pos =
+    let j = st.basic.(pos) in
+    let x = st.xb.(pos) in
+    if x < st.lo.(j) -. feas_tol then -1.0
+    else if x > st.up.(j) +. feas_tol then 1.0
+    else 0.0
+
+  let infeasibility st =
+    let total = ref 0.0 in
+    for pos = 0 to st.inst.m - 1 do
+      let j = st.basic.(pos) in
+      let x = st.xb.(pos) in
+      if x < st.lo.(j) -. feas_tol then total := !total +. (st.lo.(j) -. x)
+      else if x > st.up.(j) +. feas_tol then total := !total +. (x -. st.up.(j))
+    done;
+    !total
+
+  let compute_duals st ~phase1 =
+    let m = st.inst.m in
+    for pos = 0 to m - 1 do
+      st.y.(pos) <-
+        (if phase1 then basic_phase1_cost st pos else cost_of st st.basic.(pos))
+    done;
+    btran st st.y
+
+  let reduced_cost st ~phase1 j =
+    let c = if phase1 then 0.0 else cost_of st j in
+    let idx = st.inst.cidx.(j) and vl = st.inst.cval.(j) in
+    let acc = ref c in
+    for p = 0 to Array.length idx - 1 do
+      acc := !acc -. (vl.(p) *. st.y.(idx.(p)))
+    done;
+    !acc
+
+  (* Dantzig pricing (largest violation), falling back to Bland's rule when
+     a long degenerate stall is detected. *)
+  let price st ~phase1 =
+    compute_duals st ~phase1;
+    let best = ref None in
+    let consider j dir dq =
+      let score = Float.abs dq in
+      match !best with
+      | Some (_, s) when not st.bland && s >= score -> ()
+      | Some _ when st.bland -> ()
+      | Some _ | None -> best := Some ({ q = j; dir; dq }, score)
+    in
+    (try
+       for j = 0 to st.inst.ncols - 1 do
+         (match st.vstat.(j) with
+         | Basic -> ()
+         | At_lower | At_upper | Nb_free ->
+           if st.up.(j) -. st.lo.(j) > zero_tol then begin
+             let d = reduced_cost st ~phase1 j in
+             match st.vstat.(j) with
+             | At_lower -> if d < -.dual_tol then consider j 1.0 d
+             | At_upper -> if d > dual_tol then consider j (-1.0) d
+             | Nb_free ->
+               if d < -.dual_tol then consider j 1.0 d
+               else if d > dual_tol then consider j (-1.0) d
+             | Basic -> ()
+           end);
+         if st.bland && !best <> None then raise Exit
+       done
+     with Exit -> ());
+    Option.map fst !best
+
+  type step_limit = Unlimited | Flip of float | Block of int * float * vstat
+
+  (* Bounded-variable ratio test with the conservative phase-1 convention:
+     an infeasible basic variable blocks as soon as it reaches the bound it
+     violates (where the phase-1 gradient would change). Ties are broken by
+     the largest pivot magnitude for stability — except under Bland's rule,
+     which requires the least variable index in the leaving choice too, or
+     its anti-cycling guarantee does not hold. *)
+  let ratio_test st ~phase1 (e : entering) =
+    scatter_column st e.q st.w;
+    ftran st st.w;
+    let range = st.up.(e.q) -. st.lo.(e.q) in
+    let limit = ref (if range < infinity then Flip range else Unlimited) in
+    let limit_t = ref (match !limit with Flip t -> t | Unlimited | Block _ -> infinity) in
+    let limit_mag = ref 0.0 in
+    let limit_var = ref max_int in
+    (* Entries below the pivot tolerance cannot safely leave the basis;
+       skipping them bounds the induced infeasibility by t * |w_i|, well
+       inside the feasibility tolerance. *)
+    for pos = 0 to st.inst.m - 1 do
+      let wi = st.w.(pos) in
+      if Float.abs wi > pivot_tol /. 10.0 then begin
+        let rate = -.e.dir *. wi in
+        let j = st.basic.(pos) in
+        let x = st.xb.(pos) and lj = st.lo.(j) and uj = st.up.(j) in
+        let candidate =
+          if phase1 && x < lj -. feas_tol then
+            if rate > 0.0 then Some ((lj -. x) /. rate, At_lower) else None
+          else if phase1 && x > uj +. feas_tol then
+            if rate < 0.0 then Some ((x -. uj) /. -.rate, At_upper) else None
+          else if rate > 0.0 then
+            if uj < infinity then Some (Float.max 0.0 ((uj -. x) /. rate), At_upper)
+            else None
+          else if lj > neg_infinity then
+            Some (Float.max 0.0 ((x -. lj) /. -.rate), At_lower)
+          else None
+        in
+        match candidate with
+        | None -> ()
+        | Some (t, bound) ->
+          let mag = Float.abs wi in
+          let better =
+            if t < !limit_t -. 1e-10 then true
+            else if t >= !limit_t +. 1e-10 then false
+            else if st.bland then j < !limit_var
+            else mag > !limit_mag
+          in
+          if better then begin
+            limit := Block (pos, t, bound);
+            limit_t := t;
+            limit_mag := mag;
+            limit_var := j
+          end
+      end
+    done;
+    !limit
+
+  let apply_step st (e : entering) lim =
+    match lim with
+    | Unlimited -> assert false
+    | Flip t ->
+      let delta = e.dir *. t in
+      for pos = 0 to st.inst.m - 1 do
+        let wi = st.w.(pos) in
+        if wi <> 0.0 then st.xb.(pos) <- st.xb.(pos) -. (wi *. delta)
+      done;
+      st.vstat.(e.q) <-
+        (match st.vstat.(e.q) with
+        | At_lower -> At_upper
+        | At_upper -> At_lower
+        | Nb_free | Basic ->
+          raise (Numerical_failure "flip on free or basic variable"));
+      t
+    | Block (r, t, leave_bound) ->
+      let delta = e.dir *. t in
+      let entering_value = nb_value st e.q +. delta in
+      for pos = 0 to st.inst.m - 1 do
+        let wi = st.w.(pos) in
+        if wi <> 0.0 && pos <> r then st.xb.(pos) <- st.xb.(pos) -. (wi *. delta)
+      done;
+      let leaving = st.basic.(r) in
+      st.vstat.(leaving) <- leave_bound;
+      st.vpos.(leaving) <- -1;
+      (match leave_bound with
+      | At_lower when st.lo.(leaving) = neg_infinity ->
+        raise (Numerical_failure "leaving variable has no lower bound")
+      | At_upper when st.up.(leaving) = infinity ->
+        raise (Numerical_failure "leaving variable has no upper bound")
+      | At_lower | At_upper -> ()
+      | Basic | Nb_free -> assert false);
+      let piv = st.w.(r) in
+      if Float.abs piv < pivot_tol /. 10.0 then
+        raise (Numerical_failure "pivot element too small");
+      let cnt = ref 0 in
+      for i = 0 to st.inst.m - 1 do
+        if i <> r && Float.abs st.w.(i) > zero_tol then incr cnt
+      done;
+      let idx = Array.make !cnt 0 and vl = Array.make !cnt 0.0 in
+      let p = ref 0 in
+      for i = 0 to st.inst.m - 1 do
+        if i <> r && Float.abs st.w.(i) > zero_tol then begin
+          idx.(!p) <- i;
+          vl.(!p) <- -.st.w.(i) /. piv;
+          incr p
+        end
+      done;
+      push_eta st { e_row = r; e_piv = 1.0 /. piv; e_idx = idx; e_val = vl };
+      st.vstat.(e.q) <- Basic;
+      st.vpos.(e.q) <- r;
+      st.basic.(r) <- e.q;
+      st.xb.(r) <- entering_value;
+      st.pivots_since_refactor <- st.pivots_since_refactor + 1;
+      t
+
+  let value_of st j =
+    if st.vpos.(j) >= 0 then st.xb.(st.vpos.(j)) else nb_value st j
+
+  (* Bounded-variable dual simplex, used to re-optimise after a branch-and-
+     bound bound change: the warm basis is still dual feasible but primal
+     infeasible in a few basic variables, which the dual method repairs in
+     a handful of pivots where the composite primal phase 1 takes
+     thousands. Purely an accelerator: it returns [false] whenever the
+     preconditions fail or it stalls, and the caller falls through to the
+     always-correct primal loop. *)
+  let dual_reoptimize st ~max_pivots =
+    let m = st.inst.m and ncols = st.inst.ncols in
+    let dual_feasible () =
+      compute_duals st ~phase1:false;
+      try
+        for j = 0 to ncols - 1 do
+          if st.vstat.(j) <> Basic && st.up.(j) -. st.lo.(j) > zero_tol then begin
+            let d = reduced_cost st ~phase1:false j in
+            match st.vstat.(j) with
+            | At_lower -> if d < -1e-6 then raise Exit
+            | At_upper -> if d > 1e-6 then raise Exit
+            | Nb_free -> if Float.abs d > 1e-6 then raise Exit
+            | Basic -> ()
+          end
+        done;
+        true
+      with Exit -> false
+    in
+    if not (dual_feasible ()) then false
+    else begin
+      let rho = Array.make m 0.0 in
+      let ok = ref true and finished = ref false in
+      let pivots = ref 0 in
+      while !ok && (not !finished) && !pivots < max_pivots do
+        incr pivots;
+        st.niter <- st.niter + 1;
+        (* leaving variable: the most violated basic *)
+        let r = ref (-1) and viol = ref feas_tol and below = ref false in
+        for pos = 0 to m - 1 do
+          let j = st.basic.(pos) in
+          let x = st.xb.(pos) in
+          if st.lo.(j) -. x > !viol then begin
+            r := pos;
+            viol := st.lo.(j) -. x;
+            below := true
+          end
+          else if x -. st.up.(j) > !viol then begin
+            r := pos;
+            viol := x -. st.up.(j);
+            below := false
+          end
+        done;
+        if !r < 0 then finished := true
+        else begin
+          let r = !r in
+          Array.fill rho 0 m 0.0;
+          rho.(r) <- 1.0;
+          btran st rho;
+          compute_duals st ~phase1:false;
+          (* dual ratio test: smallest |d|/|alpha| among columns whose
+             admissible movement pushes the leaving value back in range *)
+          let best_j = ref (-1) and best_ratio = ref infinity in
+          let best_alpha = ref 0.0 in
+          for j = 0 to ncols - 1 do
+            if st.vstat.(j) <> Basic && st.up.(j) -. st.lo.(j) > zero_tol then begin
+              let idx = st.inst.cidx.(j) and vl = st.inst.cval.(j) in
+              let alpha = ref 0.0 in
+              for p = 0 to Array.length idx - 1 do
+                alpha := !alpha +. (vl.(p) *. rho.(idx.(p)))
+              done;
+              let alpha = !alpha in
+              if Float.abs alpha > pivot_tol then begin
+                let eligible =
+                  (* x_B(r) changes by -alpha * dx_j *)
+                  match st.vstat.(j) with
+                  | At_lower -> if !below then alpha < 0.0 else alpha > 0.0
+                  | At_upper -> if !below then alpha > 0.0 else alpha < 0.0
+                  | Nb_free -> true
+                  | Basic -> false
+                in
+                if eligible then begin
+                  let d = reduced_cost st ~phase1:false j in
+                  let ratio = Float.abs d /. Float.abs alpha in
+                  if
+                    ratio < !best_ratio -. 1e-12
+                    || (ratio < !best_ratio +. 1e-12
+                       && Float.abs alpha > Float.abs !best_alpha)
+                  then begin
+                    best_j := j;
+                    best_ratio := ratio;
+                    best_alpha := alpha
+                  end
+                end
+              end
+            end
+          done;
+          if !best_j < 0 then ok := false
+          else begin
+            let q = !best_j in
+            scatter_column st q st.w;
+            ftran st st.w;
+            let alpha = st.w.(r) in
+            if Float.abs alpha < pivot_tol /. 10.0 then ok := false
+            else begin
+              let jl = st.basic.(r) in
+              let target = if !below then st.lo.(jl) else st.up.(jl) in
+              let tau = (st.xb.(r) -. target) /. alpha in
+              let range = st.up.(q) -. st.lo.(q) in
+              let tau, flip =
+                match st.vstat.(q) with
+                | At_lower when tau > range && range < infinity -> (range, true)
+                | At_upper when tau < -.range && range < infinity ->
+                  (-.range, true)
+                | At_lower | At_upper | Nb_free | Basic -> (tau, false)
+              in
+              let dir_ok =
+                match st.vstat.(q) with
+                | At_lower -> tau >= -1e-9
+                | At_upper -> tau <= 1e-9
+                | Nb_free -> true
+                | Basic -> false
+              in
+              if not dir_ok then ok := false
+              else if flip then begin
+                for pos = 0 to m - 1 do
+                  if st.w.(pos) <> 0.0 then
+                    st.xb.(pos) <- st.xb.(pos) -. (st.w.(pos) *. tau)
+                done;
+                st.vstat.(q) <-
+                  (match st.vstat.(q) with
+                  | At_lower -> At_upper
+                  | At_upper -> At_lower
+                  | s -> s)
+              end
+              else begin
+                let entering_value = nb_value st q +. tau in
+                for pos = 0 to m - 1 do
+                  if pos <> r && st.w.(pos) <> 0.0 then
+                    st.xb.(pos) <- st.xb.(pos) -. (st.w.(pos) *. tau)
+                done;
+                st.vstat.(jl) <- (if !below then At_lower else At_upper);
+                st.vpos.(jl) <- -1;
+                let cnt = ref 0 in
+                for i = 0 to m - 1 do
+                  if i <> r && Float.abs st.w.(i) > zero_tol then incr cnt
+                done;
+                let idx = Array.make !cnt 0 and vl = Array.make !cnt 0.0 in
+                let p = ref 0 in
+                for i = 0 to m - 1 do
+                  if i <> r && Float.abs st.w.(i) > zero_tol then begin
+                    idx.(!p) <- i;
+                    vl.(!p) <- -.st.w.(i) /. alpha;
+                    incr p
+                  end
+                done;
+                push_eta st
+                  { e_row = r; e_piv = 1.0 /. alpha; e_idx = idx; e_val = vl };
+                st.vstat.(q) <- Basic;
+                st.vpos.(q) <- r;
+                st.basic.(r) <- q;
+                st.xb.(r) <- entering_value;
+                st.pivots_since_refactor <- st.pivots_since_refactor + 1;
+                if st.pivots_since_refactor >= refactor_every then refactor st
+              end
+            end
+          end
+        end
+      done;
+      !finished
+    end
+
+  let extract st status =
+    let n = st.inst.n in
+    let x = Array.init n (fun j -> value_of st j) in
+    compute_duals st ~phase1:false;
+    let duals = Array.copy st.y in
+    let reduced_costs = Array.init n (fun j -> reduced_cost st ~phase1:false j) in
+    let objective =
+      let acc = ref 0.0 in
+      for j = 0 to n - 1 do
+        acc := !acc +. (st.inst.cost.(j) *. x.(j))
+      done;
+      !acc
+    in
+    {
+      status;
+      objective;
+      x;
+      duals;
+      reduced_costs;
+      basis =
+        ({ vstat = Array.copy st.vstat; basic = Array.copy st.basic } : basis);
+      iterations = st.niter;
+    }
+
+  let solve ?basis ?lower ?upper ?(max_iters = 200_000) ?deadline_s inst =
+    let n = inst.n and m = inst.m and ncols = inst.ncols in
+    let lo = Array.copy inst.base_lo and up = Array.copy inst.base_up in
+    (match lower with
+    | Some l ->
+      assert (Array.length l = n);
+      Array.blit l 0 lo 0 n
+    | None -> ());
+    (match upper with
+    | Some u ->
+      assert (Array.length u = n);
+      Array.blit u 0 up 0 n
+    | None -> ());
+    for j = 0 to n - 1 do
+      if lo.(j) > up.(j) then
+        invalid_arg "Simplex.solve: lower bound exceeds upper bound"
+    done;
+    let st =
+      {
+        inst;
+        lo;
+        up;
+        vstat = Array.make ncols At_lower;
+        basic = Array.make m 0;
+        vpos = Array.make ncols (-1);
+        xb = Array.make m 0.0;
+        w = Array.make m 0.0;
+        y = Array.make m 0.0;
+        etas = [||];
+        neta = 0;
+        niter = 0;
+        pivots_since_refactor = 0;
+        bland = false;
+        degen_count = 0;
+        perturbed = false;
+        perturb_rounds = 0;
+        perturb =
+          Array.init ncols (fun j ->
+              let h = (j + 1) * 2654435761 land 0xFFFF in
+              1e-7 +. (1e-6 *. float_of_int h /. 65536.0));
+        bounds_shifted = false;
+        orig_lo = [||];
+        orig_up = [||];
+      }
+    in
+    (match basis with
+    | Some (b : basis) ->
+      assert (Array.length b.vstat = ncols && Array.length b.basic = m);
+      Array.blit b.vstat 0 st.vstat 0 ncols;
+      Array.blit b.basic 0 st.basic 0 m;
+      for j = 0 to ncols - 1 do
+        normalize_nonbasic st j
+      done;
+      refactor st;
+      (* Re-optimise with the dual simplex; when it stalls (or the basis
+         factorised with pathological fill-in) a cold start beats grinding
+         the primal through a half-repaired basis. *)
+      if eta_nnz st > (30 * m) + 5000 then cold_reset st
+      else if not (dual_reoptimize st ~max_pivots:((m / 2) + 200)) then
+        cold_reset st
+    | None ->
+      for r = 0 to m - 1 do
+        st.basic.(r) <- n + r;
+        st.vstat.(n + r) <- Basic;
+        st.vpos.(n + r) <- r
+      done;
+      for j = 0 to n - 1 do
+        normalize_nonbasic st j
+      done;
+      compute_xb st);
+    let debug = Sys.getenv_opt "OPTROUTER_SIMPLEX_DEBUG" <> None in
+    let confirm = ref false in
+    let rec loop () =
+      if st.niter > max_iters then
+        raise (Numerical_failure "simplex iteration limit reached");
+      (match deadline_s with
+      | Some deadline when st.niter land 63 = 0 && Sys.time () > deadline ->
+        raise (Numerical_failure "simplex deadline exceeded")
+      | Some _ | None -> ());
+      st.niter <- st.niter + 1;
+      let phase1 = infeasibility st > feas_tol in
+      if debug && st.niter mod 1000 = 0 then begin
+        let obj = ref 0.0 in
+        for pos = 0 to st.inst.m - 1 do
+          obj := !obj +. (st.inst.cost.(st.basic.(pos)) *. st.xb.(pos))
+        done;
+        for j = 0 to st.inst.ncols - 1 do
+          if st.vstat.(j) <> Basic then
+            obj := !obj +. (st.inst.cost.(j) *. nb_value st j)
+        done;
+        Printf.eprintf
+          "[simplex] iter=%d phase=%d infeas=%.3g obj=%.6f neta=%d eta_nnz=%d bland=%b degen=%d\n%!"
+          st.niter
+          (if phase1 then 1 else 2)
+          (infeasibility st) !obj st.neta (eta_nnz st) st.bland st.degen_count
+      end;
+      match price st ~phase1 with
+      | None ->
+        if (not phase1) && st.perturbed then begin
+          (* optimal for the perturbed costs: withdraw the perturbation and
+             re-optimise the genuine objective (usually a few pivots) *)
+          st.perturbed <- false;
+          st.bland <- false;
+          st.degen_count <- 0;
+          confirm := false;
+          loop ()
+        end
+        else if (not phase1) && st.bounds_shifted then begin
+          (* optimal for the relaxed bounds: restore them; phase 1 then
+             walks the few slightly-out-of-bounds basics back in *)
+          unshift_bounds st;
+          st.bland <- false;
+          st.degen_count <- 0;
+          confirm := false;
+          loop ()
+        end
+        else if not !confirm then begin
+          (* Re-derive the claim from a fresh factorisation before trusting
+             it: eta-file drift can fake both optimality and infeasibility. *)
+          confirm := true;
+          refactor st;
+          loop ()
+        end
+        else if phase1 then extract st Infeasible
+        else extract st Optimal
+      | Some e -> (
+        confirm := false;
+        match ratio_test st ~phase1 e with
+        | Unlimited ->
+          if phase1 then begin
+            refactor st;
+            match ratio_test st ~phase1 e with
+            | Unlimited ->
+              raise (Numerical_failure "unblocked phase-1 direction")
+            | lim -> step e lim
+          end
+          else extract st Unbounded
+        | lim -> step e lim)
+    and step e lim =
+      let t = apply_step st e lim in
+      if t <= 1e-10 then begin
+        st.degen_count <- st.degen_count + 1;
+        if st.degen_count > 200 then st.bland <- true;
+        (* A long fully-degenerate Bland sequence means a plateau the
+           pivoting rules cannot escape. Remedies, escalating: perturb the
+           costs (gives Dantzig a strict direction across the plateau),
+           then shift the bounds; give up after a few rounds and let the
+           caller restart cold. *)
+        if st.degen_count > 600 then begin
+          if st.perturb_rounds < 3 then begin
+            st.perturbed <- true;
+            st.perturb_rounds <- st.perturb_rounds + 1;
+            Array.iteri
+              (fun j v ->
+                st.perturb.(j) <-
+                  v *. (1.0 +. float_of_int ((j + st.perturb_rounds) mod 7)))
+              st.perturb
+          end
+          else if not st.bounds_shifted then shift_bounds st
+          else raise (Numerical_failure "persistent degenerate cycling");
+          st.bland <- false;
+          st.degen_count <- 0
+        end
+      end
+      else begin
+        st.degen_count <- 0;
+        st.bland <- false
+      end;
+      if st.pivots_since_refactor >= refactor_every then refactor st;
+      loop ()
+    in
+    loop ()
+end
+
+let solve ?basis ?max_iters lp =
+  Instance.solve ?basis ?max_iters (Instance.create lp)
+
+let verify_optimal ?(tol = 1e-6) (lp : Lp.t) (res : result) =
+  if res.status <> Optimal then Error "status is not Optimal"
+  else if not (Lp.is_feasible ~tol lp res.x) then Error "solution is infeasible"
+  else begin
+    let n = Lp.nvars lp in
+    let d = Array.map (fun (v : Lp.var) -> v.obj) lp.vars in
+    Array.iteri
+      (fun r (row : Lp.row) ->
+        Array.iter
+          (fun (j, a) -> d.(j) <- d.(j) -. (a *. res.duals.(r)))
+          row.coeffs;
+        ignore r)
+      lp.rows;
+    let problems = ref [] in
+    for j = 0 to n - 1 do
+      let v = lp.vars.(j) in
+      let x = res.x.(j) in
+      let at_lower = x <= v.lower +. tol in
+      let at_upper = x >= v.upper -. tol in
+      let ok =
+        (at_lower && d.(j) >= -.tol)
+        || (at_upper && d.(j) <= tol)
+        || Float.abs d.(j) <= tol
+      in
+      if not ok then
+        problems :=
+          Printf.sprintf "var %s: x=%g d=%g bounds [%g, %g]" v.v_name x d.(j)
+            v.lower v.upper
+          :: !problems
+    done;
+    Array.iteri
+      (fun r (row : Lp.row) ->
+        let activity = Lp.row_activity lp row res.x in
+        let y = res.duals.(r) in
+        let ok =
+          match row.sense with
+          | Lp.Eq -> true
+          | Lp.Le ->
+            (* inactive rows need zero multipliers; active Le rows need
+               y <= 0 in a minimisation problem with a.x + s = b, s >= 0 *)
+            if activity < row.rhs -. tol then Float.abs y <= tol else y <= tol
+          | Lp.Ge ->
+            if activity > row.rhs +. tol then Float.abs y <= tol else y >= -.tol
+        in
+        if not ok then
+          problems :=
+            Printf.sprintf "row %s: activity=%g rhs=%g y=%g" row.r_name activity
+              row.rhs y
+            :: !problems)
+      lp.rows;
+    match !problems with
+    | [] -> Ok ()
+    | p :: _ -> Error p
+  end

@@ -1,0 +1,75 @@
+(** Revised primal simplex for linear programs with bounded variables.
+
+    The implementation follows the classic product-form-of-the-inverse
+    design: the basis inverse is maintained as a sequence of eta matrices,
+    refactorised periodically from the basis columns for numerical hygiene.
+    Rows are turned into equalities with one (bounded) logical slack per
+    row, so the initial all-slack basis always exists; primal infeasibility
+    of a starting basis is driven out by a composite phase-1 objective
+    (piecewise-linear sum of bound violations of basic variables), which
+    also makes warm starts from an arbitrary basis possible — this is what
+    {!Milp} relies on between branch-and-bound nodes.
+
+    Integrality kinds on variables are ignored here; this module solves the
+    continuous relaxation. *)
+
+type vstat =
+  | Basic
+  | At_lower
+  | At_upper
+  | Nb_free  (** nonbasic free variable, held at value 0 *)
+
+(** A resumable basis: [vstat] has one entry per column (structural
+    variables first, then one logical slack per row); [basic] maps each of
+    the [m] basis positions to a column index. *)
+type basis = { vstat : vstat array; basic : int array }
+
+type status = Optimal | Infeasible | Unbounded
+
+type result = {
+  status : status;
+  objective : float;  (** meaningful only when [status = Optimal] *)
+  x : float array;  (** structural variable values *)
+  duals : float array;  (** one multiplier per row *)
+  reduced_costs : float array;  (** one per structural variable *)
+  basis : basis;
+  iterations : int;
+}
+
+exception Numerical_failure of string
+
+(** A prepared instance caches the column-wise matrix so that repeated
+    solves with different variable bounds (as branch and bound does) avoid
+    re-elaborating the problem. *)
+module Instance : sig
+  type t
+
+  val create : Lp.t -> t
+  val nvars : t -> int
+  val nrows : t -> int
+
+  (** [solve ?basis ?lower ?upper ?max_iters ?deadline_s inst] solves the
+      instance. [lower]/[upper], when given, override the structural
+      variable bounds (arrays of length [nvars]); [deadline_s] is an
+      absolute [Sys.time] value after which the solve aborts. Raises
+      {!Numerical_failure} if the basis cannot be kept factorised, the
+      iteration limit is hit, or the deadline passes. *)
+  val solve :
+    ?basis:basis ->
+    ?lower:float array ->
+    ?upper:float array ->
+    ?max_iters:int ->
+    ?deadline_s:float ->
+    t ->
+    result
+end
+
+(** One-shot convenience wrapper around {!Instance}. *)
+val solve : ?basis:basis -> ?max_iters:int -> Lp.t -> result
+
+(** [verify_optimal ?tol lp result] independently checks the optimality
+    certificate: primal feasibility of [result.x] and sign conditions of the
+    reduced costs against the variable bounds. Returns an error description
+    on failure. Useful in tests: it certifies optimality without trusting
+    the solver internals. *)
+val verify_optimal : ?tol:float -> Lp.t -> result -> (unit, string) Result.t

@@ -1,0 +1,1 @@
+lib/maze/maze.ml: Array Format Fun Hashtbl Int List Optrouter_grid Optrouter_tech Pqueue Printf Random Sys

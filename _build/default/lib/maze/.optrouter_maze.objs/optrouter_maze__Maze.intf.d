@@ -1,0 +1,1 @@
+lib/maze/maze.mli: Optrouter_grid Optrouter_tech

@@ -1,0 +1,1 @@
+lib/maze/pqueue.mli:

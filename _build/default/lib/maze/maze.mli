@@ -1,0 +1,34 @@
+(** Heuristic sequential detailed router — the baseline OptRouter is
+    compared against (the role the commercial router plays in the paper's
+    footnote 6 validation).
+
+    Nets are routed one at a time with multi-source Dijkstra growing a
+    Steiner tree over the routing graph, honouring edge and vertex
+    exclusivity and via adjacency restrictions during search. Multiple
+    randomised net orders are tried and the cheapest legal result kept;
+    SADP end-of-line violations (which a maze search cannot see locally)
+    are repaired by penalise-rip-up-reroute rounds audited with the
+    independent {!Optrouter_grid.Drc} checker. Like any sequential router
+    it is (deliberately) suboptimal: tests assert its cost is never below
+    OptRouter's. *)
+
+type params = {
+  restarts : int;  (** randomised net orders to try (default 8) *)
+  rip_up_rounds : int;  (** violation-repair rounds per restart (default 4) *)
+  seed : int;
+}
+
+val default_params : params
+
+type result = {
+  solution : Optrouter_grid.Route.solution option;
+      (** best DRC-clean solution, or [None] if every attempt failed *)
+  restarts_used : int;
+  rip_ups : int;  (** total nets ripped up over all restarts *)
+}
+
+val route :
+  ?params:params ->
+  rules:Optrouter_tech.Rules.t ->
+  Optrouter_grid.Graph.t ->
+  result

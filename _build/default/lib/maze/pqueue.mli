@@ -1,0 +1,15 @@
+(** Minimal binary min-heap priority queue on float keys.
+
+    Supports lazy decrease-key by re-insertion: callers skip stale entries
+    on [pop] by checking their own distance table. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+val push : 'a t -> float -> 'a -> unit
+
+(** [pop q] removes and returns the minimum-key entry. Raises [Not_found]
+    when empty. *)
+val pop : 'a t -> float * 'a

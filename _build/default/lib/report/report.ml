@@ -1,0 +1,106 @@
+module Table = struct
+  let render ~header rows =
+    let all = header :: rows in
+    let ncols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
+    let widths = Array.make ncols 0 in
+    List.iter
+      (fun row ->
+        List.iteri
+          (fun i cell -> widths.(i) <- max widths.(i) (String.length cell))
+          row)
+      all;
+    let buf = Buffer.create 256 in
+    let emit row =
+      List.iteri
+        (fun i cell ->
+          Buffer.add_string buf cell;
+          if i < ncols - 1 then
+            Buffer.add_string buf (String.make (widths.(i) - String.length cell + 2) ' '))
+        row;
+      Buffer.add_char buf '\n'
+    in
+    emit header;
+    let total = Array.fold_left ( + ) 0 widths + (2 * (ncols - 1)) in
+    Buffer.add_string buf (String.make total '-');
+    Buffer.add_char buf '\n';
+    List.iter emit rows;
+    Buffer.contents buf
+end
+
+module Series = struct
+  let markers = [| '*'; 'o'; '+'; 'x'; '#'; '@'; '%'; '&'; '~'; '$'; '^' |]
+
+  let plot ?(width = 64) ?(height = 16) ?(y_label = "") series =
+    let ymin, ymax, xmax =
+      List.fold_left
+        (fun (lo, hi, n) (_, ys) ->
+          Array.fold_left
+            (fun (lo, hi, n) y -> (Float.min lo y, Float.max hi y, n))
+            (lo, hi, max n (Array.length ys))
+            ys)
+        (infinity, neg_infinity, 0)
+        series
+    in
+    if xmax = 0 || ymin = infinity then "(no data)\n"
+    else begin
+      let ymin = Float.min ymin 0.0 in
+      let yspan = if ymax -. ymin <= 0.0 then 1.0 else ymax -. ymin in
+      let canvas = Array.make_matrix height width ' ' in
+      List.iteri
+        (fun si (_, ys) ->
+          let marker = markers.(si mod Array.length markers) in
+          Array.iteri
+            (fun i y ->
+              let x =
+                if xmax <= 1 then 0
+                else i * (width - 1) / (xmax - 1)
+              in
+              let row =
+                int_of_float
+                  (Float.round ((y -. ymin) /. yspan *. float_of_int (height - 1)))
+              in
+              let row = max 0 (min (height - 1) row) in
+              canvas.(height - 1 - row).(x) <- marker)
+            ys)
+        series;
+      let buf = Buffer.create (height * (width + 12)) in
+      if y_label <> "" then Buffer.add_string buf (y_label ^ "\n");
+      for r = 0 to height - 1 do
+        let yval = ymax -. (float_of_int r /. float_of_int (height - 1) *. yspan) in
+        Buffer.add_string buf (Printf.sprintf "%8.1f |" yval);
+        for c = 0 to width - 1 do
+          Buffer.add_char buf canvas.(r).(c)
+        done;
+        Buffer.add_char buf '\n'
+      done;
+      Buffer.add_string buf (String.make 10 ' ');
+      Buffer.add_string buf (String.make width '-');
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf
+        (Printf.sprintf "%10s0%s%d (clip index, sorted)\n" ""
+           (String.make (max 1 (width - 8)) ' ')
+           (xmax - 1));
+      List.iteri
+        (fun si (name, _) ->
+          Buffer.add_string buf
+            (Printf.sprintf "  %c %s\n" markers.(si mod Array.length markers) name))
+        series;
+      Buffer.contents buf
+    end
+end
+
+module Csv = struct
+  let escape cell =
+    if String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell then
+      "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+    else cell
+
+  let to_string ~header rows =
+    let line row = String.concat "," (List.map escape row) in
+    String.concat "\n" (line header :: List.map line rows) ^ "\n"
+
+  let write_file path ~header rows =
+    let oc = open_out path in
+    output_string oc (to_string ~header rows);
+    close_out oc
+end

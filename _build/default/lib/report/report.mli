@@ -1,0 +1,29 @@
+(** Plain-text reporting: aligned tables, ASCII series plots and CSV.
+
+    Every table and figure of the paper is re-emitted through this module
+    by the benchmark harness, so results are readable in a terminal and
+    machine-readable from the CSV mirror. *)
+
+module Table : sig
+  (** [render ~header rows] renders an aligned table with a separator under
+      the header. Cells are padded to the widest entry per column. *)
+  val render : header:string list -> string list list -> string
+end
+
+module Series : sig
+  (** [plot ?width ?height ?y_label series] draws the paper's Figure-10
+      style chart: each named series is a list of y-values plotted against
+      its index (x). Values are clamped into the data range; each series
+      uses its own marker character, listed in the legend. *)
+  val plot :
+    ?width:int ->
+    ?height:int ->
+    ?y_label:string ->
+    (string * float array) list ->
+    string
+end
+
+module Csv : sig
+  val to_string : header:string list -> string list list -> string
+  val write_file : string -> header:string list -> string list list -> unit
+end

@@ -1,0 +1,1 @@
+lib/tech/via_shape.ml: Format Fun List

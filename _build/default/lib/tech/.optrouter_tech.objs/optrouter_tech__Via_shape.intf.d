@@ -1,0 +1,1 @@
+lib/tech/via_shape.mli: Format

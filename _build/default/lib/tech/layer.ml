@@ -1,0 +1,19 @@
+type direction = Horizontal | Vertical
+type patterning = Lele | Sadp
+
+type t = { metal : int; dir : direction; pitch : int; patterning : patterning }
+
+let direction_of_metal m = if m mod 2 = 0 then Horizontal else Vertical
+let is_horizontal t = t.dir = Horizontal
+
+let pp_direction ppf = function
+  | Horizontal -> Format.pp_print_string ppf "H"
+  | Vertical -> Format.pp_print_string ppf "V"
+
+let pp_patterning ppf = function
+  | Lele -> Format.pp_print_string ppf "LELE"
+  | Sadp -> Format.pp_print_string ppf "SADP"
+
+let pp ppf t =
+  Format.fprintf ppf "M%d(%a, %dnm, %a)" t.metal pp_direction t.dir t.pitch
+    pp_patterning t.patterning

@@ -1,0 +1,69 @@
+type via_restriction = No_blocking | Orthogonal | Orthogonal_diagonal
+
+type t = {
+  name : string;
+  sadp_from : int option;
+  via_restriction : via_restriction;
+}
+
+let rule = function
+  | 1 -> { name = "RULE1"; sadp_from = None; via_restriction = No_blocking }
+  | 2 -> { name = "RULE2"; sadp_from = Some 2; via_restriction = No_blocking }
+  | 3 -> { name = "RULE3"; sadp_from = Some 3; via_restriction = No_blocking }
+  | 4 -> { name = "RULE4"; sadp_from = Some 4; via_restriction = No_blocking }
+  | 5 -> { name = "RULE5"; sadp_from = Some 5; via_restriction = No_blocking }
+  | 6 -> { name = "RULE6"; sadp_from = None; via_restriction = Orthogonal }
+  | 7 -> { name = "RULE7"; sadp_from = Some 2; via_restriction = Orthogonal }
+  | 8 -> { name = "RULE8"; sadp_from = Some 3; via_restriction = Orthogonal }
+  | 9 ->
+    { name = "RULE9"; sadp_from = None; via_restriction = Orthogonal_diagonal }
+  | 10 ->
+    {
+      name = "RULE10";
+      sadp_from = Some 2;
+      via_restriction = Orthogonal_diagonal;
+    }
+  | 11 ->
+    {
+      name = "RULE11";
+      sadp_from = Some 3;
+      via_restriction = Orthogonal_diagonal;
+    }
+  | n -> invalid_arg (Printf.sprintf "Rules.rule: RULE%d does not exist" n)
+
+let all = List.init 11 (fun i -> rule (i + 1))
+
+(* N7-9T pins have only two access points close together; rules that need
+   diagonal via adjacency (SADP from M2, or any 4/8-neighbour blocking
+   beyond RULE6/RULE8) are not evaluable there — Section 4.1. *)
+let applicable ~tech_name t =
+  if String.length tech_name >= 2 && String.sub tech_name 0 2 = "N7" then
+    match t.name with
+    | "RULE2" | "RULE7" | "RULE9" | "RULE10" | "RULE11" -> false
+    | _ -> true
+  else true
+
+let blocked_neighbour_offsets = function
+  | No_blocking -> []
+  | Orthogonal -> [ (1, 0); (-1, 0); (0, 1); (0, -1) ]
+  | Orthogonal_diagonal ->
+    [ (1, 0); (-1, 0); (0, 1); (0, -1); (1, 1); (1, -1); (-1, 1); (-1, -1) ]
+
+let patterning_of t ~metal =
+  match t.sadp_from with
+  | Some m when metal >= m -> Layer.Sadp
+  | Some _ | None -> Layer.Lele
+
+let pp ppf t =
+  let sadp =
+    match t.sadp_from with
+    | None -> "no SADP"
+    | Some m -> Printf.sprintf "SADP >= M%d" m
+  in
+  let blocked =
+    match t.via_restriction with
+    | No_blocking -> 0
+    | Orthogonal -> 4
+    | Orthogonal_diagonal -> 8
+  in
+  Format.fprintf ppf "%s (%s, %d neighbours blocked)" t.name sadp blocked

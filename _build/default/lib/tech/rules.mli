@@ -1,0 +1,43 @@
+(** BEOL design-rule configurations (Table 3 of the paper).
+
+    A configuration combines (i) the lowest metal layer from which SADP
+    patterning (and its end-of-line rules) applies, and (ii) a via adjacency
+    restriction. RULE1 — all-LELE, no via restriction — is the baseline that
+    every Δcost in the evaluation is measured against. *)
+
+(** How many neighbouring via sites a placed via blocks. *)
+type via_restriction =
+  | No_blocking  (** 0 neighbours blocked *)
+  | Orthogonal  (** N, E, S, W neighbours blocked *)
+  | Orthogonal_diagonal  (** plus NE, NW, SE, SW *)
+
+type t = {
+  name : string;  (** "RULE1" .. "RULE11" or a custom label *)
+  sadp_from : int option;  (** [Some m]: SADP on every layer >= Mm *)
+  via_restriction : via_restriction;
+}
+
+(** [rule n] is RULEn for n in 1..11, per Table 3:
+    - RULE1: no SADP, 0 blocked;
+    - RULE2..5: SADP >= M2..M5, 0 blocked;
+    - RULE6: no SADP, 4 blocked;
+    - RULE7, 8: SADP >= M2, M3, 4 blocked;
+    - RULE9: no SADP, 8 blocked;
+    - RULE10, 11: SADP >= M2, M3, 8 blocked.
+    Raises [Invalid_argument] outside 1..11. *)
+val rule : int -> t
+
+val all : t list
+
+(** Rules evaluated on each technology: the paper skips RULE2, 7, 9, 10 and
+    11 on N7-9T because its small pin shapes do not admit the diagonal via
+    placements those rules require. *)
+val applicable : tech_name:string -> t -> bool
+
+(** Offsets of the via sites blocked by a via placed at the origin. *)
+val blocked_neighbour_offsets : via_restriction -> (int * int) list
+
+(** [patterning_of rules ~metal] resolves a layer's patterning. *)
+val patterning_of : t -> metal:int -> Layer.patterning
+
+val pp : Format.formatter -> t -> unit

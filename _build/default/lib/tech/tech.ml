@@ -1,0 +1,77 @@
+type t = {
+  name : string;
+  cell_height_tracks : int;
+  hpitch : int;
+  vpitch : int;
+  num_layers : int;
+  via_weight : int;
+  pin_width : int;
+  access_points_per_pin : int;
+}
+
+let n28_12t =
+  {
+    name = "N28-12T";
+    cell_height_tracks = 12;
+    hpitch = 100;
+    vpitch = 136;
+    num_layers = 8;
+    via_weight = 4;
+    pin_width = 50;
+    access_points_per_pin = 5;
+  }
+
+let n28_8t =
+  {
+    name = "N28-8T";
+    cell_height_tracks = 8;
+    hpitch = 100;
+    vpitch = 136;
+    num_layers = 8;
+    via_weight = 4;
+    pin_width = 50;
+    access_points_per_pin = 4;
+  }
+
+(* The paper scales the 7nm cells by 2.5x into the 28nm BEOL stack, so the
+   physical pitches match N28; what distinguishes N7-9T is the 9-track cell
+   and the tiny two-access-point pins (Figure 9(c)). *)
+let n7_9t =
+  {
+    name = "N7-9T";
+    cell_height_tracks = 9;
+    hpitch = 100;
+    vpitch = 136;
+    num_layers = 8;
+    via_weight = 4;
+    pin_width = 24;
+    access_points_per_pin = 2;
+  }
+
+let all = [ n28_12t; n28_8t; n7_9t ]
+
+let by_name name =
+  match List.find_opt (fun t -> String.equal t.name name) all with
+  | Some t -> t
+  | None -> raise Not_found
+
+let stack t rules =
+  List.init t.num_layers (fun i ->
+      let metal = i + 2 in
+      {
+        Layer.metal;
+        dir = Layer.direction_of_metal metal;
+        pitch =
+          (match Layer.direction_of_metal metal with
+          | Layer.Horizontal -> t.hpitch
+          | Layer.Vertical -> t.vpitch);
+        patterning = Rules.patterning_of rules ~metal;
+      })
+
+let row_height t = t.cell_height_tracks * t.hpitch
+
+let clip_tracks_1um t = (1000 / t.vpitch, 1000 / t.hpitch)
+
+let pp ppf t =
+  Format.fprintf ppf "%s (%dT, hpitch %dnm, vpitch %dnm, %d layers)" t.name
+    t.cell_height_tracks t.hpitch t.vpitch t.num_layers

@@ -1,0 +1,41 @@
+(** Technology presets: the three technology / cell-architecture pairs the
+    paper evaluates (N28-12T, N28-8T, N7-9T), plus the geometry helpers the
+    rest of the system needs.
+
+    Pitches follow the paper: 28nm has 100nm horizontal-layer pitch and
+    136nm vertical-layer pitch (the placement grid); the prototype 7nm
+    technology has 40nm pitch on M1-M6 (here represented in its 2.5x-scaled
+    form, as the paper scales 7nm cells into the 28nm BEOL stack). *)
+
+type t = {
+  name : string;
+  cell_height_tracks : int;  (** M2 routing tracks per cell row: 12 / 8 / 9 *)
+  hpitch : int;  (** pitch of horizontal-layer tracks, nm (row spacing) *)
+  vpitch : int;  (** pitch of vertical-layer tracks, nm (column spacing) *)
+  num_layers : int;  (** routing layers available, counted from M2 *)
+  via_weight : int;  (** via count weight in routing cost (paper: 4) *)
+  pin_width : int;  (** typical M1 pin finger width, nm *)
+  access_points_per_pin : int;  (** typical usable access points per pin *)
+}
+
+val n28_12t : t
+val n28_8t : t
+val n7_9t : t
+val all : t list
+
+(** [by_name "N28-8T"] looks a preset up; raises [Not_found] otherwise. *)
+val by_name : string -> t
+
+(** [stack tech rules] instantiates the BEOL stack M2..M(1+num_layers) with
+    directions alternating from horizontal M2 and patterning resolved from
+    the rule configuration. *)
+val stack : t -> Rules.t -> Layer.t list
+
+(** Cell row height in nm. *)
+val row_height : t -> int
+
+(** Dimensions of the paper's 1.0um x 1.0um clip in tracks for this
+    technology: (columns of vertical tracks, rows of horizontal tracks). *)
+val clip_tracks_1um : t -> int * int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,16 @@
+type t = { name : string; width : int; height : int; cost : int }
+
+let single ~cost = { name = "V1x1"; width = 1; height = 1; cost }
+
+(* Larger vias are cheaper than the single-cut via so the ILP picks them
+   when congestion allows (paper: "lower cost values for larger via
+   shapes"). Costs stay positive so a via is never free. *)
+let bar_2x1 ~cost = { name = "V2x1"; width = 2; height = 1; cost = max 1 (cost - 1) }
+let square_2x2 ~cost = { name = "V2x2"; width = 2; height = 2; cost = max 1 (cost - 2) }
+
+let sites t =
+  List.concat_map
+    (fun dx -> List.init t.height (fun dy -> (dx, dy)))
+    (List.init t.width Fun.id)
+
+let pp ppf t = Format.fprintf ppf "%s(%dx%d, cost %d)" t.name t.width t.height t.cost

@@ -1,0 +1,25 @@
+(** Via shape catalogue (Section 3.2, "Via shape").
+
+    A via shape occupies [width x height] routing-grid sites on both the
+    lower and upper layer. Larger shapes are given a {e lower} cost so that
+    the optimizer prefers them when routability allows — the paper's proxy
+    for better manufacturability. *)
+
+type t = {
+  name : string;
+  width : int;  (** extent in grid columns, >= 1 *)
+  height : int;  (** extent in grid rows, >= 1 *)
+  cost : int;  (** cost charged when a route uses one instance *)
+}
+
+(** The default single-site via; its cost is the [via_weight] of the
+    routing cost (4 in all paper experiments). *)
+val single : cost:int -> t
+
+(** 2x1 bar via and 2x2 square via used by the via-shape study; costs are
+    relative to [single ~cost]. *)
+val bar_2x1 : cost:int -> t
+
+val square_2x2 : cost:int -> t
+val sites : t -> (int * int) list
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest Array List Optrouter_core Optrouter_eval Optrouter_grid Optrouter_ilp Optrouter_report Optrouter_tech String

@@ -1,0 +1,1 @@
+test/test_geom.ml: Alcotest Format List Option Optrouter_geom QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_ilp.ml: Alcotest Array Float Format List Optrouter_ilp Printf QCheck QCheck_alcotest Result String Sys

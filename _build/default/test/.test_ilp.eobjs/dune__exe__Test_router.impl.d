@@ -1,0 +1,1 @@
+test/test_router.ml: Alcotest Array Float Format Fun List Optrouter_core Optrouter_grid Optrouter_ilp Optrouter_maze Optrouter_tech Printf QCheck QCheck_alcotest Result

@@ -1,0 +1,1 @@
+test/test_tech.ml: Alcotest List Optrouter_tech Printf

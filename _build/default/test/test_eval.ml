@@ -1,0 +1,355 @@
+(* Tests for the evaluation flow (sweep + experiment drivers) and the
+   reporting helpers. Routing-heavy drivers run on tiny inputs. *)
+
+module Tech = Optrouter_tech.Tech
+module Rules = Optrouter_tech.Rules
+module Clip = Optrouter_grid.Clip
+module Sweep = Optrouter_eval.Sweep
+module Experiments = Optrouter_eval.Experiments
+module Report = Optrouter_report.Report
+module Scoreboard = Optrouter_eval.Scoreboard
+module Render = Optrouter_core.Render
+module Graph = Optrouter_grid.Graph
+module Optrouter = Optrouter_core.Optrouter
+module Milp = Optrouter_ilp.Milp
+
+let pin name access = { Clip.p_name = name; access; shape = None }
+
+let two_pin name p1 p2 =
+  { Clip.n_name = name; pins = [ pin (name ^ "s") [ p1 ]; pin (name ^ "t") [ p2 ] ] }
+
+let fast_config =
+  {
+    Optrouter.default_config with
+    Optrouter.milp =
+      { Milp.default_params with Milp.max_nodes = 5_000; time_limit_s = Some 20.0 };
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Sweep                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_sweep_deltas () =
+  (* Facing EOLs on one track: RULE1 baseline 2, RULE4 unaffected. *)
+  let clip =
+    Clip.make ~cols:4 ~rows:1 ~layers:2
+      [ two_pin "a" (0, 0) (1, 0); two_pin "b" (2, 0) (3, 0) ]
+  in
+  let entries =
+    Sweep.clip_deltas ~config:fast_config ~tech:Tech.n28_12t
+      ~rules:[ Rules.rule 4 ] clip
+  in
+  match entries with
+  | [ e ] ->
+    Alcotest.(check string) "rule name" "RULE4" e.Sweep.rule_name;
+    Alcotest.(check int) "base cost" 2 e.Sweep.base_cost;
+    Alcotest.(check bool) "no impact" true (e.Sweep.delta = Sweep.Delta 0)
+  | _ -> Alcotest.fail "expected one entry"
+
+let test_sweep_unroutable_entry () =
+  (* One vertical hop with only M2/M3: RULE6 makes it unroutable. *)
+  let clip =
+    Clip.make ~cols:3 ~rows:2 ~layers:2 [ two_pin "a" (0, 0) (0, 1) ]
+  in
+  let entries =
+    Sweep.clip_deltas ~config:fast_config ~tech:Tech.n28_12t
+      ~rules:[ Rules.rule 6 ] clip
+  in
+  match entries with
+  | [ e ] ->
+    Alcotest.(check bool) "infeasible" true (e.Sweep.delta = Sweep.Infeasible);
+    Alcotest.(check (float 0.01)) "plots as 500" 500.0
+      (Sweep.delta_value e.Sweep.delta)
+  | _ -> Alcotest.fail "expected one entry"
+
+let test_sweep_drops_unroutable_baseline () =
+  (* Unroutable even under RULE1: the clip must be dropped entirely. *)
+  let clip = Clip.make ~cols:3 ~rows:2 ~layers:1 [ two_pin "a" (0, 0) (2, 1) ] in
+  let entries =
+    Sweep.clip_deltas ~config:fast_config ~tech:Tech.n28_12t
+      ~rules:[ Rules.rule 4 ] clip
+  in
+  Alcotest.(check int) "dropped" 0 (List.length entries)
+
+let test_sweep_series_sorted () =
+  let entries =
+    [
+      { Sweep.clip_name = "c1"; rule_name = "R"; delta = Sweep.Delta 5; cost = Some 10; base_cost = 5 };
+      { Sweep.clip_name = "c2"; rule_name = "R"; delta = Sweep.Infeasible; cost = None; base_cost = 5 };
+      { Sweep.clip_name = "c3"; rule_name = "R"; delta = Sweep.Delta 0; cost = Some 5; base_cost = 5 };
+    ]
+  in
+  match Sweep.series entries with
+  | [ ("R", values) ] ->
+    Alcotest.(check bool) "ascending with 500 last" true
+      (values = [| 0.0; 5.0; 500.0 |])
+  | _ -> Alcotest.fail "expected one series"
+
+let test_sweep_infeasible_counts () =
+  let entries =
+    [
+      { Sweep.clip_name = "c1"; rule_name = "A"; delta = Sweep.Infeasible; cost = None; base_cost = 1 };
+      { Sweep.clip_name = "c2"; rule_name = "A"; delta = Sweep.Delta 1; cost = Some 2; base_cost = 1 };
+      { Sweep.clip_name = "c1"; rule_name = "B"; delta = Sweep.Limit; cost = None; base_cost = 1 };
+    ]
+  in
+  let counts = Sweep.infeasible_counts entries in
+  Alcotest.(check (list (pair string int))) "counts" [ ("A", 1); ("B", 0) ] counts
+
+(* ------------------------------------------------------------------ *)
+(* Experiment drivers (cheap ones)                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_table3_golden () =
+  (* Table 3 locked verbatim: any drift in the rule definitions shows up
+     here before it silently skews an experiment. *)
+  let expected =
+    [
+      [ "RULE1"; "No SADP"; "0 neighbors blocked" ];
+      [ "RULE2"; "SADP >= M2"; "0 neighbors blocked" ];
+      [ "RULE3"; "SADP >= M3"; "0 neighbors blocked" ];
+      [ "RULE4"; "SADP >= M4"; "0 neighbors blocked" ];
+      [ "RULE5"; "SADP >= M5"; "0 neighbors blocked" ];
+      [ "RULE6"; "No SADP"; "4 neighbors blocked" ];
+      [ "RULE7"; "SADP >= M2"; "4 neighbors blocked" ];
+      [ "RULE8"; "SADP >= M3"; "4 neighbors blocked" ];
+      [ "RULE9"; "No SADP"; "8 neighbors blocked" ];
+      [ "RULE10"; "SADP >= M2"; "8 neighbors blocked" ];
+      [ "RULE11"; "SADP >= M3"; "8 neighbors blocked" ];
+    ]
+  in
+  Alcotest.(check (list (list string))) "verbatim" expected
+    (Experiments.table3_rows ())
+
+let test_table3_matches_rules () =
+  let rows = Experiments.table3_rows () in
+  Alcotest.(check int) "11 rules" 11 (List.length rows);
+  match rows with
+  | [ "RULE1"; "No SADP"; "0 neighbors blocked" ] :: _ -> ()
+  | _ -> Alcotest.fail "RULE1 row malformed"
+
+let test_table2_covers_all_techs () =
+  let rows = Experiments.table2_rows () in
+  Alcotest.(check int) "6 rows" 6 (List.length rows);
+  List.iter
+    (fun tech ->
+      Alcotest.(check bool) (tech.Tech.name ^ " present") true
+        (List.exists (fun row -> List.hd row = tech.Tech.name) rows))
+    Tech.all
+
+let test_rules_for_skips_n7_inapplicable () =
+  let n7 = Experiments.rules_for Tech.n7_9t in
+  let names = List.map (fun (r : Rules.t) -> r.Rules.name) n7 in
+  Alcotest.(check bool) "RULE2 skipped" false (List.mem "RULE2" names);
+  Alcotest.(check bool) "RULE9 skipped" false (List.mem "RULE9" names);
+  Alcotest.(check bool) "RULE3 present" true (List.mem "RULE3" names);
+  let n28 = Experiments.rules_for Tech.n28_12t in
+  Alcotest.(check int) "N28 evaluates all but RULE1" 10 (List.length n28)
+
+let test_ilp_size_rows () =
+  let rows = Experiments.ilp_size_rows () in
+  Alcotest.(check int) "5 variants" 5 (List.length rows);
+  (* SADP variants must be larger than the unrestricted one. *)
+  let vars_of row = int_of_string (List.nth row 4) in
+  let rows_of row = int_of_string (List.nth row 6) in
+  match rows with
+  | base :: via :: sadp :: sadp_aux :: shapes :: [] ->
+    Alcotest.(check bool) "via restriction adds rows" true
+      (rows_of via > rows_of base);
+    Alcotest.(check bool) "SADP adds vars" true (vars_of sadp > vars_of base);
+    Alcotest.(check bool) "aux linearisation adds more vars" true
+      (vars_of sadp_aux > vars_of sadp);
+    Alcotest.(check bool) "via shapes add vars" true (vars_of shapes > vars_of base)
+  | _ -> Alcotest.fail "unexpected row count"
+
+let test_difficult_clips_valid () =
+  let params =
+    {
+      Experiments.default_fig10_params with
+      Experiments.instance_scale = 0.015;
+      top_clips = 3;
+    }
+  in
+  let clips = Experiments.difficult_clips ~params Tech.n28_8t in
+  Alcotest.(check bool) "clips found" true (clips <> []);
+  List.iter
+    (fun c ->
+      match Clip.validate c with
+      | Ok () -> ()
+      | Error m -> Alcotest.fail m)
+    clips
+
+(* ------------------------------------------------------------------ *)
+(* Scoreboard                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let entry rule delta =
+  {
+    Sweep.clip_name = "c";
+    rule_name = rule;
+    delta;
+    cost = None;
+    base_cost = 10;
+  }
+
+let test_scoreboard_reproduced_shape () =
+  (* RULE4/5 flat, RULE6 infeasible, RULE2 severe: every paper claim
+     reproduces. *)
+  let entries =
+    [
+      entry "RULE2" (Sweep.Delta 40);
+      entry "RULE2" Sweep.Infeasible;
+      entry "RULE3" (Sweep.Delta 5);
+      entry "RULE3" (Sweep.Delta 0);
+      entry "RULE4" (Sweep.Delta 0);
+      entry "RULE4" (Sweep.Delta 0);
+      entry "RULE5" (Sweep.Delta 0);
+      entry "RULE5" (Sweep.Delta 0);
+      entry "RULE6" Sweep.Infeasible;
+      entry "RULE6" (Sweep.Delta 2);
+    ]
+  in
+  let findings = Scoreboard.fig10_findings entries in
+  Alcotest.(check int) "four claims" 4 (List.length findings);
+  List.iter
+    (fun (f : Scoreboard.finding) ->
+      match f.Scoreboard.verdict with
+      | Scoreboard.Reproduced -> ()
+      | Scoreboard.Diverged why | Scoreboard.Inconclusive why ->
+        Alcotest.fail (f.Scoreboard.claim ^ ": " ^ why))
+    findings
+
+let test_scoreboard_detects_divergence () =
+  (* Upper-layer rules with big deltas must flag the first claim. *)
+  let entries =
+    [
+      entry "RULE4" (Sweep.Delta 50);
+      entry "RULE5" (Sweep.Delta 60);
+    ]
+  in
+  match Scoreboard.fig10_findings entries with
+  | { Scoreboard.claim = _; verdict = Scoreboard.Diverged _ } :: _ -> ()
+  | _ -> Alcotest.fail "expected Diverged on the first claim"
+
+let test_scoreboard_inconclusive_on_limits () =
+  let entries = [ entry "RULE2" Sweep.Limit; entry "RULE3" Sweep.Limit ] in
+  let findings = Scoreboard.fig10_findings entries in
+  Alcotest.(check bool) "has inconclusive entries" true
+    (List.exists
+       (fun (f : Scoreboard.finding) ->
+         match f.Scoreboard.verdict with
+         | Scoreboard.Inconclusive _ -> true
+         | Scoreboard.Reproduced | Scoreboard.Diverged _ -> false)
+       findings)
+
+let test_scoreboard_fig8 () =
+  let series lo hi =
+    {
+      Experiments.label = "x";
+      top_costs = Array.init 10 (fun i -> hi -. (float_of_int i *. (hi -. lo) /. 9.0));
+    }
+  in
+  let good = [ series 30.0 42.0; series 31.0 41.0 ] in
+  List.iter
+    (fun (f : Scoreboard.finding) ->
+      Alcotest.(check bool) f.Scoreboard.claim true
+        (f.Scoreboard.verdict = Scoreboard.Reproduced))
+    (Scoreboard.fig8_findings good);
+  let disjoint = [ series 1.0 5.0; series 50.0 60.0 ] in
+  Alcotest.(check bool) "disjoint ranges diverge" true
+    (List.exists
+       (fun (f : Scoreboard.finding) ->
+         match f.Scoreboard.verdict with
+         | Scoreboard.Diverged _ -> true
+         | Scoreboard.Reproduced | Scoreboard.Inconclusive _ -> false)
+       (Scoreboard.fig8_findings disjoint))
+
+(* ------------------------------------------------------------------ *)
+(* Report                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_table_render () =
+  let s =
+    Report.Table.render ~header:[ "a"; "bb" ] [ [ "1"; "2" ]; [ "333"; "4" ] ]
+  in
+  let lines = String.split_on_char '\n' s |> List.filter (fun l -> l <> "") in
+  Alcotest.(check int) "4 lines" 4 (List.length lines);
+  Alcotest.(check bool) "separator" true
+    (String.for_all (fun c -> c = '-') (List.nth lines 1))
+
+let test_series_plot () =
+  let s =
+    Report.Series.plot ~width:20 ~height:5
+      [ ("up", [| 0.0; 1.0; 2.0 |]); ("down", [| 2.0; 1.0; 0.0 |]) ]
+  in
+  Alcotest.(check bool) "mentions legend" true
+    (String.length s > 0
+    && List.exists
+         (fun line -> String.length line > 3 && String.sub line 4 2 = "up")
+         (String.split_on_char '\n' s));
+  Alcotest.(check bool) "empty data handled" true
+    (Report.Series.plot [] = "(no data)\n")
+
+let test_csv () =
+  let s = Report.Csv.to_string ~header:[ "a"; "b" ] [ [ "1"; "x,y" ] ] in
+  Alcotest.(check string) "escaped" "a,b\n1,\"x,y\"\n" s
+
+(* ------------------------------------------------------------------ *)
+(* Render                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_render_solution () =
+  let clip = Clip.make ~cols:3 ~rows:1 ~layers:1 [ two_pin "a" (0, 0) (2, 0) ] in
+  let rules = Rules.rule 1 in
+  let g = Graph.build ~tech:Tech.n28_12t ~rules clip in
+  match (Optrouter.route_graph ~config:fast_config ~rules g).Optrouter.verdict with
+  | Optrouter.Routed sol ->
+    let s = Render.solution g sol in
+    Alcotest.(check bool) "names the layer" true
+      (String.length s >= 2 && String.sub s 0 2 = "M2");
+    Alcotest.(check bool) "shows wire" true (String.contains s '-');
+    Alcotest.(check bool) "shows terminals" true (String.contains s 'A');
+    Alcotest.(check bool) "reports cost" true (String.contains s '=')
+  | Optrouter.Unroutable | Optrouter.Limit _ -> Alcotest.fail "route failed"
+
+let () =
+  Alcotest.run "eval"
+    [
+      ( "sweep",
+        [
+          Alcotest.test_case "delta entries" `Quick test_sweep_deltas;
+          Alcotest.test_case "unroutable entry" `Quick test_sweep_unroutable_entry;
+          Alcotest.test_case "unroutable baseline dropped" `Quick
+            test_sweep_drops_unroutable_baseline;
+          Alcotest.test_case "series sorted" `Quick test_sweep_series_sorted;
+          Alcotest.test_case "infeasible counts" `Quick test_sweep_infeasible_counts;
+        ] );
+      ( "experiments",
+        [
+          Alcotest.test_case "table 3" `Quick test_table3_matches_rules;
+          Alcotest.test_case "table 3 golden" `Quick test_table3_golden;
+          Alcotest.test_case "table 2" `Quick test_table2_covers_all_techs;
+          Alcotest.test_case "N7 rule applicability" `Quick
+            test_rules_for_skips_n7_inapplicable;
+          Alcotest.test_case "ILP size variants" `Quick test_ilp_size_rows;
+          Alcotest.test_case "difficult clips are valid" `Slow
+            test_difficult_clips_valid;
+        ] );
+      ( "scoreboard",
+        [
+          Alcotest.test_case "reproduced shape" `Quick
+            test_scoreboard_reproduced_shape;
+          Alcotest.test_case "detects divergence" `Quick
+            test_scoreboard_detects_divergence;
+          Alcotest.test_case "inconclusive on limits" `Quick
+            test_scoreboard_inconclusive_on_limits;
+          Alcotest.test_case "fig8 claims" `Quick test_scoreboard_fig8;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "table" `Quick test_table_render;
+          Alcotest.test_case "series plot" `Quick test_series_plot;
+          Alcotest.test_case "csv" `Quick test_csv;
+        ] );
+      ("render", [ Alcotest.test_case "solution ascii" `Quick test_render_solution ]);
+    ]

@@ -1,0 +1,229 @@
+(* Tests for the geometry substrate: points, intervals, rectangles. *)
+
+module Point = Optrouter_geom.Point
+module Interval = Optrouter_geom.Interval
+module Rect = Optrouter_geom.Rect
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* Point                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_point_arith () =
+  let a = Point.make 3 4 and b = Point.make (-1) 2 in
+  Alcotest.(check bool) "add" true (Point.equal (Point.add a b) (Point.make 2 6));
+  Alcotest.(check bool) "sub" true (Point.equal (Point.sub a b) (Point.make 4 2));
+  Alcotest.(check int) "manhattan" 6 (Point.manhattan a b);
+  Alcotest.(check int) "chebyshev" 4 (Point.chebyshev a b);
+  Alcotest.(check int) "self distance" 0 (Point.manhattan a a)
+
+let test_point_compare_total_order () =
+  let pts = [ Point.make 1 2; Point.make 0 5; Point.make 1 0; Point.make 0 5 ] in
+  let sorted = List.sort Point.compare pts in
+  match sorted with
+  | [ p1; p2; p3; p4 ] ->
+    Alcotest.(check bool) "ordered" true
+      (Point.compare p1 p2 <= 0 && Point.compare p2 p3 <= 0
+      && Point.compare p3 p4 <= 0)
+  | _ -> Alcotest.fail "length"
+
+let point_gen =
+  QCheck.Gen.(
+    let* x = int_range (-1000) 1000 in
+    let* y = int_range (-1000) 1000 in
+    return (Point.make x y))
+
+let arbitrary_point = QCheck.make ~print:Point.to_string point_gen
+
+let prop_manhattan_triangle =
+  QCheck.Test.make ~name:"manhattan satisfies the triangle inequality" ~count:200
+    (QCheck.triple arbitrary_point arbitrary_point arbitrary_point)
+    (fun (a, b, c) ->
+      Point.manhattan a c <= Point.manhattan a b + Point.manhattan b c)
+
+let prop_chebyshev_le_manhattan =
+  QCheck.Test.make ~name:"chebyshev <= manhattan <= 2 * chebyshev" ~count:200
+    (QCheck.pair arbitrary_point arbitrary_point)
+    (fun (a, b) ->
+      let m = Point.manhattan a b and c = Point.chebyshev a b in
+      c <= m && m <= 2 * c)
+
+(* ------------------------------------------------------------------ *)
+(* Interval                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_interval_basics () =
+  let i = Interval.make 2 5 in
+  Alcotest.(check bool) "not empty" false (Interval.is_empty i);
+  Alcotest.(check int) "length" 3 (Interval.length i);
+  Alcotest.(check int) "cardinal" 4 (Interval.cardinal i);
+  Alcotest.(check bool) "contains" true (Interval.contains i 3);
+  Alcotest.(check bool) "excludes" false (Interval.contains i 6);
+  let empty = Interval.make 5 2 in
+  Alcotest.(check bool) "empty" true (Interval.is_empty empty);
+  Alcotest.(check int) "empty length" 0 (Interval.length empty);
+  Alcotest.(check int) "empty cardinal" 0 (Interval.cardinal empty)
+
+let test_interval_of_endpoints () =
+  Alcotest.(check bool) "ordered" true
+    (Interval.equal (Interval.of_endpoints 7 3) (Interval.make 3 7))
+
+let test_interval_set_ops () =
+  let a = Interval.make 0 4 and b = Interval.make 3 8 and c = Interval.make 6 9 in
+  Alcotest.(check bool) "overlap" true (Interval.overlaps a b);
+  Alcotest.(check bool) "disjoint" false (Interval.overlaps a c);
+  Alcotest.(check bool) "inter" true
+    (Interval.equal (Interval.inter a b) (Interval.make 3 4));
+  Alcotest.(check bool) "inter empty" true
+    (Interval.is_empty (Interval.inter a c));
+  Alcotest.(check bool) "hull" true
+    (Interval.equal (Interval.hull a c) (Interval.make 0 9));
+  Alcotest.(check int) "distance disjoint" 2 (Interval.distance a c);
+  Alcotest.(check int) "distance overlap" 0 (Interval.distance a b);
+  Alcotest.(check bool) "expand" true
+    (Interval.equal (Interval.expand a 2) (Interval.make (-2) 6))
+
+let interval_gen =
+  QCheck.Gen.(
+    let* a = int_range (-100) 100 in
+    let* b = int_range (-100) 100 in
+    return (Interval.of_endpoints a b))
+
+let arbitrary_interval =
+  QCheck.make
+    ~print:(fun i -> Format.asprintf "%a" Interval.pp i)
+    interval_gen
+
+let prop_interval_inter_subset =
+  QCheck.Test.make ~name:"intersection is contained in both intervals" ~count:200
+    (QCheck.pair arbitrary_interval arbitrary_interval)
+    (fun (a, b) ->
+      let i = Interval.inter a b in
+      Interval.is_empty i
+      || (Interval.contains a i.Interval.lo && Interval.contains a i.Interval.hi
+         && Interval.contains b i.Interval.lo && Interval.contains b i.Interval.hi))
+
+let prop_interval_hull_superset =
+  QCheck.Test.make ~name:"hull contains both intervals" ~count:200
+    (QCheck.pair arbitrary_interval arbitrary_interval)
+    (fun (a, b) ->
+      let h = Interval.hull a b in
+      Interval.contains h a.Interval.lo && Interval.contains h a.Interval.hi
+      && Interval.contains h b.Interval.lo && Interval.contains h b.Interval.hi)
+
+let prop_interval_distance_symmetric =
+  QCheck.Test.make ~name:"interval distance is symmetric" ~count:200
+    (QCheck.pair arbitrary_interval arbitrary_interval)
+    (fun (a, b) -> Interval.distance a b = Interval.distance b a)
+
+(* ------------------------------------------------------------------ *)
+(* Rect                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_rect_basics () =
+  let r = Rect.make ~xlo:0 ~ylo:0 ~xhi:10 ~yhi:4 in
+  Alcotest.(check int) "width" 10 (Rect.width r);
+  Alcotest.(check int) "height" 4 (Rect.height r);
+  Alcotest.(check int) "area" 40 (Rect.area r);
+  Alcotest.(check bool) "center" true (Point.equal (Rect.center r) (Point.make 5 2));
+  Alcotest.(check bool) "contains point" true
+    (Rect.contains_point r (Point.make 10 4));
+  Alcotest.(check bool) "excludes point" false
+    (Rect.contains_point r (Point.make 11 0))
+
+let test_rect_relations () =
+  let a = Rect.make ~xlo:0 ~ylo:0 ~xhi:4 ~yhi:4 in
+  let b = Rect.make ~xlo:2 ~ylo:2 ~xhi:6 ~yhi:6 in
+  let c = Rect.make ~xlo:10 ~ylo:10 ~xhi:12 ~yhi:12 in
+  Alcotest.(check bool) "overlap" true (Rect.overlaps a b);
+  Alcotest.(check bool) "disjoint" false (Rect.overlaps a c);
+  (match Rect.inter a b with
+  | Some i ->
+    Alcotest.(check bool) "inter" true
+      (Rect.equal i (Rect.make ~xlo:2 ~ylo:2 ~xhi:4 ~yhi:4))
+  | None -> Alcotest.fail "expected intersection");
+  Alcotest.(check bool) "no inter" true (Rect.inter a c = None);
+  Alcotest.(check bool) "hull" true
+    (Rect.equal (Rect.hull a c) (Rect.make ~xlo:0 ~ylo:0 ~xhi:12 ~yhi:12));
+  Alcotest.(check bool) "contains" true
+    (Rect.contains a (Rect.make ~xlo:1 ~ylo:1 ~xhi:2 ~yhi:2));
+  Alcotest.(check bool) "not contains" false (Rect.contains a b)
+
+let test_rect_distance () =
+  let a = Rect.make ~xlo:0 ~ylo:0 ~xhi:2 ~yhi:2 in
+  let right = Rect.make ~xlo:5 ~ylo:0 ~xhi:6 ~yhi:2 in
+  let diag = Rect.make ~xlo:5 ~ylo:6 ~xhi:7 ~yhi:8 in
+  Alcotest.(check int) "x gap" 3 (Rect.distance a right);
+  Alcotest.(check int) "L1 gap" 7 (Rect.distance a diag);
+  Alcotest.(check int) "overlapping" 0 (Rect.distance a a)
+
+let test_rect_transform () =
+  let r = Rect.make ~xlo:1 ~ylo:1 ~xhi:3 ~yhi:4 in
+  Alcotest.(check bool) "translate" true
+    (Rect.equal
+       (Rect.translate r (Point.make 10 (-1)))
+       (Rect.make ~xlo:11 ~ylo:0 ~xhi:13 ~yhi:3));
+  Alcotest.(check bool) "expand" true
+    (Rect.equal (Rect.expand r 1) (Rect.make ~xlo:0 ~ylo:0 ~xhi:4 ~yhi:5))
+
+let rect_gen =
+  QCheck.Gen.(
+    let* p1 = point_gen in
+    let* p2 = point_gen in
+    return (Rect.of_corners p1 p2))
+
+let arbitrary_rect =
+  QCheck.make ~print:(fun r -> Format.asprintf "%a" Rect.pp r) rect_gen
+
+let prop_rect_distance_symmetric =
+  QCheck.Test.make ~name:"rect distance is symmetric" ~count:200
+    (QCheck.pair arbitrary_rect arbitrary_rect)
+    (fun (a, b) -> Rect.distance a b = Rect.distance b a)
+
+let prop_rect_inter_commutes_with_overlap =
+  QCheck.Test.make ~name:"inter is Some iff overlaps" ~count:200
+    (QCheck.pair arbitrary_rect arbitrary_rect)
+    (fun (a, b) -> Rect.overlaps a b = Option.is_some (Rect.inter a b))
+
+let prop_rect_hull_contains =
+  QCheck.Test.make ~name:"hull contains both rectangles" ~count:200
+    (QCheck.pair arbitrary_rect arbitrary_rect)
+    (fun (a, b) ->
+      let h = Rect.hull a b in
+      Rect.contains h a && Rect.contains h b)
+
+let () =
+  Alcotest.run "geom"
+    [
+      ( "point",
+        [
+          Alcotest.test_case "arithmetic" `Quick test_point_arith;
+          Alcotest.test_case "compare is a total order" `Quick
+            test_point_compare_total_order;
+        ] );
+      ( "interval",
+        [
+          Alcotest.test_case "basics" `Quick test_interval_basics;
+          Alcotest.test_case "of_endpoints" `Quick test_interval_of_endpoints;
+          Alcotest.test_case "set operations" `Quick test_interval_set_ops;
+        ] );
+      ( "rect",
+        [
+          Alcotest.test_case "basics" `Quick test_rect_basics;
+          Alcotest.test_case "relations" `Quick test_rect_relations;
+          Alcotest.test_case "distance" `Quick test_rect_distance;
+          Alcotest.test_case "transforms" `Quick test_rect_transform;
+        ] );
+      ( "properties",
+        [
+          qtest prop_manhattan_triangle;
+          qtest prop_chebyshev_le_manhattan;
+          qtest prop_interval_inter_subset;
+          qtest prop_interval_hull_superset;
+          qtest prop_interval_distance_symmetric;
+          qtest prop_rect_distance_symmetric;
+          qtest prop_rect_inter_commutes_with_overlap;
+          qtest prop_rect_hull_contains;
+        ] );
+    ]

@@ -1,0 +1,903 @@
+(* Tests for the LP/MILP substrate: unit tests on known instances, plus
+   property-based cross-validation against the dense reference simplex and
+   exhaustive enumeration. *)
+
+module Lp = Optrouter_ilp.Lp
+module Simplex = Optrouter_ilp.Simplex
+module Dense = Optrouter_ilp.Dense_simplex
+module Milp = Optrouter_ilp.Milp
+module Lp_file = Optrouter_ilp.Lp_file
+module Presolve = Optrouter_ilp.Presolve
+
+let check_float = Alcotest.(check (float 1e-6))
+
+(* Compact LP construction: [vars] are (name, lo, up, obj, kind); [rows]
+   are (name, [(index, coeff)], sense, rhs). *)
+let build vars rows =
+  let b = Lp.Builder.create () in
+  List.iter
+    (fun (name, lower, upper, obj, kind) ->
+      ignore (Lp.Builder.add_var b ~name ~lower ~upper ~obj kind))
+    vars;
+  List.iter
+    (fun (name, coeffs, sense, rhs) -> Lp.Builder.add_row b ~name coeffs sense rhs)
+    rows;
+  Lp.Builder.finish b
+
+let cont name lower upper obj = (name, lower, upper, obj, Lp.Continuous)
+let bin name obj = (name, 0.0, 1.0, obj, Lp.Integer)
+
+(* ------------------------------------------------------------------ *)
+(* Builder                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_builder_merges_duplicates () =
+  let b = Lp.Builder.create () in
+  let x = Lp.Builder.add_var b ~name:"x" ~lower:0.0 ~upper:1.0 ~obj:1.0 Lp.Continuous in
+  Lp.Builder.add_row b ~name:"r" [ (x, 1.0); (x, 2.0) ] Lp.Le 5.0;
+  let lp = Lp.Builder.finish b in
+  Alcotest.(check int) "one row" 1 (Lp.nrows lp);
+  let row = lp.rows.(0) in
+  Alcotest.(check int) "one coeff" 1 (Array.length row.coeffs);
+  let _, a = row.coeffs.(0) in
+  check_float "merged coefficient" 3.0 a
+
+let test_builder_drops_zero () =
+  let b = Lp.Builder.create () in
+  let x = Lp.Builder.add_var b ~name:"x" ~lower:0.0 ~upper:1.0 ~obj:0.0 Lp.Continuous in
+  let y = Lp.Builder.add_var b ~name:"y" ~lower:0.0 ~upper:1.0 ~obj:0.0 Lp.Continuous in
+  Lp.Builder.add_row b ~name:"r" [ (x, 1.0); (y, 1.0); (y, -1.0) ] Lp.Le 5.0;
+  let lp = Lp.Builder.finish b in
+  Alcotest.(check int) "y cancelled out" 1 (Array.length lp.rows.(0).coeffs)
+
+let test_builder_rejects_bad_bounds () =
+  let b = Lp.Builder.create () in
+  match
+    Lp.Builder.add_var b ~name:"x" ~lower:2.0 ~upper:1.0 ~obj:0.0 Lp.Continuous
+  with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_builder_rejects_bad_index () =
+  let b = Lp.Builder.create () in
+  ignore (Lp.Builder.add_var b ~name:"x" ~lower:0.0 ~upper:1.0 ~obj:0.0 Lp.Continuous);
+  match Lp.Builder.add_row b ~name:"r" [ (7, 1.0) ] Lp.Le 1.0 with
+  | () -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_feasibility_helpers () =
+  let lp =
+    build [ cont "x" 0.0 4.0 1.0; cont "y" 0.0 4.0 1.0 ]
+      [ ("r1", [ (0, 1.0); (1, 1.0) ], Lp.Ge, 2.0) ]
+  in
+  Alcotest.(check bool) "feasible point" true (Lp.is_feasible lp [| 1.0; 1.5 |]);
+  Alcotest.(check bool) "violates row" false (Lp.is_feasible lp [| 0.5; 0.5 |]);
+  Alcotest.(check bool) "violates bound" false (Lp.is_feasible lp [| 5.0; 0.0 |]);
+  check_float "objective" 2.5 (Lp.objective_value lp [| 1.0; 1.5 |])
+
+(* ------------------------------------------------------------------ *)
+(* Simplex on known instances                                          *)
+(* ------------------------------------------------------------------ *)
+
+let solve_optimal lp =
+  let res = Simplex.solve lp in
+  (match res.status with
+  | Simplex.Optimal -> ()
+  | Simplex.Infeasible -> Alcotest.fail "unexpected Infeasible"
+  | Simplex.Unbounded -> Alcotest.fail "unexpected Unbounded");
+  (match Simplex.verify_optimal lp res with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("optimality certificate failed: " ^ e));
+  res
+
+let test_simplex_2var () =
+  (* min -x - 2y s.t. x + y <= 4, x, y in [0, 3]: optimum at (1, 3), obj -7 *)
+  let lp =
+    build [ cont "x" 0.0 3.0 (-1.0); cont "y" 0.0 3.0 (-2.0) ]
+      [ ("cap", [ (0, 1.0); (1, 1.0) ], Lp.Le, 4.0) ]
+  in
+  let res = solve_optimal lp in
+  check_float "objective" (-7.0) res.objective;
+  check_float "x" 1.0 res.x.(0);
+  check_float "y" 3.0 res.x.(1)
+
+let test_simplex_equality () =
+  (* min x + y s.t. x + 2y = 4, x,y >= 0: optimum (0, 2), obj 2 *)
+  let lp =
+    build [ cont "x" 0.0 10.0 1.0; cont "y" 0.0 10.0 1.0 ]
+      [ ("eq", [ (0, 1.0); (1, 2.0) ], Lp.Eq, 4.0) ]
+  in
+  let res = solve_optimal lp in
+  check_float "objective" 2.0 res.objective;
+  check_float "y" 2.0 res.x.(1)
+
+let test_simplex_infeasible () =
+  let lp =
+    build [ cont "x" 0.0 1.0 1.0 ]
+      [
+        ("lo", [ (0, 1.0) ], Lp.Ge, 2.0);
+        ("hi", [ (0, 1.0) ], Lp.Le, 1.0);
+      ]
+  in
+  let res = Simplex.solve lp in
+  Alcotest.(check bool) "infeasible" true (res.status = Simplex.Infeasible)
+
+let test_simplex_infeasible_eq_pair () =
+  let lp =
+    build
+      [ cont "x" 0.0 10.0 0.0; cont "y" 0.0 10.0 0.0 ]
+      [
+        ("a", [ (0, 1.0); (1, 1.0) ], Lp.Eq, 1.0);
+        ("b", [ (0, 1.0); (1, 1.0) ], Lp.Eq, 2.0);
+      ]
+  in
+  let res = Simplex.solve lp in
+  Alcotest.(check bool) "infeasible" true (res.status = Simplex.Infeasible)
+
+let test_simplex_unbounded () =
+  let lp =
+    build [ cont "x" 0.0 infinity (-1.0) ]
+      [ ("r", [ (0, -1.0) ], Lp.Le, 0.0) ]
+  in
+  let res = Simplex.solve lp in
+  Alcotest.(check bool) "unbounded" true (res.status = Simplex.Unbounded)
+
+let test_simplex_bounds_only () =
+  (* No rows: min -2x + y drives x to upper, y to lower. *)
+  let lp = build [ cont "x" 1.0 5.0 (-2.0); cont "y" 2.0 7.0 1.0 ] [] in
+  let res = solve_optimal lp in
+  check_float "x at upper" 5.0 res.x.(0);
+  check_float "y at lower" 2.0 res.x.(1);
+  check_float "objective" (-8.0) res.objective
+
+let test_simplex_negative_lower () =
+  (* Variables with negative lower bounds. min x s.t. x >= -3. *)
+  let lp =
+    build [ cont "x" (-5.0) 5.0 1.0 ] [ ("r", [ (0, 1.0) ], Lp.Ge, -3.0) ]
+  in
+  let res = solve_optimal lp in
+  check_float "objective" (-3.0) res.objective
+
+let test_simplex_free_variable () =
+  (* Free variable pinned by an equality: min y s.t. x + y = 2, y >= 0,
+     x free with x <= 1 forces y >= 1. *)
+  let lp =
+    build
+      [ cont "x" neg_infinity 1.0 0.0; cont "y" 0.0 infinity 1.0 ]
+      [ ("eq", [ (0, 1.0); (1, 1.0) ], Lp.Eq, 2.0) ]
+  in
+  let res = solve_optimal lp in
+  check_float "objective" 1.0 res.objective
+
+let test_simplex_degenerate () =
+  (* Multiple redundant constraints through the optimum. *)
+  let lp =
+    build
+      [ cont "x" 0.0 10.0 (-1.0); cont "y" 0.0 10.0 (-1.0) ]
+      [
+        ("a", [ (0, 1.0); (1, 1.0) ], Lp.Le, 2.0);
+        ("b", [ (0, 1.0); (1, 1.0) ], Lp.Le, 2.0);
+        ("c", [ (0, 2.0); (1, 2.0) ], Lp.Le, 4.0);
+        ("d", [ (0, 1.0) ], Lp.Le, 2.0);
+        ("e", [ (1, 1.0) ], Lp.Le, 2.0);
+      ]
+  in
+  let res = solve_optimal lp in
+  check_float "objective" (-2.0) res.objective
+
+let test_simplex_warm_start () =
+  let lp =
+    build
+      [ cont "x" 0.0 3.0 (-1.0); cont "y" 0.0 3.0 (-2.0); cont "z" 0.0 3.0 1.0 ]
+      [
+        ("cap", [ (0, 1.0); (1, 1.0); (2, 1.0) ], Lp.Le, 4.0);
+        ("mix", [ (0, 1.0); (1, -1.0) ], Lp.Ge, -2.0);
+      ]
+  in
+  let inst = Simplex.Instance.create lp in
+  let r1 = Simplex.Instance.solve inst in
+  let r2 = Simplex.Instance.solve ~basis:r1.basis inst in
+  Alcotest.(check bool) "optimal again" true (r2.status = Simplex.Optimal);
+  check_float "same objective" r1.objective r2.objective;
+  Alcotest.(check bool)
+    "warm start converges fast" true
+    (r2.iterations <= r1.iterations)
+
+let test_simplex_warm_start_changed_bounds () =
+  let lp =
+    build
+      [ cont "x" 0.0 1.0 (-1.0); cont "y" 0.0 1.0 (-1.0) ]
+      [ ("cap", [ (0, 1.0); (1, 1.0) ], Lp.Le, 2.0) ]
+  in
+  let inst = Simplex.Instance.create lp in
+  let r1 = Simplex.Instance.solve inst in
+  check_float "both at 1" (-2.0) r1.objective;
+  (* Fix x to 0 and restart from the old basis. *)
+  let r2 =
+    Simplex.Instance.solve ~basis:r1.basis ~lower:[| 0.0; 0.0 |]
+      ~upper:[| 0.0; 1.0 |] inst
+  in
+  Alcotest.(check bool) "optimal" true (r2.status = Simplex.Optimal);
+  check_float "objective" (-1.0) r2.objective;
+  check_float "x fixed" 0.0 r2.x.(0)
+
+let test_simplex_ge_rows () =
+  (* Classic diet-style LP. min 2x + 3y s.t. x + y >= 4, x + 3y >= 6. *)
+  let lp =
+    build
+      [ cont "x" 0.0 100.0 2.0; cont "y" 0.0 100.0 3.0 ]
+      [
+        ("r1", [ (0, 1.0); (1, 1.0) ], Lp.Ge, 4.0);
+        ("r2", [ (0, 1.0); (1, 3.0) ], Lp.Ge, 6.0);
+      ]
+  in
+  let res = solve_optimal lp in
+  (* Optimum at the intersection (3, 1): obj 9. *)
+  check_float "objective" 9.0 res.objective
+
+let test_simplex_fixed_variable () =
+  let lp =
+    build
+      [ cont "x" 2.0 2.0 5.0; cont "y" 0.0 10.0 1.0 ]
+      [ ("r", [ (0, 1.0); (1, 1.0) ], Lp.Ge, 5.0) ]
+  in
+  let res = solve_optimal lp in
+  check_float "x pinned" 2.0 res.x.(0);
+  check_float "objective" 13.0 res.objective
+
+(* ------------------------------------------------------------------ *)
+(* Property-based: random LPs vs the dense oracle                      *)
+(* ------------------------------------------------------------------ *)
+
+let lp_of_ints objs uppers rows =
+  let b = Lp.Builder.create () in
+  Array.iteri
+    (fun j obj ->
+      ignore
+        (Lp.Builder.add_var b
+           ~name:(Printf.sprintf "x%d" j)
+           ~lower:0.0
+           ~upper:(float_of_int uppers.(j))
+           ~obj:(float_of_int obj) Lp.Continuous))
+    objs;
+  List.iteri
+    (fun i (cs, sense, rhs) ->
+      let coeffs =
+        Array.to_list (Array.mapi (fun j c -> (j, float_of_int c)) cs)
+        |> List.filter (fun (_, c) -> c <> 0.0)
+      in
+      Lp.Builder.add_row b ~name:(Printf.sprintf "r%d" i) coeffs sense
+        (float_of_int rhs))
+    rows;
+  Lp.Builder.finish b
+
+let random_lp_gen =
+  let open QCheck.Gen in
+  let* nv = int_range 1 6 in
+  let* nr = int_range 0 6 in
+  let* objs = array_size (return nv) (int_range (-5) 5) in
+  let* uppers = array_size (return nv) (int_range 0 5) in
+  let coeff = int_range (-4) 4 in
+  let* rows =
+    list_size (return nr)
+      (let* cs = array_size (return nv) coeff in
+       let* sense = oneofl [ Lp.Le; Lp.Ge; Lp.Eq ] in
+       let* rhs = int_range (-6) 10 in
+       return (cs, sense, rhs))
+  in
+  return (lp_of_ints objs uppers rows)
+
+let arbitrary_lp = QCheck.make ~print:(Format.asprintf "%a" Lp.pp) random_lp_gen
+
+let prop_simplex_matches_dense =
+  QCheck.Test.make ~name:"simplex agrees with dense oracle" ~count:500
+    arbitrary_lp (fun lp ->
+      let sparse = Simplex.solve lp in
+      let dense = Dense.solve lp in
+      match (sparse.status, dense) with
+      | Simplex.Optimal, Dense.Optimal (obj, _) ->
+        Float.abs (sparse.objective -. obj) <= 1e-5
+      | Simplex.Infeasible, Dense.Infeasible -> true
+      | _, _ -> false)
+
+let prop_simplex_certificate =
+  QCheck.Test.make ~name:"optimal solutions carry a valid KKT certificate"
+    ~count:500 arbitrary_lp (fun lp ->
+      let res = Simplex.solve lp in
+      match res.status with
+      | Simplex.Optimal -> Result.is_ok (Simplex.verify_optimal lp res)
+      | Simplex.Infeasible | Simplex.Unbounded -> true)
+
+(* Constructed-feasible LPs: plant a feasible point, so Infeasible is
+   never a correct answer. *)
+let feasible_lp_gen =
+  let open QCheck.Gen in
+  let* nv = int_range 1 6 in
+  let* nr = int_range 1 6 in
+  let* x0 = array_size (return nv) (int_range 0 4) in
+  let* objs = array_size (return nv) (int_range (-5) 5) in
+  let coeff = int_range (-3) 3 in
+  let* specs =
+    list_size (return nr)
+      (let* cs = array_size (return nv) coeff in
+       let* sense = oneofl [ Lp.Le; Lp.Ge; Lp.Eq ] in
+       let* slackness = int_range 0 3 in
+       return (cs, sense, slackness))
+  in
+  let rows =
+    List.map
+      (fun (cs, sense, slackness) ->
+        let activity =
+          Array.to_list (Array.mapi (fun j c -> c * x0.(j)) cs)
+          |> List.fold_left ( + ) 0
+        in
+        let rhs =
+          match sense with
+          | Lp.Le -> activity + slackness
+          | Lp.Ge -> activity - slackness
+          | Lp.Eq -> activity
+        in
+        (cs, sense, rhs))
+      specs
+  in
+  return (lp_of_ints objs (Array.make nv 6) rows)
+
+let prop_feasible_lp_solved =
+  QCheck.Test.make ~name:"constructed-feasible LPs are solved to optimality"
+    ~count:500
+    (QCheck.make ~print:(Format.asprintf "%a" Lp.pp) feasible_lp_gen)
+    (fun lp ->
+      let res = Simplex.solve lp in
+      res.status = Simplex.Optimal
+      && Result.is_ok (Simplex.verify_optimal lp res))
+
+(* ------------------------------------------------------------------ *)
+(* MILP                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_milp_knapsack () =
+  (* max 10a + 6b + 4c s.t. a + b + c <= 2 (binary): best {a, b} = 16. *)
+  let lp =
+    build
+      [ bin "a" (-10.0); bin "b" (-6.0); bin "c" (-4.0) ]
+      [ ("cap", [ (0, 1.0); (1, 1.0); (2, 1.0) ], Lp.Le, 2.0) ]
+  in
+  let res = Milp.solve lp in
+  Alcotest.(check bool) "optimal" true (res.outcome = Milp.Proved_optimal);
+  check_float "objective" (-16.0) res.objective;
+  check_float "a" 1.0 res.x.(0);
+  check_float "b" 1.0 res.x.(1);
+  check_float "c" 0.0 res.x.(2)
+
+let test_milp_forces_branching () =
+  (* min -x1 - x2 s.t. 2x1 + 2x2 <= 3 (binary): LP gives -1.5, ILP -1. *)
+  let lp =
+    build
+      [ bin "x1" (-1.0); bin "x2" (-1.0) ]
+      [ ("r", [ (0, 2.0); (1, 2.0) ], Lp.Le, 3.0) ]
+  in
+  let relax = Simplex.solve lp in
+  check_float "relaxation" (-1.5) relax.objective;
+  let res = Milp.solve lp in
+  Alcotest.(check bool) "optimal" true (res.outcome = Milp.Proved_optimal);
+  check_float "objective" (-1.0) res.objective;
+  Alcotest.(check bool) "integral" true (Lp.is_integral lp res.x)
+
+let test_milp_infeasible () =
+  let lp =
+    build
+      [ bin "x1" 1.0; bin "x2" 1.0 ]
+      [ ("r", [ (0, 1.0); (1, 1.0) ], Lp.Ge, 3.0) ]
+  in
+  let res = Milp.solve lp in
+  Alcotest.(check bool) "infeasible" true (res.outcome = Milp.Infeasible)
+
+let test_milp_integrality_gap_only_in_lp () =
+  (* 2x = 1 has no integer solution, so the MILP is infeasible while the
+     relaxation is not. *)
+  let lp = build [ bin "x" 1.0 ] [ ("eq", [ (0, 2.0) ], Lp.Eq, 1.0) ] in
+  let relax = Simplex.solve lp in
+  Alcotest.(check bool) "LP feasible" true (relax.status = Simplex.Optimal);
+  let res = Milp.solve lp in
+  Alcotest.(check bool) "MILP infeasible" true (res.outcome = Milp.Infeasible)
+
+let test_milp_mixed () =
+  (* Integer count + continuous remainder. min 5n + r s.t. 3n + r = 7,
+     r in [0, 2.5]: n must be >= 1.5 -> n = 2, r = 1: obj 11. *)
+  let lp =
+    build
+      [
+        ("n", 0.0, 10.0, 5.0, Lp.Integer);
+        ("r", 0.0, 2.5, 1.0, Lp.Continuous);
+      ]
+      [ ("eq", [ (0, 3.0); (1, 1.0) ], Lp.Eq, 7.0) ]
+  in
+  let res = Milp.solve lp in
+  Alcotest.(check bool) "optimal" true (res.outcome = Milp.Proved_optimal);
+  check_float "objective" 11.0 res.objective;
+  check_float "n" 2.0 res.x.(0);
+  check_float "r" 1.0 res.x.(1)
+
+let test_milp_node_limit () =
+  let lp =
+    build
+      [ bin "x1" (-1.0); bin "x2" (-1.0); bin "x3" (-1.0) ]
+      [ ("r", [ (0, 2.0); (1, 2.0); (2, 2.0) ], Lp.Le, 5.0) ]
+  in
+  let params = { Milp.default_params with max_nodes = 1 } in
+  let res = Milp.solve ~params lp in
+  Alcotest.(check bool)
+    "limit reported" true
+    (match res.outcome with
+    | Milp.Feasible | Milp.Unknown -> true
+    | Milp.Proved_optimal | Milp.Infeasible | Milp.Unbounded -> false)
+
+(* Exhaustive oracle for pure-binary MILPs. *)
+let enumerate_binary_optimum (lp : Lp.t) =
+  let n = Lp.nvars lp in
+  assert (n <= 12);
+  let best = ref None in
+  for mask = 0 to (1 lsl n) - 1 do
+    let x =
+      Array.init n (fun j -> if mask land (1 lsl j) <> 0 then 1.0 else 0.0)
+    in
+    if Lp.is_feasible lp x then begin
+      let obj = Lp.objective_value lp x in
+      match !best with
+      | Some b when b <= obj -> ()
+      | Some _ | None -> best := Some obj
+    end
+  done;
+  !best
+
+let random_binary_milp_gen =
+  let open QCheck.Gen in
+  let* nv = int_range 1 8 in
+  let* nr = int_range 0 5 in
+  let* objs = array_size (return nv) (int_range (-6) 6) in
+  let coeff = int_range (-3) 3 in
+  let* rows =
+    list_size (return nr)
+      (let* cs = array_size (return nv) coeff in
+       let* sense = oneofl [ Lp.Le; Lp.Ge ] in
+       let* rhs = int_range (-4) 6 in
+       return (cs, sense, rhs))
+  in
+  let b = Lp.Builder.create () in
+  Array.iteri
+    (fun j obj ->
+      ignore
+        (Lp.Builder.add_binary b
+           ~name:(Printf.sprintf "x%d" j)
+           ~obj:(float_of_int obj)))
+    objs;
+  List.iteri
+    (fun i (cs, sense, rhs) ->
+      let coeffs =
+        Array.to_list (Array.mapi (fun j c -> (j, float_of_int c)) cs)
+        |> List.filter (fun (_, c) -> c <> 0.0)
+      in
+      Lp.Builder.add_row b ~name:(Printf.sprintf "r%d" i) coeffs sense
+        (float_of_int rhs))
+    rows;
+  return (Lp.Builder.finish b)
+
+let prop_milp_matches_enumeration =
+  QCheck.Test.make ~name:"milp agrees with exhaustive binary enumeration"
+    ~count:300
+    (QCheck.make ~print:(Format.asprintf "%a" Lp.pp) random_binary_milp_gen)
+    (fun lp ->
+      let res = Milp.solve lp in
+      match (res.outcome, enumerate_binary_optimum lp) with
+      | Milp.Proved_optimal, Some best ->
+        Float.abs (res.objective -. best) <= 1e-6
+        && Lp.is_integral lp res.x
+        && Lp.is_feasible lp res.x
+      | Milp.Infeasible, None -> true
+      | _, _ -> false)
+
+let test_milp_initial_incumbent () =
+  (* A valid initial point prunes immediately when the bound matches. *)
+  let lp =
+    build
+      [ bin "a" (-10.0); bin "b" (-6.0); bin "c" (-4.0) ]
+      [ ("cap", [ (0, 1.0); (1, 1.0); (2, 1.0) ], Lp.Le, 2.0) ]
+  in
+  let res = Milp.solve ~initial:[| 1.0; 1.0; 0.0 |] lp in
+  Alcotest.(check bool) "optimal" true (res.outcome = Milp.Proved_optimal);
+  check_float "objective" (-16.0) res.objective
+
+let test_milp_initial_invalid_ignored () =
+  (* An infeasible initial point must not corrupt the search. *)
+  let lp =
+    build
+      [ bin "a" (-10.0); bin "b" (-6.0) ]
+      [ ("cap", [ (0, 1.0); (1, 1.0) ], Lp.Le, 1.0) ]
+  in
+  let res = Milp.solve ~initial:[| 1.0; 1.0 |] lp in
+  Alcotest.(check bool) "optimal" true (res.outcome = Milp.Proved_optimal);
+  check_float "objective" (-10.0) res.objective
+
+let test_milp_cutoff_confirms_external_optimum () =
+  (* cutoff equal to the true optimum: search proves nothing better exists
+     and reports the external objective with an empty point. *)
+  let lp =
+    build
+      [ bin "a" (-3.0); bin "b" (-2.0) ]
+      [ ("cap", [ (0, 2.0); (1, 2.0) ], Lp.Le, 3.0) ]
+  in
+  let res = Milp.solve ~cutoff:(-3.0) lp in
+  Alcotest.(check bool) "optimal" true (res.outcome = Milp.Proved_optimal);
+  check_float "objective" (-3.0) res.objective;
+  Alcotest.(check int) "empty point" 0 (Array.length res.x)
+
+let test_milp_cutoff_improved () =
+  (* a loose cutoff is beaten by the search *)
+  let lp =
+    build
+      [ bin "a" (-3.0); bin "b" (-2.0) ]
+      [ ("cap", [ (0, 1.0); (1, 1.0) ], Lp.Le, 2.0) ]
+  in
+  let res = Milp.solve ~cutoff:(-1.0) lp in
+  Alcotest.(check bool) "optimal" true (res.outcome = Milp.Proved_optimal);
+  check_float "objective" (-5.0) res.objective;
+  Alcotest.(check bool) "real point" true (Array.length res.x = 2)
+
+(* ------------------------------------------------------------------ *)
+(* Presolve                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_presolve_fixed_variable () =
+  let lp =
+    build
+      [ cont "fixed" 2.0 2.0 3.0; cont "x" 0.0 10.0 1.0 ]
+      [ ("r", [ (0, 1.0); (1, 1.0) ], Lp.Ge, 5.0) ]
+  in
+  match Presolve.presolve lp with
+  | Presolve.Infeasible m -> Alcotest.fail m
+  | Presolve.Reduced (lp', m) ->
+    Alcotest.(check int) "one variable left" 1 (Lp.nvars lp');
+    check_float "offset is fixed cost" 6.0 (Presolve.objective_offset m);
+    (* row rhs absorbed the fixed value: x >= 3 became a bound, so the
+       singleton row is gone too *)
+    Alcotest.(check int) "rows removed" 1 (snd (Presolve.removed m));
+    let res = Simplex.solve lp' in
+    let x = Presolve.restore m res.x in
+    check_float "fixed value restored" 2.0 x.(0);
+    check_float "same optimum as unreduced" (Simplex.solve lp).objective
+      (res.objective +. Presolve.objective_offset m)
+
+let test_presolve_singleton_rows () =
+  let lp =
+    build
+      [ cont "x" 0.0 10.0 (-1.0) ]
+      [
+        ("ub", [ (0, 2.0) ], Lp.Le, 8.0);
+        (* 2x <= 8 -> x <= 4 *)
+        ("lb", [ (0, -1.0) ], Lp.Le, -1.0);
+        (* -x <= -1 -> x >= 1 *)
+      ]
+  in
+  match Presolve.presolve lp with
+  | Presolve.Infeasible m -> Alcotest.fail m
+  | Presolve.Reduced (lp', _) ->
+    Alcotest.(check int) "rows gone" 0 (Lp.nrows lp');
+    let v = lp'.Lp.vars.(0) in
+    check_float "upper tightened" 4.0 v.Lp.upper;
+    check_float "lower tightened" 1.0 v.Lp.lower
+
+let test_presolve_integer_rounding () =
+  let lp =
+    build
+      [ ("n", 0.0, 10.0, 1.0, Lp.Integer) ]
+      [ ("r", [ (0, 2.0) ], Lp.Le, 7.0) ]
+  in
+  match Presolve.presolve lp with
+  | Presolve.Infeasible m -> Alcotest.fail m
+  | Presolve.Reduced (lp', _) ->
+    (* 2n <= 7 -> n <= 3.5 -> n <= 3 *)
+    check_float "rounded inward" 3.0 lp'.Lp.vars.(0).Lp.upper
+
+let test_presolve_detects_infeasible () =
+  let empty_domain =
+    build [ cont "x" 0.0 1.0 0.0 ] [ ("r", [ (0, 1.0) ], Lp.Ge, 2.0) ]
+  in
+  (match Presolve.presolve empty_domain with
+  | Presolve.Infeasible _ -> ()
+  | Presolve.Reduced _ -> Alcotest.fail "expected infeasible (bounds)");
+  let empty_row =
+    build [ cont "x" 1.0 1.0 0.0 ] [ ("r", [ (0, 1.0) ], Lp.Ge, 2.0) ]
+  in
+  match Presolve.presolve empty_row with
+  | Presolve.Infeasible _ -> ()
+  | Presolve.Reduced _ -> Alcotest.fail "expected infeasible (row)"
+
+let test_milp_with_presolve () =
+  (* A fixed variable plus a singleton row: presolve shrinks the problem,
+     and the MILP answer (including the lifted point) is unchanged. *)
+  let lp =
+    build
+      [
+        ("fixed", 1.0, 1.0, 2.0, Lp.Integer);
+        bin "a" (-10.0);
+        bin "b" (-6.0);
+      ]
+      [
+        ("cap", [ (0, 1.0); (1, 1.0); (2, 1.0) ], Lp.Le, 2.0);
+        ("single", [ (1, 1.0) ], Lp.Le, 1.0);
+      ]
+  in
+  let plain = Milp.solve lp in
+  let reduced = Milp.solve ~presolve:true lp in
+  Alcotest.(check bool) "both optimal" true
+    (plain.outcome = Milp.Proved_optimal && reduced.outcome = Milp.Proved_optimal);
+  check_float "same objective" plain.objective reduced.objective;
+  check_float "fixed variable restored" 1.0 reduced.x.(0);
+  Alcotest.(check bool) "lifted point feasible" true (Lp.is_feasible lp reduced.x)
+
+let prop_milp_presolve_agrees =
+  QCheck.Test.make ~name:"milp with presolve matches milp without" ~count:100
+    (QCheck.make ~print:(Format.asprintf "%a" Lp.pp) random_binary_milp_gen)
+    (fun lp ->
+      let plain = Milp.solve lp in
+      let reduced = Milp.solve ~presolve:true lp in
+      match (plain.outcome, reduced.outcome) with
+      | Milp.Proved_optimal, Milp.Proved_optimal ->
+        Float.abs (plain.objective -. reduced.objective) <= 1e-6
+        && Lp.is_feasible lp reduced.x
+      | Milp.Infeasible, Milp.Infeasible -> true
+      | _, _ -> false)
+
+let prop_presolve_preserves_optimum =
+  QCheck.Test.make ~name:"presolve preserves the LP optimum" ~count:300
+    arbitrary_lp (fun lp ->
+      let direct = Simplex.solve lp in
+      match Presolve.presolve lp with
+      | Presolve.Infeasible _ -> direct.status = Simplex.Infeasible
+      | Presolve.Reduced (lp', m) -> (
+        let reduced = Simplex.solve lp' in
+        match (direct.status, reduced.status) with
+        | Simplex.Optimal, Simplex.Optimal ->
+          Float.abs
+            (direct.objective
+            -. (reduced.objective +. Presolve.objective_offset m))
+          <= 1e-5
+          && Lp.is_feasible lp (Presolve.restore m reduced.x)
+        | Simplex.Infeasible, Simplex.Infeasible -> true
+        | Simplex.Unbounded, Simplex.Unbounded -> true
+        | _, _ -> false))
+
+(* ------------------------------------------------------------------ *)
+(* LP file writer                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_lp_file_roundtrip () =
+  let lp =
+    build
+      [
+        bin "e1" 4.0;
+        cont "f1" 0.0 2.0 0.0;
+        ("z", neg_infinity, infinity, 1.0, Lp.Continuous);
+        ("w", -3.0, 7.5, -2.0, Lp.Continuous);
+      ]
+      [
+        ("link", [ (0, 2.0); (1, -1.0) ], Lp.Ge, 0.0);
+        ("cap", [ (0, 1.0); (2, 1.0) ], Lp.Le, 5.0);
+        ("fix", [ (3, 1.0) ], Lp.Eq, 2.0);
+      ]
+  in
+  match Lp_file.of_string (Lp_file.to_string lp) with
+  | Error m -> Alcotest.fail m
+  | Ok lp' ->
+    Alcotest.(check int) "vars" (Lp.nvars lp) (Lp.nvars lp');
+    Alcotest.(check int) "rows" (Lp.nrows lp) (Lp.nrows lp');
+    (* variable order may differ (the parser orders by first appearance),
+       but a second round trip must be a fixed point *)
+    (match Lp_file.of_string (Lp_file.to_string lp') with
+    | Error m -> Alcotest.fail m
+    | Ok lp'' ->
+      Alcotest.(check string) "idempotent after normalisation"
+        (Lp_file.to_string lp') (Lp_file.to_string lp''));
+    (* and the parsed problem solves to the same optimum *)
+    let r = Simplex.solve lp and r' = Simplex.solve lp' in
+    Alcotest.(check bool) "same status" true (r.status = r'.status);
+    if r.status = Simplex.Optimal then
+      check_float "same objective" r.objective r'.objective
+
+let test_lp_file_parse_maximize () =
+  let text =
+    "Maximize\n obj: 3 x + 2 y\nSubject To\n c1: x + y <= 4\nBounds\n      0 <= x <= 3\n 0 <= y <= 3\nEnd\n"
+  in
+  match Lp_file.of_string text with
+  | Error m -> Alcotest.fail m
+  | Ok lp ->
+    let r = Simplex.solve lp in
+    (* max 3x + 2y == -min(-3x - 2y) = 11 at (3, 1) *)
+    check_float "objective (negated)" (-11.0) r.objective
+
+let test_lp_file_parse_errors () =
+  List.iter
+    (fun (label, text) ->
+      Alcotest.(check bool) label true
+        (Result.is_error (Lp_file.of_string text)))
+    [
+      ("garbage outside sections", "hello world\n");
+      ("row without relation", "Minimize\n obj: x\nSubject To\n r: x 4\nEnd\n");
+      ("bad bounds", "Minimize\n obj: x\nBounds\n x banana 3\nEnd\n");
+    ]
+
+let test_lp_file_output () =
+  let lp =
+    build
+      [ bin "e_1" 1.0; cont "f_1" 0.0 2.0 0.0 ]
+      [ ("link", [ (0, 2.0); (1, -1.0) ], Lp.Ge, 0.0) ]
+  in
+  let s = Lp_file.to_string lp in
+  let has sub =
+    let len_s = String.length s and len = String.length sub in
+    let rec go i = i + len <= len_s && (String.sub s i len = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "Minimize" true (has "Minimize");
+  Alcotest.(check bool) "Subject To" true (has "Subject To");
+  Alcotest.(check bool) "Bounds" true (has "Bounds");
+  Alcotest.(check bool) "General section" true (has "General");
+  Alcotest.(check bool) "row" true (has "link:")
+
+let test_simplex_deadline () =
+  (* an already-expired deadline aborts before any pivoting *)
+  let lp =
+    build
+      [ cont "x" 0.0 100.0 (-1.0); cont "y" 0.0 100.0 (-2.0) ]
+      [ ("cap", [ (0, 1.0); (1, 1.0) ], Lp.Le, 50.0) ]
+  in
+  let inst = Simplex.Instance.create lp in
+  match Simplex.Instance.solve ~deadline_s:(Sys.time () -. 1.0) inst with
+  | _ -> Alcotest.fail "expected Numerical_failure"
+  | exception Simplex.Numerical_failure _ -> ()
+
+let test_verify_optimal_rejects_bogus () =
+  let lp =
+    build [ cont "x" 0.0 3.0 (-1.0) ] [ ("cap", [ (0, 1.0) ], Lp.Le, 2.0) ]
+  in
+  let res = Simplex.solve lp in
+  Alcotest.(check bool) "genuine result verifies" true
+    (Result.is_ok (Simplex.verify_optimal lp res));
+  (* tamper with the primal point: x below its optimal value *)
+  let tampered = { res with Simplex.x = [| 0.5 |] } in
+  Alcotest.(check bool) "tampered result rejected" true
+    (Result.is_error (Simplex.verify_optimal lp tampered));
+  (* tamper with feasibility *)
+  let infeasible = { res with Simplex.x = [| 9.0 |] } in
+  Alcotest.(check bool) "infeasible point rejected" true
+    (Result.is_error (Simplex.verify_optimal lp infeasible))
+
+let test_simplex_bigger_structured () =
+  (* A transportation-style LP with a known optimum: 3 sources (supply
+     10/20/30), 3 sinks (demand 15/25/20), unit costs i*j+1. *)
+  let b = Lp.Builder.create () in
+  let x = Array.make_matrix 3 3 0 in
+  for i = 0 to 2 do
+    for j = 0 to 2 do
+      x.(i).(j) <-
+        Lp.Builder.add_var b
+          ~name:(Printf.sprintf "x%d%d" i j)
+          ~lower:0.0 ~upper:60.0
+          ~obj:(float_of_int ((i * j) + 1))
+          Lp.Continuous
+    done
+  done;
+  let supply = [| 10.0; 20.0; 30.0 |] and demand = [| 15.0; 25.0; 20.0 |] in
+  for i = 0 to 2 do
+    Lp.Builder.add_row b
+      ~name:(Printf.sprintf "s%d" i)
+      (List.init 3 (fun j -> (x.(i).(j), 1.0)))
+      Lp.Le supply.(i)
+  done;
+  for j = 0 to 2 do
+    Lp.Builder.add_row b
+      ~name:(Printf.sprintf "d%d" j)
+      (List.init 3 (fun i -> (x.(i).(j), 1.0)))
+      Lp.Ge demand.(j)
+  done;
+  let lp = Lp.Builder.finish b in
+  let res = solve_optimal lp in
+  (* row 0 costs 1 everywhere; rows 1/2 prefer low-j columns. A known
+     optimal assignment costs 10*1 + (5+15)*1|2... verify against the
+     dense oracle instead of hand-arithmetic. *)
+  match Dense.solve lp with
+  | Dense.Optimal (obj, _) -> check_float "matches oracle" obj res.objective
+  | Dense.Infeasible | Dense.Unbounded -> Alcotest.fail "oracle disagrees"
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "ilp"
+    [
+      ( "builder",
+        [
+          Alcotest.test_case "merges duplicate coefficients" `Quick
+            test_builder_merges_duplicates;
+          Alcotest.test_case "drops cancelled coefficients" `Quick
+            test_builder_drops_zero;
+          Alcotest.test_case "rejects inverted bounds" `Quick
+            test_builder_rejects_bad_bounds;
+          Alcotest.test_case "rejects bad variable index" `Quick
+            test_builder_rejects_bad_index;
+          Alcotest.test_case "feasibility helpers" `Quick test_feasibility_helpers;
+        ] );
+      ( "simplex",
+        [
+          Alcotest.test_case "two-variable LP" `Quick test_simplex_2var;
+          Alcotest.test_case "equality row" `Quick test_simplex_equality;
+          Alcotest.test_case "infeasible bounds" `Quick test_simplex_infeasible;
+          Alcotest.test_case "infeasible equalities" `Quick
+            test_simplex_infeasible_eq_pair;
+          Alcotest.test_case "unbounded ray" `Quick test_simplex_unbounded;
+          Alcotest.test_case "bounds only" `Quick test_simplex_bounds_only;
+          Alcotest.test_case "negative lower bounds" `Quick
+            test_simplex_negative_lower;
+          Alcotest.test_case "free variable" `Quick test_simplex_free_variable;
+          Alcotest.test_case "degenerate constraints" `Quick
+            test_simplex_degenerate;
+          Alcotest.test_case "warm start" `Quick test_simplex_warm_start;
+          Alcotest.test_case "warm start with changed bounds" `Quick
+            test_simplex_warm_start_changed_bounds;
+          Alcotest.test_case ">= rows" `Quick test_simplex_ge_rows;
+          Alcotest.test_case "fixed variable" `Quick test_simplex_fixed_variable;
+        ] );
+      ( "simplex-extra",
+        [
+          Alcotest.test_case "deadline aborts" `Quick test_simplex_deadline;
+          Alcotest.test_case "verify_optimal rejects tampering" `Quick
+            test_verify_optimal_rejects_bogus;
+          Alcotest.test_case "transportation LP" `Quick
+            test_simplex_bigger_structured;
+        ] );
+      ( "simplex-properties",
+        [
+          qtest prop_simplex_matches_dense;
+          qtest prop_simplex_certificate;
+          qtest prop_feasible_lp_solved;
+        ] );
+      ( "milp",
+        [
+          Alcotest.test_case "knapsack" `Quick test_milp_knapsack;
+          Alcotest.test_case "branching required" `Quick
+            test_milp_forces_branching;
+          Alcotest.test_case "infeasible" `Quick test_milp_infeasible;
+          Alcotest.test_case "fractional equality" `Quick
+            test_milp_integrality_gap_only_in_lp;
+          Alcotest.test_case "mixed integer/continuous" `Quick test_milp_mixed;
+          Alcotest.test_case "node limit" `Quick test_milp_node_limit;
+          Alcotest.test_case "initial incumbent" `Quick test_milp_initial_incumbent;
+          Alcotest.test_case "invalid initial ignored" `Quick
+            test_milp_initial_invalid_ignored;
+          Alcotest.test_case "cutoff confirms external optimum" `Quick
+            test_milp_cutoff_confirms_external_optimum;
+          Alcotest.test_case "cutoff improved by search" `Quick
+            test_milp_cutoff_improved;
+        ] );
+      ("milp-properties", [ qtest prop_milp_matches_enumeration ]);
+      ( "presolve",
+        [
+          Alcotest.test_case "fixed variables eliminated" `Quick
+            test_presolve_fixed_variable;
+          Alcotest.test_case "singleton rows become bounds" `Quick
+            test_presolve_singleton_rows;
+          Alcotest.test_case "integer bound rounding" `Quick
+            test_presolve_integer_rounding;
+          Alcotest.test_case "detects infeasibility" `Quick
+            test_presolve_detects_infeasible;
+          qtest prop_presolve_preserves_optimum;
+          Alcotest.test_case "milp with presolve" `Quick test_milp_with_presolve;
+          qtest prop_milp_presolve_agrees;
+        ] );
+      ( "lp-file",
+        [
+          Alcotest.test_case "sections present" `Quick test_lp_file_output;
+          Alcotest.test_case "round trip" `Quick test_lp_file_roundtrip;
+          Alcotest.test_case "maximize parsed" `Quick test_lp_file_parse_maximize;
+          Alcotest.test_case "parse errors" `Quick test_lp_file_parse_errors;
+        ] );
+    ]

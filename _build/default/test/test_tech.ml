@@ -1,0 +1,198 @@
+(* Tests for the technology layer: presets, BEOL stack, rule
+   configurations and the via shape catalogue. *)
+
+module Tech = Optrouter_tech.Tech
+module Layer = Optrouter_tech.Layer
+module Rules = Optrouter_tech.Rules
+module Via_shape = Optrouter_tech.Via_shape
+
+(* ------------------------------------------------------------------ *)
+(* Layers                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_layer_direction_convention () =
+  Alcotest.(check bool) "M2 horizontal" true
+    (Layer.direction_of_metal 2 = Layer.Horizontal);
+  Alcotest.(check bool) "M3 vertical" true
+    (Layer.direction_of_metal 3 = Layer.Vertical);
+  Alcotest.(check bool) "M8 horizontal" true
+    (Layer.direction_of_metal 8 = Layer.Horizontal)
+
+(* ------------------------------------------------------------------ *)
+(* Technology presets                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_tech_presets () =
+  Alcotest.(check int) "three presets" 3 (List.length Tech.all);
+  Alcotest.(check int) "12T height" 12 Tech.n28_12t.Tech.cell_height_tracks;
+  Alcotest.(check int) "8T height" 8 Tech.n28_8t.Tech.cell_height_tracks;
+  Alcotest.(check int) "9T height" 9 Tech.n7_9t.Tech.cell_height_tracks;
+  Alcotest.(check int) "paper via weight" 4 Tech.n28_12t.Tech.via_weight
+
+let test_tech_by_name () =
+  Alcotest.(check string) "lookup" "N28-8T" (Tech.by_name "N28-8T").Tech.name;
+  match Tech.by_name "N3-6T" with
+  | _ -> Alcotest.fail "expected Not_found"
+  | exception Not_found -> ()
+
+let test_tech_clip_tracks () =
+  (* The paper's 1um x 1um clip is 7 vertical x 10 horizontal tracks. *)
+  let cols, rows = Tech.clip_tracks_1um Tech.n28_12t in
+  Alcotest.(check int) "7 columns" 7 cols;
+  Alcotest.(check int) "10 rows" 10 rows
+
+let test_tech_stack () =
+  let stack = Tech.stack Tech.n28_12t (Rules.rule 3) in
+  Alcotest.(check int) "8 layers from M2" 8 (List.length stack);
+  (match stack with
+  | m2 :: m3 :: _ ->
+    Alcotest.(check int) "first is M2" 2 m2.Layer.metal;
+    Alcotest.(check bool) "M2 horizontal" true (Layer.is_horizontal m2);
+    Alcotest.(check bool) "M2 LELE under RULE3" true
+      (m2.Layer.patterning = Layer.Lele);
+    Alcotest.(check bool) "M3 SADP under RULE3" true
+      (m3.Layer.patterning = Layer.Sadp);
+    Alcotest.(check int) "horizontal pitch" 100 m2.Layer.pitch;
+    Alcotest.(check int) "vertical pitch" 136 m3.Layer.pitch
+  | _ -> Alcotest.fail "stack too short")
+
+let test_row_height () =
+  Alcotest.(check int) "12T row" 1200 (Tech.row_height Tech.n28_12t);
+  Alcotest.(check int) "9T row" 900 (Tech.row_height Tech.n7_9t)
+
+(* ------------------------------------------------------------------ *)
+(* Rules                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_rules_table3 () =
+  (* Spot-check Table 3. *)
+  let check n sadp blocked =
+    let r = Rules.rule n in
+    Alcotest.(check bool)
+      (Printf.sprintf "RULE%d sadp" n)
+      true
+      (r.Rules.sadp_from = sadp);
+    Alcotest.(check int)
+      (Printf.sprintf "RULE%d blocked" n)
+      blocked
+      (List.length (Rules.blocked_neighbour_offsets r.Rules.via_restriction))
+  in
+  check 1 None 0;
+  check 2 (Some 2) 0;
+  check 5 (Some 5) 0;
+  check 6 None 4;
+  check 7 (Some 2) 4;
+  check 8 (Some 3) 4;
+  check 9 None 8;
+  check 11 (Some 3) 8
+
+let test_rules_out_of_range () =
+  (match Rules.rule 0 with
+  | _ -> Alcotest.fail "rule 0"
+  | exception Invalid_argument _ -> ());
+  match Rules.rule 12 with
+  | _ -> Alcotest.fail "rule 12"
+  | exception Invalid_argument _ -> ()
+
+let test_rules_patterning_of () =
+  let r3 = Rules.rule 3 in
+  Alcotest.(check bool) "M2 LELE" true
+    (Rules.patterning_of r3 ~metal:2 = Layer.Lele);
+  Alcotest.(check bool) "M3 SADP" true
+    (Rules.patterning_of r3 ~metal:3 = Layer.Sadp);
+  Alcotest.(check bool) "M8 SADP" true
+    (Rules.patterning_of r3 ~metal:8 = Layer.Sadp);
+  let r1 = Rules.rule 1 in
+  Alcotest.(check bool) "RULE1 all LELE" true
+    (List.for_all
+       (fun m -> Rules.patterning_of r1 ~metal:m = Layer.Lele)
+       [ 2; 3; 4; 5; 6; 7; 8 ])
+
+let test_rules_n7_applicability () =
+  List.iter
+    (fun (n, expected) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "RULE%d on N7" n)
+        expected
+        (Rules.applicable ~tech_name:"N7-9T" (Rules.rule n)))
+    [
+      (1, true); (2, false); (3, true); (4, true); (5, true);
+      (6, true); (7, false); (8, true); (9, false); (10, false); (11, false);
+    ];
+  (* every rule applies on 28nm *)
+  List.iter
+    (fun (r : Rules.t) ->
+      Alcotest.(check bool) (r.Rules.name ^ " on N28") true
+        (Rules.applicable ~tech_name:"N28-12T" r))
+    Rules.all
+
+let test_blocked_offsets_symmetric () =
+  (* Every blocked offset's negation is also blocked: adjacency is
+     symmetric, which the formulation's deduplication relies on. *)
+  List.iter
+    (fun restriction ->
+      let offs = Rules.blocked_neighbour_offsets restriction in
+      List.iter
+        (fun (dx, dy) ->
+          Alcotest.(check bool) "negation present" true
+            (List.mem (-dx, -dy) offs))
+        offs)
+    [ Rules.Orthogonal; Rules.Orthogonal_diagonal ]
+
+(* ------------------------------------------------------------------ *)
+(* Via shapes                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_via_shape_sites () =
+  let single = Via_shape.single ~cost:4 in
+  Alcotest.(check int) "single site" 1 (List.length (Via_shape.sites single));
+  let bar = Via_shape.bar_2x1 ~cost:4 in
+  Alcotest.(check int) "bar sites" 2 (List.length (Via_shape.sites bar));
+  let square = Via_shape.square_2x2 ~cost:4 in
+  Alcotest.(check int) "square sites" 4 (List.length (Via_shape.sites square));
+  Alcotest.(check bool) "square covers 2x2" true
+    (List.sort compare (Via_shape.sites square)
+    = [ (0, 0); (0, 1); (1, 0); (1, 1) ])
+
+let test_via_shape_cost_ordering () =
+  (* Larger shapes are cheaper (manufacturability preference), but never
+     free. *)
+  let c = 4 in
+  let single = Via_shape.single ~cost:c in
+  let bar = Via_shape.bar_2x1 ~cost:c in
+  let square = Via_shape.square_2x2 ~cost:c in
+  Alcotest.(check bool) "bar < single" true (bar.Via_shape.cost < single.Via_shape.cost);
+  Alcotest.(check bool) "square < bar" true
+    (square.Via_shape.cost < bar.Via_shape.cost);
+  Alcotest.(check bool) "positive" true (square.Via_shape.cost >= 1);
+  (* degenerate weight still yields positive costs *)
+  Alcotest.(check bool) "clamped" true ((Via_shape.square_2x2 ~cost:1).Via_shape.cost >= 1)
+
+let () =
+  Alcotest.run "tech"
+    [
+      ( "layer",
+        [ Alcotest.test_case "direction convention" `Quick test_layer_direction_convention ] );
+      ( "tech",
+        [
+          Alcotest.test_case "presets" `Quick test_tech_presets;
+          Alcotest.test_case "by_name" `Quick test_tech_by_name;
+          Alcotest.test_case "1um clip tracks" `Quick test_tech_clip_tracks;
+          Alcotest.test_case "stack" `Quick test_tech_stack;
+          Alcotest.test_case "row height" `Quick test_row_height;
+        ] );
+      ( "rules",
+        [
+          Alcotest.test_case "table 3 contents" `Quick test_rules_table3;
+          Alcotest.test_case "out of range" `Quick test_rules_out_of_range;
+          Alcotest.test_case "patterning_of" `Quick test_rules_patterning_of;
+          Alcotest.test_case "N7 applicability" `Quick test_rules_n7_applicability;
+          Alcotest.test_case "blocked offsets symmetric" `Quick
+            test_blocked_offsets_symmetric;
+        ] );
+      ( "via-shapes",
+        [
+          Alcotest.test_case "sites" `Quick test_via_shape_sites;
+          Alcotest.test_case "cost ordering" `Quick test_via_shape_cost_ordering;
+        ] );
+    ]
