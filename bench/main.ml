@@ -2,13 +2,19 @@
    evaluation section, at a scale the pure-OCaml MILP solver handles in
    minutes (see DESIGN.md / EXPERIMENTS.md for the scale mapping).
 
-   Usage: main.exe [SECTION...]
+   Usage: main.exe [-j N] [SECTION...]
    Sections: table2 table3 fig7 fig8 fig9 fig10a fig10b fig10c ilpsize
              validate runtime ablation micro    (default: all)
 
+   [-j N] fans the independent ILP solves of the sweep sections (fig10*,
+   validate) over N domains; the reported tables and figures are
+   byte-identical to a serial run.
+
    Environment knobs:
+     OPTROUTER_JOBS         default for -j (default 1 = serial)
+     OPTROUTER_PROGRESS     when set, trace each (clip, rule) solve on stderr
      OPTROUTER_BENCH_CLIPS  top-k clips per technology (default 6)
-     OPTROUTER_BENCH_TIME   CPU-seconds limit per ILP solve (default 15)
+     OPTROUTER_BENCH_TIME   wall-clock seconds limit per ILP solve (default 15)
      OPTROUTER_BENCH_SCALE  instance-count scale factor (default 0.03) *)
 
 module Tech = Optrouter_tech.Tech
@@ -31,6 +37,7 @@ module Report = Optrouter_report.Report
 module Lp = Optrouter_ilp.Lp
 module Simplex = Optrouter_ilp.Simplex
 module Milp = Optrouter_ilp.Milp
+module Pool = Optrouter_exec.Pool
 
 let env_int name default =
   match Sys.getenv_opt name with
@@ -49,6 +56,28 @@ let bench_params =
     time_limit_s = env_float "OPTROUTER_BENCH_TIME" 15.0;
     instance_scale = env_float "OPTROUTER_BENCH_SCALE" 0.03;
   }
+
+(* The domain pool shared by the sweep sections; set up once in [main]
+   from [-j]/[OPTROUTER_JOBS]. [None] means serial. *)
+let pool : Pool.t option ref = ref None
+
+let progress_enabled = Sys.getenv_opt "OPTROUTER_PROGRESS" <> None
+
+(* Progress lines ride the sweep's [on_entry] callback: it fires in this
+   (collecting) domain once per completed (clip, rule) solve, so printing
+   needs no synchronisation even at -j 8. *)
+let on_entry =
+  if not progress_enabled then None
+  else
+    Some
+      (fun (e : Sweep.entry) ->
+        Printf.eprintf "[sweep] %s %s: %s\n%!" e.Sweep.clip_name
+          e.Sweep.rule_name
+          (match (e.Sweep.delta, e.Sweep.cost) with
+          | Sweep.Delta d, Some c -> Printf.sprintf "cost %d (dcost %d)" c d
+          | Sweep.Infeasible, _ -> "unroutable"
+          | Sweep.Limit, Some c -> Printf.sprintf "limit (incumbent %d)" c
+          | (Sweep.Delta _ | Sweep.Limit), None -> "limit"))
 
 let results_dir = "results"
 
@@ -157,7 +186,10 @@ let fig10_for name tech =
   banner
     (Printf.sprintf "Figure 10%s: dcost per rule, %s (reduced scale)" name
        tech.Tech.name);
-  let entries = Experiments.fig10 ~params:bench_params tech in
+  let telemetry = ref Sweep.empty_telemetry in
+  let entries =
+    Experiments.fig10 ~params:bench_params ?pool:!pool ~telemetry ?on_entry tech
+  in
   if entries = [] then print_endline "(no routable clips at this scale)"
   else begin
     let series = Sweep.series entries in
@@ -207,7 +239,8 @@ let fig10_for name tech =
              Printf.sprintf "%.0f" (Sweep.delta_value e.Sweep.delta);
            ])
          entries)
-  end
+  end;
+  print_string (Sweep.render_telemetry !telemetry)
 
 let section_ilpsize () =
   banner "Section 4.2: ILP variable/constraint counts";
@@ -244,7 +277,7 @@ let section_validate () =
               delta;
             ]
             :: !rows)
-        (Experiments.validate ~params tech))
+        (Experiments.validate ~params ?pool:!pool tech))
     Tech.all;
   print_string
     (Report.Table.render
@@ -316,7 +349,7 @@ let section_ablation () =
   in
   let run options =
     time (fun () ->
-        let config = { Optrouter.default_config with Optrouter.options } in
+        let config = Optrouter.make_config ~options () in
         Optrouter.route_graph ~config ~rules:(Rules.rule 2) g)
   in
   let collapsed, t_collapsed = run Formulate.default_options in
@@ -339,7 +372,7 @@ let section_ablation () =
      that choice costs on the representative clip. *)
   let rep = Experiments.representative_clip in
   let route_dir bidirectional =
-    let config = { Optrouter.default_config with Optrouter.bidirectional } in
+    let config = Optrouter.make_config ~bidirectional () in
     match
       (Optrouter.route ~config ~tech:Tech.n28_12t ~rules:(Rules.rule 1) rep)
         .Optrouter.verdict
@@ -429,21 +462,43 @@ let sections =
     ("micro", section_micro);
   ]
 
-let () =
-  let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as args) -> args
-    | _ -> List.map fst sections
+let parse_args argv =
+  let bad_jobs v =
+    Printf.eprintf "bad -j value %S (want a positive integer)\n" v;
+    exit 1
   in
-  List.iter
-    (fun name ->
-      match List.assoc_opt name sections with
-      | Some f ->
-        let t0 = Sys.time () in
-        f ();
-        Printf.printf "[section %s: %.1f s]\n%!" name (Sys.time () -. t0)
-      | None ->
-        Printf.eprintf "unknown section %S; available: %s\n" name
-          (String.concat " " (List.map fst sections));
-        exit 1)
-    requested
+  let rec go jobs acc = function
+    | [] -> (jobs, List.rev acc)
+    | "-j" :: v :: rest -> (
+      match int_of_string_opt v with
+      | Some n when n >= 1 -> go n acc rest
+      | Some _ | None -> bad_jobs v)
+    | [ "-j" ] -> bad_jobs ""
+    | arg :: rest when String.length arg > 2 && String.sub arg 0 2 = "-j" -> (
+      let v = String.sub arg 2 (String.length arg - 2) in
+      match int_of_string_opt v with
+      | Some n when n >= 1 -> go n acc rest
+      | Some _ | None -> bad_jobs v)
+    | arg :: rest -> go jobs (arg :: acc) rest
+  in
+  go (Pool.env_jobs ()) [] (List.tl (Array.to_list argv))
+
+let () =
+  let jobs, args = parse_args Sys.argv in
+  let requested = match args with [] -> List.map fst sections | _ -> args in
+  if jobs >= 2 then pool := Some (Pool.create ~domains:jobs);
+  let finally () = Option.iter Pool.shutdown !pool in
+  Fun.protect ~finally (fun () ->
+      List.iter
+        (fun name ->
+          match List.assoc_opt name sections with
+          | Some f ->
+            let t0 = Unix.gettimeofday () in
+            f ();
+            Printf.printf "[section %s: %.1f s]\n%!" name
+              (Unix.gettimeofday () -. t0)
+          | None ->
+            Printf.eprintf "unknown section %S; available: %s\n" name
+              (String.concat " " (List.map fst sections));
+            exit 1)
+        requested)

@@ -21,6 +21,7 @@ module Route = Optrouter_grid.Route
 module Maze = Optrouter_maze.Maze
 module Sweep = Optrouter_eval.Sweep
 module Global = Optrouter_global.Global
+module Pool = Optrouter_exec.Pool
 module Experiments = Optrouter_eval.Experiments
 module Report = Optrouter_report.Report
 module Milp = Optrouter_ilp.Milp
@@ -69,7 +70,18 @@ let time_limit_arg =
   Arg.(
     value
     & opt float 30.0
-    & info [ "time-limit" ] ~docv:"SECONDS" ~doc:"CPU time limit per ILP solve.")
+    & info [ "time-limit" ] ~docv:"SECONDS"
+        ~doc:"Wall-clock time limit per ILP solve.")
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~env:(Cmd.Env.info "OPTROUTER_JOBS")
+        ~doc:
+          "Fan independent ILP solves over $(docv) domains. Results are \
+           identical to a serial run.")
 
 let clips_file_arg =
   Arg.(
@@ -85,11 +97,9 @@ let load_clips path =
     exit 1
 
 let config_of ~time_limit =
-  {
-    Optrouter_drv.default_config with
-    milp =
-      { Milp.default_params with max_nodes = 200_000; time_limit_s = Some time_limit };
-  }
+  Optrouter_drv.make_config
+    ~milp:(Milp.make_params ~max_nodes:200_000 ~time_limit_s:time_limit ())
+    ()
 
 (* ---- route ---- *)
 
@@ -156,12 +166,26 @@ let route_cmd =
 
 (* ---- sweep ---- *)
 
-let do_sweep tech time_limit csv_out path () =
+let do_sweep tech time_limit jobs csv_out path () =
   let clips = load_clips path in
   let config = config_of ~time_limit in
   let rules = Experiments.rules_for tech in
+  let telemetry = ref Sweep.empty_telemetry in
+  let on_entry =
+    if Sys.getenv_opt "OPTROUTER_PROGRESS" = None then None
+    else
+      Some
+        (fun (e : Sweep.entry) ->
+          Printf.eprintf "[sweep] %s %s: %s\n%!" e.Sweep.clip_name
+            e.Sweep.rule_name
+            (match e.Sweep.delta with
+            | Sweep.Delta d -> Printf.sprintf "dcost %d" d
+            | Sweep.Infeasible -> "unroutable"
+            | Sweep.Limit -> "limit"))
+  in
   let entries =
-    List.concat_map (fun clip -> Sweep.clip_deltas ~config ~tech ~rules clip) clips
+    Pool.with_pool ~domains:jobs (fun pool ->
+        Sweep.sweep ~config ~pool ~telemetry ?on_entry ~tech ~rules clips)
   in
   (match csv_out with
   | Some file ->
@@ -199,7 +223,8 @@ let do_sweep tech time_limit csv_out path () =
        ~header:[ "clip"; "rule"; "cost(RULE1)"; "cost"; "dcost" ]
        rows);
   print_string
-    (Report.Series.plot ~y_label:"sorted dcost per rule" (Sweep.series entries))
+    (Report.Series.plot ~y_label:"sorted dcost per rule" (Sweep.series entries));
+  print_string (Sweep.render_telemetry !telemetry)
 
 let sweep_cmd =
   let doc = "Evaluate all applicable RULEs on clips and report Δcost." in
@@ -211,8 +236,8 @@ let sweep_cmd =
   in
   Cmd.v (Cmd.info "sweep" ~doc)
     Term.(
-      const do_sweep $ tech_arg $ time_limit_arg $ csv_out $ clips_file_arg
-      $ logs_term)
+      const do_sweep $ tech_arg $ time_limit_arg $ jobs_arg $ csv_out
+      $ clips_file_arg $ logs_term)
 
 (* ---- gen ---- *)
 
@@ -437,9 +462,7 @@ let do_solve_lp time_limit path () =
         lp.Optrouter_ilp.Lp.vars
     in
     if has_integers then begin
-      let params =
-        { Milp.default_params with Milp.time_limit_s = Some time_limit }
-      in
+      let params = Milp.make_params ~time_limit_s:time_limit () in
       let r = Milp.solve ~params lp in
       match r.Milp.outcome with
       | Milp.Proved_optimal ->

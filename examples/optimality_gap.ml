@@ -58,11 +58,9 @@ let () =
   let tech = Tech.n28_12t in
   let rules = Rules.rule 1 in
   let config =
-    {
-      Optrouter.default_config with
-      Optrouter.milp =
-        { Milp.default_params with Milp.max_nodes = 20_000; time_limit_s = Some 30.0 };
-    }
+    Optrouter.make_config
+      ~milp:(Milp.make_params ~max_nodes:20_000 ~time_limit_s:30.0 ())
+      ()
   in
   Printf.printf "%-8s %12s %10s %10s\n" "clip" "single-pass" "restarts" "optimal";
   let total_1 = ref 0 and total_r = ref 0 and total_o = ref 0 and complete = ref true in

@@ -39,14 +39,9 @@ let () =
   (* a short per-solve budget keeps the example interactive; unproved
      solves show up as "limit" *)
   let config =
-    {
-      Optrouter_core.Optrouter.default_config with
-      Optrouter_core.Optrouter.milp =
-        {
-          Optrouter_ilp.Milp.default_params with
-          Optrouter_ilp.Milp.time_limit_s = Some 15.0;
-        };
-    }
+    Optrouter_core.Optrouter.make_config
+      ~milp:(Optrouter_ilp.Milp.make_params ~time_limit_s:15.0 ())
+      ()
   in
   let entries =
     List.concat_map

@@ -31,7 +31,7 @@ let crowded =
     [ two_pin "a" (0, 0) (0, 3); two_pin "b" (1, 0) (3, 0) ]
 
 let solve ~via_shapes clip =
-  let config = { Optrouter.default_config with Optrouter.via_shapes } in
+  let config = Optrouter.make_config ~via_shapes () in
   let rules = Rules.rule 1 in
   let result = Optrouter.route ~config ~tech:Tech.n28_12t ~rules clip in
   match result.Optrouter.verdict with

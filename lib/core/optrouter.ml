@@ -37,10 +37,25 @@ let default_config =
     via_shapes = [];
     single_vias = true;
     bidirectional = false;
-    milp =
-      { Milp.default_params with max_nodes = 20_000; time_limit_s = Some 60.0 };
+    milp = Milp.make_params ~max_nodes:20_000 ~time_limit_s:60.0 ();
     drc_check = true;
     heuristic_incumbent = true;
+  }
+
+let make_config ?(options = default_config.options)
+    ?(via_shapes = default_config.via_shapes)
+    ?(single_vias = default_config.single_vias)
+    ?(bidirectional = default_config.bidirectional)
+    ?(milp = default_config.milp) ?(drc_check = default_config.drc_check)
+    ?(heuristic_incumbent = default_config.heuristic_incumbent) () =
+  {
+    options;
+    via_shapes;
+    single_vias;
+    bidirectional;
+    milp;
+    drc_check;
+    heuristic_incumbent;
   }
 
 exception Drc_failure of string
@@ -60,7 +75,7 @@ let audit ~rules g sol =
     raise (Drc_failure msg)
 
 let route_graph ?(config = default_config) ~rules (g : Graph.t) =
-  let start = Sys.time () in
+  let start = Unix.gettimeofday () in
   let form = Formulate.build ~options:config.options ~rules g in
   (* A quick heuristic routing, lifted to an LP point, seeds branch and
      bound with an incumbent; on these instances the LP bound then prunes
@@ -84,7 +99,7 @@ let route_graph ?(config = default_config) ~rules (g : Graph.t) =
     end
   in
   let milp_result = Milp.solve ?initial ~params:config.milp (Formulate.lp form) in
-  let elapsed_s = Sys.time () -. start in
+  let elapsed_s = Unix.gettimeofday () -. start in
   let stats =
     {
       sizes = Formulate.sizes form;

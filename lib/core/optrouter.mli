@@ -12,7 +12,7 @@ type stats = {
   sizes : Formulate.sizes;
   nodes : int;  (** branch-and-bound nodes *)
   simplex_iterations : int;
-  elapsed_s : float;  (** CPU seconds *)
+  elapsed_s : float;  (** wall-clock seconds (valid under domain parallelism) *)
 }
 
 type verdict =
@@ -39,6 +39,20 @@ type config = {
 }
 
 val default_config : config
+
+(** [make_config ()] is {!default_config}; each argument overrides one
+    field. Prefer this over record literals at call sites so future
+    configuration fields are non-breaking. *)
+val make_config :
+  ?options:Formulate.options ->
+  ?via_shapes:Optrouter_tech.Via_shape.t list ->
+  ?single_vias:bool ->
+  ?bidirectional:bool ->
+  ?milp:Optrouter_ilp.Milp.params ->
+  ?drc_check:bool ->
+  ?heuristic_incumbent:bool ->
+  unit ->
+  config
 
 exception Drc_failure of string
 

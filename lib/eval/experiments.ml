@@ -12,6 +12,7 @@ module Optrouter = Optrouter_core.Optrouter
 module Route = Optrouter_grid.Route
 module Maze = Optrouter_maze.Maze
 module Milp = Optrouter_ilp.Milp
+module Pool = Optrouter_exec.Pool
 
 (* ------------------------------------------------------------------ *)
 (* Table 2                                                             *)
@@ -173,21 +174,16 @@ let rules_for tech =
     Rules.all
 
 let solver_config params =
-  {
-    Optrouter.default_config with
-    milp =
-      {
-        Milp.default_params with
-        max_nodes = 50_000;
-        time_limit_s = Some params.time_limit_s;
-      };
-  }
+  Optrouter.make_config
+    ~milp:
+      (Milp.make_params ~max_nodes:50_000 ~time_limit_s:params.time_limit_s ())
+    ()
 
-let fig10 ?(params = default_fig10_params) tech =
+let fig10 ?(params = default_fig10_params) ?pool ?telemetry ?on_entry tech =
   let clips = difficult_clips ~params tech in
   let rules = rules_for tech in
   let config = solver_config params in
-  List.concat_map (fun clip -> Sweep.clip_deltas ~config ~tech ~rules clip) clips
+  Sweep.sweep ~config ?pool ?telemetry ?on_entry ~tech ~rules clips
 
 (* ------------------------------------------------------------------ *)
 (* ILP size analysis                                                   *)
@@ -260,24 +256,26 @@ type validation = {
   baseline_cost : int option;
 }
 
-let validate ?(params = default_fig10_params) tech =
+let validate ?(params = default_fig10_params) ?pool tech =
   let clips = difficult_clips ~params tech in
   let rules = Rules.rule 1 in
   let config = solver_config params in
-  List.map
-    (fun clip ->
-      let g = Graph.build ~tech ~rules clip in
-      let opt = Optrouter.route_graph ~config ~rules g in
-      let baseline = Maze.route ~rules g in
-      {
-        v_clip = clip.Clip.c_name;
-        opt_cost = Optrouter.cost_of opt;
-        baseline_cost =
-          Option.map
-            (fun (s : Route.solution) -> s.Route.metrics.cost)
-            baseline.Maze.solution;
-      })
-    clips
+  let check clip =
+    let g = Graph.build ~tech ~rules clip in
+    let opt = Optrouter.route_graph ~config ~rules g in
+    let baseline = Maze.route ~rules g in
+    {
+      v_clip = clip.Clip.c_name;
+      opt_cost = Optrouter.cost_of opt;
+      baseline_cost =
+        Option.map
+          (fun (s : Route.solution) -> s.Route.metrics.cost)
+          baseline.Maze.solution;
+    }
+  in
+  match pool with
+  | None -> List.map check clips
+  | Some pool -> Pool.map pool check clips
 
 (* ------------------------------------------------------------------ *)
 (* Section 5 runtime study                                             *)

@@ -46,8 +46,18 @@ val difficult_clips :
 val rules_for : Optrouter_tech.Tech.t -> Optrouter_tech.Rules.t list
 
 (** Figure 10 (a/b/c by technology): Δcost entries for every (clip, rule)
-    pair. Feed to {!Sweep.series} for the sorted profiles. *)
-val fig10 : ?params:fig10_params -> Optrouter_tech.Tech.t -> Sweep.entry list
+    pair. Feed to {!Sweep.series} for the sorted profiles.
+
+    [pool], [telemetry] and [on_entry] are forwarded to {!Sweep.sweep}:
+    with a pool the (clip, rule) solves fan out over its worker domains
+    and the entries remain byte-identical to the serial run. *)
+val fig10 :
+  ?params:fig10_params ->
+  ?pool:Optrouter_exec.Pool.t ->
+  ?telemetry:Sweep.telemetry ref ->
+  ?on_entry:(Sweep.entry -> unit) ->
+  Optrouter_tech.Tech.t ->
+  Sweep.entry list
 
 (** A deterministic 5x5-track, 4-layer, 4-net clip used by the size
     analysis and the microbenchmarks. *)
@@ -67,8 +77,13 @@ type validation = {
 }
 
 (** Footnote 6: OptRouter vs the heuristic baseline on difficult clips
-    under RULE1. OptRouter's Δcost must be <= 0 wherever both route. *)
-val validate : ?params:fig10_params -> Optrouter_tech.Tech.t -> validation list
+    under RULE1. OptRouter's Δcost must be <= 0 wherever both route.
+    With [pool], clips are validated on its worker domains. *)
+val validate :
+  ?params:fig10_params ->
+  ?pool:Optrouter_exec.Pool.t ->
+  Optrouter_tech.Tech.t ->
+  validation list
 
 (** Section 5 runtime study: mean OptRouter CPU seconds on clips of two
     switchbox sizes, with and without SADP + via-restriction rules.

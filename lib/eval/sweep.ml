@@ -2,6 +2,12 @@ module Clip = Optrouter_grid.Clip
 module Rules = Optrouter_tech.Rules
 module Optrouter = Optrouter_core.Optrouter
 module Route = Optrouter_grid.Route
+module Pool = Optrouter_exec.Pool
+module Report = Optrouter_report.Report
+
+let src = Logs.Src.create "optrouter.sweep" ~doc:"rule sweep"
+
+module Log = (val Logs.src_log src : Logs.LOG)
 
 type delta = Delta of int | Infeasible | Limit
 
@@ -19,81 +25,192 @@ type entry = {
   base_cost : int;
 }
 
-(* Progress trace for long sweeps, enabled by OPTROUTER_PROGRESS=1. *)
-let progress_enabled = Sys.getenv_opt "OPTROUTER_PROGRESS" <> None
+(* ------------------------------------------------------------------ *)
+(* Telemetry                                                           *)
+(* ------------------------------------------------------------------ *)
 
-let progress fmt =
-  if progress_enabled then Printf.eprintf fmt
-  else Printf.ifprintf stderr fmt
+type telemetry = {
+  solves : int;
+  nodes : int;
+  simplex_iterations : int;
+  wall_s : float;
+  limits : int;
+  infeasible : int;
+  failures : int;
+}
 
-let clip_deltas ?config ~tech ~rules clip =
-  let route r =
-    let t0 = Sys.time () in
-    let result = Optrouter.route ?config ~tech ~rules:r clip in
-    progress "[sweep] %s %s: %s (%.1fs)\n%!" clip.Clip.c_name r.Rules.name
-      (match result.Optrouter.verdict with
+let empty_telemetry =
+  {
+    solves = 0;
+    nodes = 0;
+    simplex_iterations = 0;
+    wall_s = 0.0;
+    limits = 0;
+    infeasible = 0;
+    failures = 0;
+  }
+
+let add_result t (result : Optrouter.result) =
+  let s = result.Optrouter.stats in
+  let limit, infeasible =
+    match result.Optrouter.verdict with
+    | Optrouter.Limit _ -> (1, 0)
+    | Optrouter.Unroutable -> (0, 1)
+    | Optrouter.Routed _ -> (0, 0)
+  in
+  {
+    solves = t.solves + 1;
+    nodes = t.nodes + s.Optrouter.nodes;
+    simplex_iterations = t.simplex_iterations + s.Optrouter.simplex_iterations;
+    wall_s = t.wall_s +. s.Optrouter.elapsed_s;
+    limits = t.limits + limit;
+    infeasible = t.infeasible + infeasible;
+    failures = t.failures;
+  }
+
+let add_outcome t = function
+  | Ok result -> add_result t result
+  | Error _ -> { t with solves = t.solves + 1; failures = t.failures + 1 }
+
+let render_telemetry t =
+  Report.Telemetry.render ~solves:t.solves ~nodes:t.nodes
+    ~simplex_iterations:t.simplex_iterations ~wall_s:t.wall_s ~limits:t.limits
+    ~infeasible:t.infeasible ~failures:t.failures
+
+(* ------------------------------------------------------------------ *)
+(* Solving                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Fan tasks over the pool when one is given; otherwise run them in the
+   calling domain. Either way results come back in task order and
+   [on_done] fires once per completed task in the calling domain. Task
+   functions here never raise (solve exceptions are captured as part of
+   the task's value), so the pool's own error slots stay unused. *)
+let fan ?pool ~on_done f xs =
+  match pool with
+  | None ->
+    List.mapi
+      (fun i x ->
+        let y = f x in
+        on_done i y;
+        y)
+      xs
+  | Some pool ->
+    Pool.map pool f xs ~on_done:(fun i r ->
+        match r with Ok y -> on_done i y | Error _ -> ())
+
+let solve_outcome ?config ~tech ~rules clip =
+  try Ok (Optrouter.route ?config ~tech ~rules clip) with e -> Error e
+
+(* A solve that dies (DRC audit failure, numerical trouble escaping the
+   solver, ...) is folded into the [Limit] bucket: the sweep survives and
+   the telemetry counts the failure; the collector logs it. *)
+let entry_for ~clip_name ~base_cost (r : Rules.t) outcome =
+  let delta, cost =
+    match outcome with
+    | Ok result -> (
+      match result.Optrouter.verdict with
       | Optrouter.Routed sol ->
-        Printf.sprintf "cost %d" sol.Route.metrics.cost
-      | Optrouter.Unroutable -> "unroutable"
-      | Optrouter.Limit _ -> "limit")
-      (Sys.time () -. t0);
-    result
+        (Delta (sol.Route.metrics.cost - base_cost), Some sol.Route.metrics.cost)
+      | Optrouter.Unroutable -> (Infeasible, None)
+      | Optrouter.Limit (Some sol) -> (Limit, Some sol.Route.metrics.cost)
+      | Optrouter.Limit None -> (Limit, None))
+    | Error _ -> (Limit, None)
   in
-  (* The RULE1 baseline gets a triple budget: if it cannot be proved the
-     whole clip is dropped, wasting every other solve. *)
-  let baseline_config =
-    Option.map
-      (fun (c : Optrouter.config) ->
-        {
-          c with
-          Optrouter.milp =
-            {
-              c.Optrouter.milp with
-              Optrouter_ilp.Milp.time_limit_s =
-                Option.map (fun t -> 3.0 *. t)
-                  c.Optrouter.milp.Optrouter_ilp.Milp.time_limit_s;
-            };
-        })
-      config
+  { clip_name; rule_name = r.Rules.name; delta; cost; base_cost }
+
+let warn_failure clip_name rule_name = function
+  | Ok _ -> ()
+  | Error e ->
+    Log.warn (fun m ->
+        m "%s under %s: solve failed: %s" clip_name rule_name
+          (Printexc.to_string e))
+
+let record telemetry outcome =
+  match telemetry with Some t -> t := add_outcome !t outcome | None -> ()
+
+(* The RULE1 baseline gets a triple budget: if it cannot be proved the
+   whole clip is dropped, wasting every other solve. *)
+let baseline_config config =
+  Option.map
+    (fun (c : Optrouter.config) ->
+      {
+        c with
+        Optrouter.milp =
+          {
+            c.Optrouter.milp with
+            Optrouter_ilp.Milp.time_limit_s =
+              Option.map (fun t -> 3.0 *. t)
+                c.Optrouter.milp.Optrouter_ilp.Milp.time_limit_s;
+          };
+      })
+    config
+
+let base_cost_of clip_name = function
+  | Error e ->
+    warn_failure clip_name "RULE1" (Error e);
+    None
+  | Ok baseline -> (
+    match baseline.Optrouter.verdict with
+    | Optrouter.Unroutable | Optrouter.Limit None -> None
+    | Optrouter.Limit (Some _) ->
+      (* an unproved baseline would poison every delta; skip the clip *)
+      None
+    | Optrouter.Routed base -> Some base.Route.metrics.cost)
+
+let rule_entries ?config ?pool ?telemetry ?on_entry ~tech jobs =
+  let solve (clip, base_cost, r) =
+    let outcome = solve_outcome ?config ~tech ~rules:r clip in
+    (entry_for ~clip_name:clip.Clip.c_name ~base_cost r outcome, outcome)
   in
-  let baseline =
-    let t0 = Sys.time () in
-    let result =
-      Optrouter.route ?config:baseline_config ~tech ~rules:(Rules.rule 1) clip
-    in
-    progress "[sweep] %s RULE1: %s (%.1fs)\n%!" clip.Clip.c_name
-      (match result.Optrouter.verdict with
-      | Optrouter.Routed sol -> Printf.sprintf "cost %d" sol.Route.metrics.cost
-      | Optrouter.Unroutable -> "unroutable"
-      | Optrouter.Limit _ -> "limit")
-      (Sys.time () -. t0);
-    result
+  let handle _i (entry, outcome) =
+    warn_failure entry.clip_name entry.rule_name outcome;
+    match on_entry with Some g -> g entry | None -> ()
   in
-  match baseline.Optrouter.verdict with
-  | Optrouter.Unroutable | Optrouter.Limit None -> []
-  | Optrouter.Limit (Some _) ->
-    (* an unproved baseline would poison every delta; skip the clip *)
-    []
-  | Optrouter.Routed base ->
-    let base_cost = base.Route.metrics.cost in
-    List.map
-      (fun r ->
-        let delta, cost =
-          match (route r).Optrouter.verdict with
-          | Optrouter.Routed sol ->
-            (Delta (sol.Route.metrics.cost - base_cost), Some sol.Route.metrics.cost)
-          | Optrouter.Unroutable -> (Infeasible, None)
-          | Optrouter.Limit (Some sol) -> (Limit, Some sol.Route.metrics.cost)
-          | Optrouter.Limit None -> (Limit, None)
-        in
-        {
-          clip_name = clip.Clip.c_name;
-          rule_name = r.Rules.name;
-          delta;
-          cost;
-          base_cost;
-        })
-      rules
+  let results = fan ?pool ~on_done:handle solve jobs in
+  (* Telemetry is folded in task order, after collection, so the floats
+     sum deterministically no matter how the pool schedules. *)
+  List.iter (fun (_, outcome) -> record telemetry outcome) results;
+  List.map fst results
+
+let clip_deltas ?config ?pool ?telemetry ?on_entry ~tech ~rules clip =
+  let outcome =
+    solve_outcome ?config:(baseline_config config) ~tech ~rules:(Rules.rule 1)
+      clip
+  in
+  record telemetry outcome;
+  match base_cost_of clip.Clip.c_name outcome with
+  | None -> []
+  | Some base_cost ->
+    rule_entries ?config ?pool ?telemetry ?on_entry ~tech
+      (List.map (fun r -> (clip, base_cost, r)) rules)
+
+let sweep ?config ?pool ?telemetry ?on_entry ~tech ~rules clips =
+  (* Two parallel phases instead of per-clip fan-out: first every clip's
+     RULE1 baseline, then the full (clip x rule) cross product of the
+     surviving clips — so even a handful of clips saturates the pool. *)
+  let bconfig = baseline_config config in
+  let baselines =
+    fan ?pool
+      ~on_done:(fun _ _ -> ())
+      (fun clip -> solve_outcome ?config:bconfig ~tech ~rules:(Rules.rule 1) clip)
+      clips
+  in
+  List.iter (record telemetry) baselines;
+  let jobs =
+    List.concat
+      (List.map2
+         (fun clip outcome ->
+           match base_cost_of clip.Clip.c_name outcome with
+           | None -> []
+           | Some base_cost -> List.map (fun r -> (clip, base_cost, r)) rules)
+         clips baselines)
+  in
+  rule_entries ?config ?pool ?telemetry ?on_entry ~tech jobs
+
+(* ------------------------------------------------------------------ *)
+(* Aggregation                                                         *)
+(* ------------------------------------------------------------------ *)
 
 let series entries =
   let by_rule = Hashtbl.create 16 in

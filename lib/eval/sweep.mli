@@ -5,12 +5,20 @@
     Δcost profile the paper plots in Figure 10. Following the paper's
     plotting convention, unroutable clips are reported with Δcost = 500
     ({!infeasible_delta}); solver limits are folded into the same bucket
-    (and counted separately). *)
+    (and counted separately).
+
+    Every (clip, rule) solve is independent, so the sweep optionally fans
+    out over an {!Optrouter_exec.Pool}: pass [?pool] and the solves run on
+    its worker domains while the entry list stays byte-identical to the
+    serial path. A solve that raises (a DRC audit failure, numerical
+    trouble escaping the solver) is captured per task: the sweep carries
+    on, the entry lands in the [Limit] bucket and the telemetry counts it
+    under [failures]. *)
 
 type delta =
   | Delta of int  (** cost - cost(RULE1) *)
   | Infeasible
-  | Limit  (** solver gave up before proving either way *)
+  | Limit  (** solver gave up (or the solve failed) before proving either way *)
 
 (** The paper's plotting constant for unroutable clips. *)
 val infeasible_delta : int
@@ -25,14 +33,58 @@ type entry = {
   base_cost : int;
 }
 
-(** [clip_deltas ?config ~tech ~rules clip] routes [clip] under RULE1 and
-    each configuration in [rules]. Clips that are unroutable even under
-    RULE1 are dropped (returns []). *)
+(** Aggregate solver effort across the solves of one sweep. [wall_s] is
+    the sum of per-solve wall times, so under domain parallelism it
+    exceeds the sweep's elapsed time. *)
+type telemetry = {
+  solves : int;
+  nodes : int;  (** branch-and-bound nodes *)
+  simplex_iterations : int;
+  wall_s : float;
+  limits : int;  (** solves that hit the node/time limit *)
+  infeasible : int;
+  failures : int;  (** solves that raised; reported as [Limit] entries *)
+}
+
+val empty_telemetry : telemetry
+
+(** Render with {!Optrouter_report.Report.Telemetry}. *)
+val render_telemetry : telemetry -> string
+
+(** [clip_deltas ?config ?pool ?telemetry ?on_entry ~tech ~rules clip]
+    routes [clip] under RULE1 and each configuration in [rules]. Clips
+    that are unroutable even under RULE1 are dropped (returns []).
+
+    The baseline solve is serial (everything depends on it); the rule
+    solves fan out over [pool] when given. [on_entry] is invoked from the
+    pool's collector — always the calling domain — once per completed
+    (clip, rule) solve, in completion order; use it for progress lines.
+    [telemetry], when given, is updated in place (deterministically, in
+    task order) with every solve including the baseline. *)
 val clip_deltas :
   ?config:Optrouter_core.Optrouter.config ->
+  ?pool:Optrouter_exec.Pool.t ->
+  ?telemetry:telemetry ref ->
+  ?on_entry:(entry -> unit) ->
   tech:Optrouter_tech.Tech.t ->
   rules:Optrouter_tech.Rules.t list ->
   Optrouter_grid.Clip.t ->
+  entry list
+
+(** [sweep ?config ?pool ?telemetry ?on_entry ~tech ~rules clips] is
+    [List.concat_map (clip_deltas ...) clips] with better parallel
+    scaling: all RULE1 baselines solve as one batch, then the whole
+    (clip x rule) cross product of the surviving clips as a second batch,
+    so the pool stays saturated even when each clip has few rules. The
+    entry list is identical to the serial per-clip path. *)
+val sweep :
+  ?config:Optrouter_core.Optrouter.config ->
+  ?pool:Optrouter_exec.Pool.t ->
+  ?telemetry:telemetry ref ->
+  ?on_entry:(entry -> unit) ->
+  tech:Optrouter_tech.Tech.t ->
+  rules:Optrouter_tech.Rules.t list ->
+  Optrouter_grid.Clip.t list ->
   entry list
 
 (** [series entries] groups by rule and sorts each rule's Δcost values

@@ -1,0 +1,63 @@
+(** A reusable pool of worker domains for embarrassingly parallel sweeps.
+
+    The evaluation workload — one independent ILP solve per (clip, rule)
+    pair — fans out over a fixed set of worker domains through a shared
+    work queue. Results always come back in task-index order, so a
+    parallel map is a drop-in replacement for [List.map]: callers see
+    byte-identical output regardless of the number of domains.
+
+    A pool with fewer than two domains never spawns workers; every [map]
+    then runs serially in the calling domain. This keeps [?pool] plumbing
+    uniform: passing [create ~domains:1] is exactly the serial path.
+
+    The pool is not reentrant: task functions must not call [map] /
+    [map_result] on the pool executing them (they would deadlock waiting
+    for workers that are all busy running their parents). *)
+
+type t
+
+(** [create ~domains] spawns [domains] worker domains when [domains >= 2]
+    and none otherwise (the calling domain only collects results, it does
+    not run tasks). [domains] is the requested solve concurrency, capped
+    at 128. It is intentionally not clamped to
+    {!Domain.recommended_domain_count}: oversubscribed domains time-slice
+    gracefully, while clamping would silently disable the parallel path
+    on small hosts. *)
+val create : domains:int -> t
+
+(** Effective concurrency of the pool: the number of worker domains, or 1
+    for a serial pool. *)
+val domains : t -> int
+
+(** [map_result pool f tasks] runs [f] on every task (across the worker
+    domains when the pool is parallel) and returns the outcomes in task
+    order. Each task's exception is captured in its own [Error] slot, so
+    one failed solve never kills the sweep.
+
+    [on_done] is invoked in the {e calling} domain — the pool's
+    collector — once per completed task, in completion order (which is
+    nondeterministic under parallelism). It needs no synchronisation of
+    its own; use it for progress reporting. *)
+val map_result :
+  ?on_done:(int -> ('b, exn) result -> unit) ->
+  t ->
+  ('a -> 'b) ->
+  'a list ->
+  ('b, exn) result list
+
+(** [map pool f tasks] is [map_result] with failures re-raised: the first
+    captured exception in task order propagates after every task has
+    finished. Equivalent to [List.map f tasks] up to evaluation order. *)
+val map : ?on_done:(int -> ('b, exn) result -> unit) -> t -> ('a -> 'b) -> 'a list -> 'b list
+
+(** Stop the workers and join them. The pool must not be used afterwards;
+    [shutdown] is idempotent. *)
+val shutdown : t -> unit
+
+(** [with_pool ~domains f] runs [f] with a fresh pool and always shuts it
+    down, including on exception. *)
+val with_pool : domains:int -> (t -> 'a) -> 'a
+
+(** Solve concurrency requested by the environment: the [OPTROUTER_JOBS]
+    variable, clamped to at least 1; unset or unparsable means 1. *)
+val env_jobs : unit -> int

@@ -19,6 +19,17 @@ type params = {
 let default_params =
   { max_nodes = 500_000; time_limit_s = None; integrality_tol = 1e-6; log = false }
 
+let make_params ?(max_nodes = default_params.max_nodes) ?time_limit_s
+    ?(integrality_tol = default_params.integrality_tol)
+    ?(log = default_params.log) () =
+  { max_nodes; time_limit_s; integrality_tol; log }
+
+(* Wall clock for the time budget: CPU time is meaningless as a deadline
+   when several solves share the process (domain-parallel sweeps), and
+   [Unix.gettimeofday] is the only sub-second clock the stdlib exposes
+   per-process rather than per-thread. *)
+let now () = Unix.gettimeofday ()
+
 let src = Logs.Src.create "optrouter.milp" ~doc:"branch and bound"
 
 module Log = (val Logs.src_log src : Logs.LOG)
@@ -91,11 +102,11 @@ let rec solve ?(params = default_params) ?(presolve = false) ?initial ?cutoff
 and solve_unreduced ~params ?initial ?cutoff (lp : Lp.t) =
   let inst = Simplex.Instance.create lp in
   let n = Lp.nvars lp in
-  let start = Sys.time () in
+  let start = now () in
   let out_of_time () =
     match params.time_limit_s with
     | None -> false
-    | Some limit -> Sys.time () -. start > limit
+    | Some limit -> now () -. start > limit
   in
   let integral_obj = objective_is_integral lp in
   let round_bound b = if integral_obj then Float.ceil (b -. 1e-6) else b in

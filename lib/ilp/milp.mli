@@ -25,12 +25,28 @@ type result = {
 
 type params = {
   max_nodes : int;
-  time_limit_s : float option;  (** CPU seconds, measured with [Sys.time] *)
+  time_limit_s : float option;
+      (** wall-clock seconds, measured with [Unix.gettimeofday]. Wall
+          rather than CPU time: parallel sweeps run several solves in one
+          process, where accumulated CPU seconds are meaningless as a
+          per-solve deadline. *)
   integrality_tol : float;
   log : bool;
 }
 
 val default_params : params
+
+(** [make_params ()] is {!default_params}; each argument overrides one
+    field. Prefer this over record literals at call sites — future solver
+    knobs (e.g. per-solve job counts) then arrive without breaking
+    callers. [time_limit_s] left out means no time limit. *)
+val make_params :
+  ?max_nodes:int ->
+  ?time_limit_s:float ->
+  ?integrality_tol:float ->
+  ?log:bool ->
+  unit ->
+  params
 
 (** [solve ?params ?initial ?cutoff lp] minimizes.
 

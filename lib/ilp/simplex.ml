@@ -801,7 +801,7 @@ module Instance = struct
       if st.niter > max_iters then
         raise (Numerical_failure "simplex iteration limit reached");
       (match deadline_s with
-      | Some deadline when st.niter land 63 = 0 && Sys.time () > deadline ->
+      | Some deadline when st.niter land 63 = 0 && Unix.gettimeofday () > deadline ->
         raise (Numerical_failure "simplex deadline exceeded")
       | Some _ | None -> ());
       st.niter <- st.niter + 1;

@@ -51,7 +51,7 @@ module Instance : sig
   (** [solve ?basis ?lower ?upper ?max_iters ?deadline_s inst] solves the
       instance. [lower]/[upper], when given, override the structural
       variable bounds (arrays of length [nvars]); [deadline_s] is an
-      absolute [Sys.time] value after which the solve aborts. Raises
+      absolute [Unix.gettimeofday] value after which the solve aborts. Raises
       {!Numerical_failure} if the basis cannot be kept factorised, the
       iteration limit is hit, or the deadline passes. *)
   val solve :

@@ -89,6 +89,22 @@ module Series = struct
     end
 end
 
+module Telemetry = struct
+  let render ~solves ~nodes ~simplex_iterations ~wall_s ~limits ~infeasible
+      ~failures =
+    let buf = Buffer.create 128 in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "solver telemetry: %d solves in %.1f s wall (%d B&B nodes, %d \
+          simplex iterations)\n"
+         solves wall_s nodes simplex_iterations);
+    Buffer.add_string buf
+      (Printf.sprintf "                  %d limit, %d infeasible%s\n" limits
+         infeasible
+         (if failures > 0 then Printf.sprintf ", %d failed" failures else ""));
+    Buffer.contents buf
+end
+
 module Csv = struct
   let escape cell =
     if String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell then

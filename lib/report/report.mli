@@ -23,6 +23,24 @@ module Series : sig
     string
 end
 
+module Telemetry : sig
+  (** [render ~solves ~nodes ~simplex_iterations ~wall_s ~limits
+      ~infeasible ~failures] renders the per-sweep solver telemetry
+      summary the evaluation layer aggregates across (clip, rule) solves.
+      [wall_s] is summed per-solve wall time — under domain parallelism it
+      exceeds the sweep's elapsed time, which is the point of reporting
+      it. *)
+  val render :
+    solves:int ->
+    nodes:int ->
+    simplex_iterations:int ->
+    wall_s:float ->
+    limits:int ->
+    infeasible:int ->
+    failures:int ->
+    string
+end
+
 module Csv : sig
   val to_string : header:string list -> string list list -> string
   val write_file : string -> header:string list -> string list list -> unit

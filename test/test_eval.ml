@@ -19,11 +19,9 @@ let two_pin name p1 p2 =
   { Clip.n_name = name; pins = [ pin (name ^ "s") [ p1 ]; pin (name ^ "t") [ p2 ] ] }
 
 let fast_config =
-  {
-    Optrouter.default_config with
-    Optrouter.milp =
-      { Milp.default_params with Milp.max_nodes = 5_000; time_limit_s = Some 20.0 };
-  }
+  Optrouter.make_config
+    ~milp:(Milp.make_params ~max_nodes:5_000 ~time_limit_s:20.0 ())
+    ()
 
 (* ------------------------------------------------------------------ *)
 (* Sweep                                                               *)

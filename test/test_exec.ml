@@ -1,0 +1,235 @@
+(* Tests for the domain pool and its wiring into the sweep: parallel maps
+   must be drop-in replacements for serial ones (same results, same
+   order), exceptions must stay confined to their task, and a parallel
+   rule sweep must reproduce the serial entry list exactly. *)
+
+module Pool = Optrouter_exec.Pool
+module Tech = Optrouter_tech.Tech
+module Rules = Optrouter_tech.Rules
+module Clip = Optrouter_grid.Clip
+module Sweep = Optrouter_eval.Sweep
+module Optrouter = Optrouter_core.Optrouter
+module Milp = Optrouter_ilp.Milp
+
+(* ------------------------------------------------------------------ *)
+(* Pool basics                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_map_empty () =
+  Pool.with_pool ~domains:3 (fun pool ->
+      Alcotest.(check (list int)) "empty" [] (Pool.map pool (fun x -> x) []))
+
+let test_map_order () =
+  Pool.with_pool ~domains:4 (fun pool ->
+      let xs = List.init 100 Fun.id in
+      Alcotest.(check (list int))
+        "task-index order" (List.map succ xs)
+        (Pool.map pool succ xs))
+
+let test_map_serial_pool () =
+  (* domains:1 spawns no workers; map runs in the calling domain. *)
+  Pool.with_pool ~domains:1 (fun pool ->
+      Alcotest.(check int) "serial pool reports 1 domain" 1 (Pool.domains pool);
+      let xs = [ 5; 3; 1 ] in
+      Alcotest.(check (list int))
+        "same as List.map" (List.map (fun x -> x * 2) xs)
+        (Pool.map pool (fun x -> x * 2) xs))
+
+let test_map_reusable () =
+  (* One pool, several maps: workers survive between batches. *)
+  Pool.with_pool ~domains:2 (fun pool ->
+      for i = 1 to 5 do
+        let xs = List.init (10 * i) Fun.id in
+        Alcotest.(check (list int))
+          (Printf.sprintf "batch %d" i)
+          (List.map (fun x -> x + i) xs)
+          (Pool.map pool (fun x -> x + i) xs)
+      done)
+
+exception Boom of int
+
+let test_exception_isolation () =
+  Pool.with_pool ~domains:3 (fun pool ->
+      let f x = if x mod 3 = 0 then raise (Boom x) else x * 10 in
+      let results = Pool.map_result pool f (List.init 10 Fun.id) in
+      List.iteri
+        (fun i r ->
+          match r with
+          | Ok v when i mod 3 <> 0 ->
+            Alcotest.(check int) "ok slot" (i * 10) v
+          | Error (Boom v) when i mod 3 = 0 ->
+            Alcotest.(check int) "error slot" i v
+          | Ok _ -> Alcotest.fail "expected Error for multiple of 3"
+          | Error e -> Alcotest.fail ("unexpected " ^ Printexc.to_string e))
+        results;
+      (* the pool survives failed tasks *)
+      Alcotest.(check (list int)) "pool still works" [ 2; 4 ]
+        (Pool.map pool (fun x -> x * 2) [ 1; 2 ]))
+
+let test_map_reraises_first_error () =
+  Pool.with_pool ~domains:2 (fun pool ->
+      match Pool.map pool (fun x -> if x >= 2 then raise (Boom x) else x) [ 0; 1; 2; 3 ] with
+      | _ -> Alcotest.fail "expected Boom"
+      | exception Boom v ->
+        (* first failure in task order, regardless of completion order *)
+        Alcotest.(check int) "first by index" 2 v)
+
+let test_on_done_collector () =
+  Pool.with_pool ~domains:3 (fun pool ->
+      let seen = ref [] in
+      let xs = List.init 20 Fun.id in
+      let _ =
+        Pool.map_result pool
+          ~on_done:(fun i r ->
+            match r with
+            | Ok v -> seen := (i, v) :: !seen
+            | Error _ -> Alcotest.fail "no errors expected")
+          (fun x -> x * x)
+          xs
+      in
+      Alcotest.(check int) "one callback per task" 20 (List.length !seen);
+      List.iter
+        (fun (i, v) -> Alcotest.(check int) "callback sees task's result" (i * i) v)
+        !seen)
+
+let test_env_jobs () =
+  Unix.putenv "OPTROUTER_JOBS" "7";
+  Alcotest.(check int) "parses" 7 (Pool.env_jobs ());
+  Unix.putenv "OPTROUTER_JOBS" "bogus";
+  Alcotest.(check int) "unparsable means serial" 1 (Pool.env_jobs ());
+  Unix.putenv "OPTROUTER_JOBS" "0";
+  Alcotest.(check int) "clamped to 1" 1 (Pool.env_jobs ())
+
+(* ------------------------------------------------------------------ *)
+(* qcheck: Pool.map f == List.map f                                    *)
+(* ------------------------------------------------------------------ *)
+
+let qcheck_map_equals_list_map =
+  QCheck.Test.make ~count:50 ~name:"Pool.map f = List.map f"
+    QCheck.(list small_int)
+    (fun xs ->
+      let f x = (x * 31) + 7 in
+      Pool.with_pool ~domains:3 (fun pool -> Pool.map pool f xs) = List.map f xs)
+
+(* ------------------------------------------------------------------ *)
+(* Sweep determinism                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let pin name access = { Clip.p_name = name; access; shape = None }
+
+let two_pin name p1 p2 =
+  { Clip.n_name = name; pins = [ pin (name ^ "s") [ p1 ]; pin (name ^ "t") [ p2 ] ] }
+
+(* Small deterministic clips covering routable, rule-impacted and
+   rule-infeasible cases. *)
+let seed_clips =
+  [
+    Clip.make ~name:"eol" ~cols:4 ~rows:1 ~layers:2
+      [ two_pin "a" (0, 0) (1, 0); two_pin "b" (2, 0) (3, 0) ];
+    Clip.make ~name:"hop" ~cols:3 ~rows:2 ~layers:2 [ two_pin "a" (0, 0) (0, 1) ];
+    Clip.make ~name:"cross" ~cols:3 ~rows:3 ~layers:2
+      [ two_pin "a" (0, 0) (2, 2); two_pin "b" (2, 0) (0, 2) ];
+  ]
+
+let sweep_rules = [ Rules.rule 4; Rules.rule 6; Rules.rule 8 ]
+
+let fast_config =
+  Optrouter.make_config
+    ~milp:(Milp.make_params ~max_nodes:5_000 ~time_limit_s:20.0 ())
+    ()
+
+let entry_t =
+  let pp ppf (e : Sweep.entry) =
+    Format.fprintf ppf "%s/%s d=%.0f cost=%s base=%d" e.Sweep.clip_name
+      e.Sweep.rule_name
+      (Sweep.delta_value e.Sweep.delta)
+      (match e.Sweep.cost with Some c -> string_of_int c | None -> "-")
+      e.Sweep.base_cost
+  in
+  Alcotest.testable pp ( = )
+
+let serial_entries () =
+  List.concat_map
+    (fun clip ->
+      Sweep.clip_deltas ~config:fast_config ~tech:Tech.n28_12t
+        ~rules:sweep_rules clip)
+    seed_clips
+
+let test_parallel_sweep_deterministic () =
+  let serial = serial_entries () in
+  Alcotest.(check bool) "serial sweep nonempty" true (serial <> []);
+  List.iter
+    (fun domains ->
+      Pool.with_pool ~domains (fun pool ->
+          let parallel =
+            Sweep.sweep ~config:fast_config ~pool ~tech:Tech.n28_12t
+              ~rules:sweep_rules seed_clips
+          in
+          Alcotest.(check (list entry_t))
+            (Printf.sprintf "identical at %d domains" domains)
+            serial parallel))
+    [ 2; 4 ]
+
+let test_parallel_clip_deltas_deterministic () =
+  Pool.with_pool ~domains:2 (fun pool ->
+      List.iter
+        (fun clip ->
+          let serial =
+            Sweep.clip_deltas ~config:fast_config ~tech:Tech.n28_12t
+              ~rules:sweep_rules clip
+          in
+          let parallel =
+            Sweep.clip_deltas ~config:fast_config ~pool ~tech:Tech.n28_12t
+              ~rules:sweep_rules clip
+          in
+          Alcotest.(check (list entry_t)) clip.Clip.c_name serial parallel)
+        seed_clips)
+
+let test_sweep_telemetry_and_on_entry () =
+  Pool.with_pool ~domains:2 (fun pool ->
+      let telemetry = ref Sweep.empty_telemetry in
+      let seen = ref 0 in
+      let entries =
+        Sweep.sweep ~config:fast_config ~pool ~telemetry
+          ~on_entry:(fun _ -> incr seen)
+          ~tech:Tech.n28_12t ~rules:sweep_rules seed_clips
+      in
+      Alcotest.(check int) "on_entry fires once per entry" (List.length entries)
+        !seen;
+      let t = !telemetry in
+      Alcotest.(check int) "solves = baselines + rule solves"
+        (List.length seed_clips + List.length entries)
+        t.Sweep.solves;
+      Alcotest.(check bool) "nodes counted" true (t.Sweep.nodes > 0);
+      Alcotest.(check bool) "wall time counted" true (t.Sweep.wall_s > 0.0);
+      Alcotest.(check int) "no failures" 0 t.Sweep.failures;
+      Alcotest.(check bool) "renders" true
+        (String.length (Sweep.render_telemetry t) > 0))
+
+let () =
+  Alcotest.run "exec"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "empty map" `Quick test_map_empty;
+          Alcotest.test_case "result order" `Quick test_map_order;
+          Alcotest.test_case "serial pool" `Quick test_map_serial_pool;
+          Alcotest.test_case "reusable across batches" `Quick test_map_reusable;
+          Alcotest.test_case "exception isolation" `Quick
+            test_exception_isolation;
+          Alcotest.test_case "map re-raises first error" `Quick
+            test_map_reraises_first_error;
+          Alcotest.test_case "on_done collector" `Quick test_on_done_collector;
+          Alcotest.test_case "OPTROUTER_JOBS parsing" `Quick test_env_jobs;
+          QCheck_alcotest.to_alcotest qcheck_map_equals_list_map;
+        ] );
+      ( "parallel sweep",
+        [
+          Alcotest.test_case "sweep matches serial" `Quick
+            test_parallel_sweep_deterministic;
+          Alcotest.test_case "clip_deltas matches serial" `Quick
+            test_parallel_clip_deltas_deterministic;
+          Alcotest.test_case "telemetry and on_entry" `Quick
+            test_sweep_telemetry_and_on_entry;
+        ] );
+    ]

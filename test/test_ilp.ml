@@ -424,7 +424,7 @@ let test_milp_node_limit () =
       [ bin "x1" (-1.0); bin "x2" (-1.0); bin "x3" (-1.0) ]
       [ ("r", [ (0, 2.0); (1, 2.0); (2, 2.0) ], Lp.Le, 5.0) ]
   in
-  let params = { Milp.default_params with max_nodes = 1 } in
+  let params = Milp.make_params ~max_nodes:1 () in
   let res = Milp.solve ~params lp in
   Alcotest.(check bool)
     "limit reported" true

@@ -314,10 +314,9 @@ let test_route_sadp_aux_linearization_agrees () =
   in
   let collapsed = routed_cost (route ~rules:(rule 2) c) in
   let config =
-    {
-      Optrouter.default_config with
-      options = { Formulate.default_options with sadp_aux_vars = true };
-    }
+    Optrouter.make_config
+      ~options:{ Formulate.default_options with sadp_aux_vars = true }
+      ()
   in
   let aux = routed_cost (route ~config ~rules:(rule 2) c) in
   Alcotest.(check int) "same optimum" collapsed aux
@@ -327,7 +326,7 @@ let test_route_via_shape_preferred () =
      uses it instead of two single vias. *)
   let c = clip ~cols:2 ~rows:3 ~layers:2 [ two_pin "a" (0, 0) (0, 2) ] in
   let config =
-    { Optrouter.default_config with via_shapes = [ Via_shape.bar_2x1 ~cost:4 ] }
+    Optrouter.make_config ~via_shapes:[ Via_shape.bar_2x1 ~cost:4 ] ()
   in
   let r = route ~config c in
   match r.Optrouter.verdict with
@@ -414,9 +413,7 @@ let test_route_without_heuristic_incumbent () =
     clip ~cols:4 ~rows:3 ~layers:2
       [ two_pin "a" (0, 0) (3, 2); two_pin "b" (3, 0) (0, 2) ]
   in
-  let cold_config =
-    { Optrouter.default_config with Optrouter.heuristic_incumbent = false }
-  in
+  let cold_config = Optrouter.make_config ~heuristic_incumbent:false () in
   Alcotest.(check int) "same optimum"
     (routed_cost (route c))
     (routed_cost (route ~config:cold_config c))
@@ -448,15 +445,9 @@ let test_route_limit_verdict () =
       [ two_pin "a" (0, 0) (4, 3); two_pin "b" (4, 0) (0, 3) ]
   in
   let config =
-    {
-      Optrouter.default_config with
-      Optrouter.heuristic_incumbent = false;
-      milp =
-        {
-          Optrouter_ilp.Milp.default_params with
-          Optrouter_ilp.Milp.max_nodes = 0;
-        };
-    }
+    Optrouter.make_config ~heuristic_incumbent:false
+      ~milp:(Optrouter_ilp.Milp.make_params ~max_nodes:0 ())
+      ()
   in
   match (route ~config c).Optrouter.verdict with
   | Optrouter.Limit _ -> ()
@@ -728,7 +719,7 @@ let prop_flow_formulations_agree =
   QCheck.Test.make ~name:"aggregated and disaggregated flows agree" ~count:10
     arbitrary_clip (fun c ->
       let cost options =
-        let config = { Optrouter.default_config with Optrouter.options } in
+        let config = Optrouter.make_config ~options () in
         match (route ~config c).Optrouter.verdict with
         | Optrouter.Routed sol -> Some sol.Route.metrics.cost
         | Optrouter.Unroutable -> None
