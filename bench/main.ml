@@ -2,13 +2,18 @@
    evaluation section, at a scale the pure-OCaml MILP solver handles in
    minutes (see DESIGN.md / EXPERIMENTS.md for the scale mapping).
 
-   Usage: main.exe [-j N] [SECTION...]
+   Usage: main.exe [-j N] [--no-reuse] [SECTION...]
    Sections: table2 table3 fig7 fig8 fig9 fig10a fig10b fig10c ilpsize
              validate runtime ablation micro    (default: all)
 
    [-j N] fans the independent ILP solves of the sweep sections (fig10*,
    validate) over N domains; the reported tables and figures are
    byte-identical to a serial run.
+
+   [--no-reuse] disables the baseline-reuse layer of the sweep sections:
+   every (clip, rule) ILP re-solves from scratch instead of re-checking /
+   re-encoding the RULE1 baseline routing. Entries are identical either
+   way; use it to measure what reuse saves (see results/BENCH_sweep.json).
 
    Environment knobs:
      OPTROUTER_JOBS         default for -j (default 1 = serial)
@@ -61,6 +66,17 @@ let bench_params =
    from [-j]/[OPTROUTER_JOBS]. [None] means serial. *)
 let pool : Pool.t option ref = ref None
 
+(* Baseline reuse in the sweep sections; cleared by [--no-reuse]. *)
+let reuse = ref true
+
+(* Solver telemetry accumulated across every sweep section of the run,
+   dumped as results/BENCH_sweep.json so CI can track the perf
+   trajectory (solves, fast-path hits, nodes, busy vs wall seconds). *)
+let sweep_telemetry = ref Sweep.empty_telemetry
+let sweep_sections_run = ref 0
+
+let jobs_used = ref 1
+
 let progress_enabled = Sys.getenv_opt "OPTROUTER_PROGRESS" <> None
 
 (* Progress lines ride the sweep's [on_entry] callback: it fires in this
@@ -83,6 +99,34 @@ let results_dir = "results"
 
 let ensure_results_dir () =
   if not (Sys.file_exists results_dir) then Sys.mkdir results_dir 0o755
+
+let write_sweep_json () =
+  ensure_results_dir ();
+  let t = !sweep_telemetry in
+  let path = Filename.concat results_dir "BENCH_sweep.json" in
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n\
+    \  \"sections\": %d,\n\
+    \  \"jobs\": %d,\n\
+    \  \"reuse\": %b,\n\
+    \  \"solves\": %d,\n\
+    \  \"fast_path_hits\": %d,\n\
+    \  \"seeded_incumbents\": %d,\n\
+    \  \"nodes\": %d,\n\
+    \  \"simplex_iterations\": %d,\n\
+    \  \"busy_s\": %.3f,\n\
+    \  \"wall_s\": %.3f,\n\
+    \  \"limits\": %d,\n\
+    \  \"infeasible\": %d,\n\
+    \  \"failures\": %d\n\
+     }\n"
+    !sweep_sections_run !jobs_used !reuse t.Sweep.solves
+    t.Sweep.fast_path_hits t.Sweep.seeded_incumbents t.Sweep.nodes
+    t.Sweep.simplex_iterations t.Sweep.busy_s t.Sweep.wall_s t.Sweep.limits
+    t.Sweep.infeasible t.Sweep.failures;
+  close_out oc;
+  Printf.printf "[sweep telemetry written to %s]\n%!" path
 
 let banner title =
   Printf.printf "\n================ %s ================\n" title
@@ -187,9 +231,12 @@ let fig10_for name tech =
     (Printf.sprintf "Figure 10%s: dcost per rule, %s (reduced scale)" name
        tech.Tech.name);
   let telemetry = ref Sweep.empty_telemetry in
+  let params = { bench_params with Experiments.reuse = !reuse } in
   let entries =
-    Experiments.fig10 ~params:bench_params ?pool:!pool ~telemetry ?on_entry tech
+    Experiments.fig10 ~params ?pool:!pool ~telemetry ?on_entry tech
   in
+  incr sweep_sections_run;
+  sweep_telemetry := Sweep.merge_telemetry !sweep_telemetry !telemetry;
   if entries = [] then print_endline "(no routable clips at this scale)"
   else begin
     let series = Sweep.series entries in
@@ -467,24 +514,27 @@ let parse_args argv =
     Printf.eprintf "bad -j value %S (want a positive integer)\n" v;
     exit 1
   in
-  let rec go jobs acc = function
-    | [] -> (jobs, List.rev acc)
+  let rec go jobs use_reuse acc = function
+    | [] -> (jobs, use_reuse, List.rev acc)
+    | "--no-reuse" :: rest -> go jobs false acc rest
     | "-j" :: v :: rest -> (
       match int_of_string_opt v with
-      | Some n when n >= 1 -> go n acc rest
+      | Some n when n >= 1 -> go n use_reuse acc rest
       | Some _ | None -> bad_jobs v)
     | [ "-j" ] -> bad_jobs ""
     | arg :: rest when String.length arg > 2 && String.sub arg 0 2 = "-j" -> (
       let v = String.sub arg 2 (String.length arg - 2) in
       match int_of_string_opt v with
-      | Some n when n >= 1 -> go n acc rest
+      | Some n when n >= 1 -> go n use_reuse acc rest
       | Some _ | None -> bad_jobs v)
-    | arg :: rest -> go jobs (arg :: acc) rest
+    | arg :: rest -> go jobs use_reuse (arg :: acc) rest
   in
-  go (Pool.env_jobs ()) [] (List.tl (Array.to_list argv))
+  go (Pool.env_jobs ()) true [] (List.tl (Array.to_list argv))
 
 let () =
-  let jobs, args = parse_args Sys.argv in
+  let jobs, use_reuse, args = parse_args Sys.argv in
+  reuse := use_reuse;
+  jobs_used := jobs;
   let requested = match args with [] -> List.map fst sections | _ -> args in
   if jobs >= 2 then pool := Some (Pool.create ~domains:jobs);
   let finally () = Option.iter Pool.shutdown !pool in
@@ -501,4 +551,5 @@ let () =
             Printf.eprintf "unknown section %S; available: %s\n" name
               (String.concat " " (List.map fst sections));
             exit 1)
-        requested)
+        requested;
+      if !sweep_sections_run > 0 then write_sweep_json ())

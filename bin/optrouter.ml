@@ -96,16 +96,26 @@ let load_clips path =
     Printf.eprintf "error: %s: %s\n" path msg;
     exit 1
 
-let config_of ~time_limit =
+let config_of ?(reuse = true) ~time_limit () =
   Optrouter_drv.make_config
     ~milp:(Milp.make_params ~max_nodes:200_000 ~time_limit_s:time_limit ())
-    ()
+    ~seed_reuse:reuse ()
+
+let no_reuse_arg =
+  Arg.(
+    value & flag
+    & info [ "no-reuse" ]
+        ~doc:
+          "Disable the baseline-reuse fast path: re-solve every (clip, \
+           rule) ILP from scratch instead of re-checking / re-encoding the \
+           RULE1 baseline routing. Entries are identical either way; only \
+           solver effort changes.")
 
 (* ---- route ---- *)
 
 let do_route tech rules time_limit lp_out route_out path () =
   let clips = load_clips path in
-  let config = config_of ~time_limit in
+  let config = config_of ~time_limit () in
   List.iteri
     (fun i clip ->
       (match lp_out with
@@ -166,9 +176,9 @@ let route_cmd =
 
 (* ---- sweep ---- *)
 
-let do_sweep tech time_limit jobs csv_out path () =
+let do_sweep tech time_limit jobs no_reuse csv_out path () =
   let clips = load_clips path in
-  let config = config_of ~time_limit in
+  let config = config_of ~reuse:(not no_reuse) ~time_limit () in
   let rules = Experiments.rules_for tech in
   let telemetry = ref Sweep.empty_telemetry in
   let on_entry =
@@ -236,8 +246,8 @@ let sweep_cmd =
   in
   Cmd.v (Cmd.info "sweep" ~doc)
     Term.(
-      const do_sweep $ tech_arg $ time_limit_arg $ jobs_arg $ csv_out
-      $ clips_file_arg $ logs_term)
+      const do_sweep $ tech_arg $ time_limit_arg $ jobs_arg $ no_reuse_arg
+      $ csv_out $ clips_file_arg $ logs_term)
 
 (* ---- gen ---- *)
 

@@ -7,11 +7,18 @@ module Tech = Optrouter_tech.Tech
 module Via_shape = Optrouter_tech.Via_shape
 module Milp = Optrouter_ilp.Milp
 
+type seed_use =
+  | Seed_unused
+  | Seed_fast_path
+  | Seed_incumbent
+  | Seed_rejected
+
 type stats = {
   sizes : Formulate.sizes;
   nodes : int;
   simplex_iterations : int;
   elapsed_s : float;
+  seed_use : seed_use;
 }
 
 type verdict =
@@ -29,6 +36,7 @@ type config = {
   milp : Milp.params;
   drc_check : bool;
   heuristic_incumbent : bool;
+  seed_reuse : bool;
 }
 
 let default_config =
@@ -40,6 +48,7 @@ let default_config =
     milp = Milp.make_params ~max_nodes:20_000 ~time_limit_s:60.0 ();
     drc_check = true;
     heuristic_incumbent = true;
+    seed_reuse = true;
   }
 
 let make_config ?(options = default_config.options)
@@ -47,7 +56,8 @@ let make_config ?(options = default_config.options)
     ?(single_vias = default_config.single_vias)
     ?(bidirectional = default_config.bidirectional)
     ?(milp = default_config.milp) ?(drc_check = default_config.drc_check)
-    ?(heuristic_incumbent = default_config.heuristic_incumbent) () =
+    ?(heuristic_incumbent = default_config.heuristic_incumbent)
+    ?(seed_reuse = default_config.seed_reuse) () =
   {
     options;
     via_shapes;
@@ -56,6 +66,7 @@ let make_config ?(options = default_config.options)
     milp;
     drc_check;
     heuristic_incumbent;
+    seed_reuse;
   }
 
 exception Drc_failure of string
@@ -74,16 +85,63 @@ let audit ~rules g sol =
     in
     raise (Drc_failure msg)
 
-let route_graph ?(config = default_config) ~rules (g : Graph.t) =
+(* Fast-path solves never build a formulation; their sizes are all zero. *)
+let no_sizes = { Formulate.vars = 0; binaries = 0; rows = 0; nonzeros = 0 }
+
+(* Soundness of the zero-Δ fast path: [seed] must be an optimal routing
+   under a rule configuration whose feasible set CONTAINS this one (in the
+   sweep, the RULE1 baseline — every RULEk only adds constraints). A clean
+   DRC check then proves the seed is RULEk-feasible, so
+   cost(RULEk) <= cost(seed) = cost(relaxation) <= cost(RULEk): the seed is
+   optimal here too and no ILP is needed. A solution from a foreign graph
+   can only pass the check by actually being a clean routing of this graph's
+   nets, so a raised or failed check simply falls through to the ILP. *)
+let fast_path ~rules g (sol : Route.solution) =
+  match Drc.check ~rules g sol with
+  | [] ->
+    let metrics = Route.metrics_of g sol.Route.routes in
+    Some { Route.routes = sol.Route.routes; metrics }
+  | _ :: _ -> None
+  | exception _ -> None
+
+let route_graph ?(config = default_config) ?seed ~rules (g : Graph.t) =
   let start = Unix.gettimeofday () in
+  let seed = if config.seed_reuse then seed else None in
+  match Option.bind seed (fast_path ~rules g) with
+  | Some sol ->
+    Log.debug (fun m ->
+        m "seed clean under %s: fast path, cost=%d" rules.Rules.name
+          sol.Route.metrics.cost);
+    let stats =
+      {
+        sizes = no_sizes;
+        nodes = 0;
+        simplex_iterations = 0;
+        elapsed_s = Unix.gettimeofday () -. start;
+        seed_use = Seed_fast_path;
+      }
+    in
+    { verdict = Routed sol; stats }
+  | None ->
   let form = Formulate.build ~options:config.options ~rules g in
-  (* A quick heuristic routing, lifted to an LP point, seeds branch and
-     bound with an incumbent; on these instances the LP bound then prunes
-     most of the tree immediately. [Formulate.encode] re-validates the
-     point, so an unlucky heuristic result can never corrupt the search. *)
+  (* A known-good routing lifted to an LP point seeds branch and bound with
+     an incumbent; the LP bound then prunes most of the tree immediately.
+     Preference order: the caller's seed (a baseline routing that just
+     failed the fast-path check rarely encodes, but when it does it is
+     free), then a quick heuristic routing. [Formulate.encode] re-validates
+     the point, so an unlucky candidate can never corrupt the search. *)
+  let seeded = Option.bind seed (Formulate.encode form) in
+  let seed_use =
+    match (seed, seeded) with
+    | None, _ -> Seed_unused
+    | Some _, Some _ -> Seed_incumbent
+    | Some _, None -> Seed_rejected
+  in
   let initial =
-    if not config.heuristic_incumbent then None
-    else begin
+    match seeded with
+    | Some _ -> seeded
+    | None when not config.heuristic_incumbent -> None
+    | None -> begin
       let params =
         {
           Optrouter_maze.Maze.default_params with
@@ -106,6 +164,7 @@ let route_graph ?(config = default_config) ~rules (g : Graph.t) =
       nodes = milp_result.Milp.nodes;
       simplex_iterations = milp_result.Milp.simplex_iterations;
       elapsed_s;
+      seed_use;
     }
   in
   let decode () =
@@ -130,12 +189,12 @@ let route_graph ?(config = default_config) ~rules (g : Graph.t) =
   in
   { verdict; stats }
 
-let route ?(config = default_config) ~tech ~rules clip =
+let route ?(config = default_config) ?seed ~tech ~rules clip =
   let g =
     Graph.build ~via_shapes:config.via_shapes ~single_vias:config.single_vias
       ~bidirectional:config.bidirectional ~tech ~rules clip
   in
-  route_graph ~config ~rules g
+  route_graph ~config ?seed ~rules g
 
 let cost_of result =
   match result.verdict with

@@ -8,11 +8,26 @@
     Routing cost is [wirelength + via_weight * #vias] (the paper uses
     via_weight = 4, carried by the technology preset). *)
 
+(** How a [?seed] routing was exploited by a solve. *)
+type seed_use =
+  | Seed_unused  (** no seed given, or [seed_reuse] disabled *)
+  | Seed_fast_path
+      (** seed passed the DRC check under these rules: returned as the
+          proven optimum without building or solving any ILP *)
+  | Seed_incumbent
+      (** seed encoded onto this formulation and handed to branch and
+          bound as the starting incumbent *)
+  | Seed_rejected
+      (** seed violates these rules and could not be encoded; the solve
+          fell back to the heuristic incumbent *)
+
 type stats = {
   sizes : Formulate.sizes;
+      (** all zero for a {!Seed_fast_path} solve — no ILP was built *)
   nodes : int;  (** branch-and-bound nodes *)
   simplex_iterations : int;
   elapsed_s : float;  (** wall-clock seconds (valid under domain parallelism) *)
+  seed_use : seed_use;
 }
 
 type verdict =
@@ -36,6 +51,11 @@ type config = {
       (** seed branch and bound with a quick {!Optrouter_maze.Maze} routing
           lifted through {!Formulate.encode}; default [true]. Optimality is
           unaffected (the point is re-validated), only solve time. *)
+  seed_reuse : bool;
+      (** honour the [?seed] argument of {!route} / {!route_graph};
+          default [true]. When [false], seeds are ignored entirely — the
+          escape hatch behind the sweep's [--no-reuse] flag, useful to
+          verify that reuse changes solve effort but never results. *)
 }
 
 val default_config : config
@@ -51,23 +71,42 @@ val make_config :
   ?milp:Optrouter_ilp.Milp.params ->
   ?drc_check:bool ->
   ?heuristic_incumbent:bool ->
+  ?seed_reuse:bool ->
   unit ->
   config
 
 exception Drc_failure of string
 
-(** Route a clip under a rule configuration. *)
+(** Route a clip under a rule configuration.
+
+    [seed], when given, MUST be an optimal routing of the same clip (under
+    the same [config] graph options) for a rule configuration whose
+    feasible set contains this one — in the rule sweep, the RULE1 baseline:
+    every RULEk only adds constraints. Because rules are monotone, a seed
+    that passes the independent DRC check under [rules] is immediately a
+    proven optimum ({!Seed_fast_path}: zero B&B nodes, no ILP built);
+    otherwise the solve re-encodes it as the starting incumbent when
+    possible ({!Seed_incumbent}) and falls back to the heuristic incumbent
+    when not ({!Seed_rejected}). Results are identical with or without a
+    seed (and with [seed_reuse] off) up to solver limits — only the effort
+    changes. Passing a merely-feasible (non-optimal) seed is unsound: the
+    fast path would report it as optimal. *)
 val route :
   ?config:config ->
+  ?seed:Optrouter_grid.Route.solution ->
   tech:Optrouter_tech.Tech.t ->
   rules:Optrouter_tech.Rules.t ->
   Optrouter_grid.Clip.t ->
   result
 
 (** Route over an already-built graph (the graph must have been built with
-    the same rules). *)
+    the same rules). [seed] as in {!route}; its edge ids must refer to [g]
+    (graph construction is deterministic and rule-independent, so a
+    solution decoded from any rule configuration of the same clip, tech
+    and graph options is valid). *)
 val route_graph :
   ?config:config ->
+  ?seed:Optrouter_grid.Route.solution ->
   rules:Optrouter_tech.Rules.t ->
   Optrouter_grid.Graph.t ->
   result

@@ -133,6 +133,7 @@ type fig10_params = {
   extract : Extract.params;
   top_clips : int;
   time_limit_s : float;
+  reuse : bool;
 }
 
 let default_fig10_params =
@@ -143,6 +144,7 @@ let default_fig10_params =
     extract = Extract.reduced_params;
     top_clips = 8;
     time_limit_s = 20.0;
+    reuse = true;
   }
 
 let scaled_profile scale (p : Design.profile) =
@@ -177,7 +179,7 @@ let solver_config params =
   Optrouter.make_config
     ~milp:
       (Milp.make_params ~max_nodes:50_000 ~time_limit_s:params.time_limit_s ())
-    ()
+    ~seed_reuse:params.reuse ()
 
 let fig10 ?(params = default_fig10_params) ?pool ?telemetry ?on_entry tech =
   let clips = difficult_clips ~params tech in

@@ -31,6 +31,10 @@ type fig10_params = {
   extract : Optrouter_clips.Extract.params;
   top_clips : int;  (** paper: 100; reduced default: 8 *)
   time_limit_s : float;  (** per ILP solve *)
+  reuse : bool;
+      (** exploit the RULE1 baseline routing in every rule solve (DRC
+          fast path + seeded incumbents); default [true]. Entries are
+          identical either way — only solver effort changes. *)
 }
 
 val default_fig10_params : fig10_params

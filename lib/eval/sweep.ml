@@ -31,8 +31,11 @@ type entry = {
 
 type telemetry = {
   solves : int;
+  fast_path_hits : int;
+  seeded_incumbents : int;
   nodes : int;
   simplex_iterations : int;
+  busy_s : float;
   wall_s : float;
   limits : int;
   infeasible : int;
@@ -42,12 +45,29 @@ type telemetry = {
 let empty_telemetry =
   {
     solves = 0;
+    fast_path_hits = 0;
+    seeded_incumbents = 0;
     nodes = 0;
     simplex_iterations = 0;
+    busy_s = 0.0;
     wall_s = 0.0;
     limits = 0;
     infeasible = 0;
     failures = 0;
+  }
+
+let merge_telemetry a b =
+  {
+    solves = a.solves + b.solves;
+    fast_path_hits = a.fast_path_hits + b.fast_path_hits;
+    seeded_incumbents = a.seeded_incumbents + b.seeded_incumbents;
+    nodes = a.nodes + b.nodes;
+    simplex_iterations = a.simplex_iterations + b.simplex_iterations;
+    busy_s = a.busy_s +. b.busy_s;
+    wall_s = a.wall_s +. b.wall_s;
+    limits = a.limits + b.limits;
+    infeasible = a.infeasible + b.infeasible;
+    failures = a.failures + b.failures;
   }
 
 let add_result t (result : Optrouter.result) =
@@ -58,14 +78,22 @@ let add_result t (result : Optrouter.result) =
     | Optrouter.Unroutable -> (0, 1)
     | Optrouter.Routed _ -> (0, 0)
   in
+  let fast, seeded =
+    match s.Optrouter.seed_use with
+    | Optrouter.Seed_fast_path -> (1, 0)
+    | Optrouter.Seed_incumbent -> (0, 1)
+    | Optrouter.Seed_unused | Optrouter.Seed_rejected -> (0, 0)
+  in
   {
+    t with
     solves = t.solves + 1;
+    fast_path_hits = t.fast_path_hits + fast;
+    seeded_incumbents = t.seeded_incumbents + seeded;
     nodes = t.nodes + s.Optrouter.nodes;
     simplex_iterations = t.simplex_iterations + s.Optrouter.simplex_iterations;
-    wall_s = t.wall_s +. s.Optrouter.elapsed_s;
+    busy_s = t.busy_s +. s.Optrouter.elapsed_s;
     limits = t.limits + limit;
     infeasible = t.infeasible + infeasible;
-    failures = t.failures;
   }
 
 let add_outcome t = function
@@ -73,9 +101,22 @@ let add_outcome t = function
   | Error _ -> { t with solves = t.solves + 1; failures = t.failures + 1 }
 
 let render_telemetry t =
-  Report.Telemetry.render ~solves:t.solves ~nodes:t.nodes
-    ~simplex_iterations:t.simplex_iterations ~wall_s:t.wall_s ~limits:t.limits
-    ~infeasible:t.infeasible ~failures:t.failures
+  Report.Telemetry.render ~solves:t.solves ~fast_path_hits:t.fast_path_hits
+    ~seeded_incumbents:t.seeded_incumbents ~nodes:t.nodes
+    ~simplex_iterations:t.simplex_iterations ~busy_s:t.busy_s ~wall_s:t.wall_s
+    ~limits:t.limits ~infeasible:t.infeasible ~failures:t.failures
+
+(* True sweep wall clock, accumulated separately from the per-solve busy
+   sum: under [-j N] the two diverge, and each tells a different story. *)
+let timed telemetry f =
+  match telemetry with
+  | None -> f ()
+  | Some t ->
+    let t0 = Unix.gettimeofday () in
+    Fun.protect
+      ~finally:(fun () ->
+        t := { !t with wall_s = !t.wall_s +. (Unix.gettimeofday () -. t0) })
+      f
 
 (* ------------------------------------------------------------------ *)
 (* Solving                                                             *)
@@ -99,8 +140,8 @@ let fan ?pool ~on_done f xs =
     Pool.map pool f xs ~on_done:(fun i r ->
         match r with Ok y -> on_done i y | Error _ -> ())
 
-let solve_outcome ?config ~tech ~rules clip =
-  try Ok (Optrouter.route ?config ~tech ~rules clip) with e -> Error e
+let solve_outcome ?config ?seed ~tech ~rules clip =
+  try Ok (Optrouter.route ?config ?seed ~tech ~rules clip) with e -> Error e
 
 (* A solve that dies (DRC audit failure, numerical trouble escaping the
    solver, ...) is folded into the [Limit] bucket: the sweep survives and
@@ -130,38 +171,42 @@ let record telemetry outcome =
   match telemetry with Some t -> t := add_outcome !t outcome | None -> ()
 
 (* The RULE1 baseline gets a triple budget: if it cannot be proved the
-   whole clip is dropped, wasting every other solve. *)
+   whole clip is dropped, wasting every other solve. With no explicit
+   config the tripling applies to [Optrouter.default_config] — an
+   [Option.map] here once silently dropped the default 60 s budget's
+   tripling on the [None] path. *)
 let baseline_config config =
-  Option.map
-    (fun (c : Optrouter.config) ->
+  let c = Option.value config ~default:Optrouter.default_config in
+  {
+    c with
+    Optrouter.milp =
       {
-        c with
-        Optrouter.milp =
-          {
-            c.Optrouter.milp with
-            Optrouter_ilp.Milp.time_limit_s =
-              Option.map (fun t -> 3.0 *. t)
-                c.Optrouter.milp.Optrouter_ilp.Milp.time_limit_s;
-          };
-      })
-    config
+        c.Optrouter.milp with
+        Optrouter_ilp.Milp.time_limit_s =
+          Option.map (fun t -> 3.0 *. t)
+            c.Optrouter.milp.Optrouter_ilp.Milp.time_limit_s;
+      };
+  }
 
-let base_cost_of clip_name = function
+(* The proved-optimal RULE1 routing, reused to seed every rule solve of
+   the clip. Unproved ([Limit]) baselines would poison every delta, so
+   the clip is dropped either way. *)
+let baseline_of clip_name = function
   | Error e ->
     warn_failure clip_name "RULE1" (Error e);
     None
   | Ok baseline -> (
     match baseline.Optrouter.verdict with
     | Optrouter.Unroutable | Optrouter.Limit None -> None
-    | Optrouter.Limit (Some _) ->
-      (* an unproved baseline would poison every delta; skip the clip *)
-      None
-    | Optrouter.Routed base -> Some base.Route.metrics.cost)
+    | Optrouter.Limit (Some _) -> None
+    | Optrouter.Routed base -> Some base)
 
 let rule_entries ?config ?pool ?telemetry ?on_entry ~tech jobs =
-  let solve (clip, base_cost, r) =
-    let outcome = solve_outcome ?config ~tech ~rules:r clip in
-    (entry_for ~clip_name:clip.Clip.c_name ~base_cost r outcome, outcome)
+  let solve (clip, (base : Route.solution), r) =
+    let outcome = solve_outcome ?config ~seed:base ~tech ~rules:r clip in
+    ( entry_for ~clip_name:clip.Clip.c_name ~base_cost:base.Route.metrics.cost r
+        outcome,
+      outcome )
   in
   let handle _i (entry, outcome) =
     warn_failure entry.clip_name entry.rule_name outcome;
@@ -174,39 +219,44 @@ let rule_entries ?config ?pool ?telemetry ?on_entry ~tech jobs =
   List.map fst results
 
 let clip_deltas ?config ?pool ?telemetry ?on_entry ~tech ~rules clip =
-  let outcome =
-    solve_outcome ?config:(baseline_config config) ~tech ~rules:(Rules.rule 1)
-      clip
-  in
-  record telemetry outcome;
-  match base_cost_of clip.Clip.c_name outcome with
-  | None -> []
-  | Some base_cost ->
-    rule_entries ?config ?pool ?telemetry ?on_entry ~tech
-      (List.map (fun r -> (clip, base_cost, r)) rules)
+  timed telemetry (fun () ->
+      let outcome =
+        solve_outcome ~config:(baseline_config config) ~tech
+          ~rules:(Rules.rule 1) clip
+      in
+      record telemetry outcome;
+      match baseline_of clip.Clip.c_name outcome with
+      | None -> []
+      | Some base ->
+        rule_entries ?config ?pool ?telemetry ?on_entry ~tech
+          (List.map (fun r -> (clip, base, r)) rules))
 
 let sweep ?config ?pool ?telemetry ?on_entry ~tech ~rules clips =
-  (* Two parallel phases instead of per-clip fan-out: first every clip's
-     RULE1 baseline, then the full (clip x rule) cross product of the
-     surviving clips — so even a handful of clips saturates the pool. *)
-  let bconfig = baseline_config config in
-  let baselines =
-    fan ?pool
-      ~on_done:(fun _ _ -> ())
-      (fun clip -> solve_outcome ?config:bconfig ~tech ~rules:(Rules.rule 1) clip)
-      clips
-  in
-  List.iter (record telemetry) baselines;
-  let jobs =
-    List.concat
-      (List.map2
-         (fun clip outcome ->
-           match base_cost_of clip.Clip.c_name outcome with
-           | None -> []
-           | Some base_cost -> List.map (fun r -> (clip, base_cost, r)) rules)
-         clips baselines)
-  in
-  rule_entries ?config ?pool ?telemetry ?on_entry ~tech jobs
+  timed telemetry (fun () ->
+      (* Two parallel phases instead of per-clip fan-out: first every
+         clip's RULE1 baseline, then the full (clip x rule) cross product
+         of the surviving clips — so even a handful of clips saturates the
+         pool. Each rule job carries its clip's baseline routing as the
+         solver seed. *)
+      let bconfig = baseline_config config in
+      let baselines =
+        fan ?pool
+          ~on_done:(fun _ _ -> ())
+          (fun clip ->
+            solve_outcome ~config:bconfig ~tech ~rules:(Rules.rule 1) clip)
+          clips
+      in
+      List.iter (record telemetry) baselines;
+      let jobs =
+        List.concat
+          (List.map2
+             (fun clip outcome ->
+               match baseline_of clip.Clip.c_name outcome with
+               | None -> []
+               | Some base -> List.map (fun r -> (clip, base, r)) rules)
+             clips baselines)
+      in
+      rule_entries ?config ?pool ?telemetry ?on_entry ~tech jobs)
 
 (* ------------------------------------------------------------------ *)
 (* Aggregation                                                         *)

@@ -33,14 +33,24 @@ type entry = {
   base_cost : int;
 }
 
-(** Aggregate solver effort across the solves of one sweep. [wall_s] is
-    the sum of per-solve wall times, so under domain parallelism it
-    exceeds the sweep's elapsed time. *)
+(** Aggregate solver effort across the solves of one sweep. [busy_s] is
+    the sum of per-solve wall times — under domain parallelism it exceeds
+    the sweep's elapsed time by design (it measures total solver work).
+    [wall_s] is the true elapsed wall clock of the sweep call itself; the
+    ratio of the two is the achieved parallel speedup. (Before the split a
+    single [wall_s] field held the busy sum, mislabelled as wall time.) *)
 type telemetry = {
   solves : int;
+  fast_path_hits : int;
+      (** rule solves answered by re-checking the RULE1 baseline routing —
+          no ILP built, zero branch-and-bound nodes *)
+  seeded_incumbents : int;
+      (** rule solves that started branch and bound from the re-encoded
+          baseline routing instead of the maze heuristic *)
   nodes : int;  (** branch-and-bound nodes *)
   simplex_iterations : int;
-  wall_s : float;
+  busy_s : float;  (** summed per-solve wall time (aggregate solver work) *)
+  wall_s : float;  (** true elapsed wall clock of the sweep *)
   limits : int;  (** solves that hit the node/time limit *)
   infeasible : int;
   failures : int;  (** solves that raised; reported as [Limit] entries *)
@@ -48,12 +58,31 @@ type telemetry = {
 
 val empty_telemetry : telemetry
 
+(** Field-wise sum of two telemetry records (e.g. to total several
+    sweeps). *)
+val merge_telemetry : telemetry -> telemetry -> telemetry
+
 (** Render with {!Optrouter_report.Report.Telemetry}. *)
 val render_telemetry : telemetry -> string
+
+(** The solver configuration used for RULE1 baseline solves: [config]
+    (or {!Optrouter_core.Optrouter.default_config} when [None]) with the
+    MILP time budget tripled — an unproved baseline drops the whole clip,
+    wasting every other solve. Exposed for tests. *)
+val baseline_config :
+  Optrouter_core.Optrouter.config option -> Optrouter_core.Optrouter.config
 
 (** [clip_deltas ?config ?pool ?telemetry ?on_entry ~tech ~rules clip]
     routes [clip] under RULE1 and each configuration in [rules]. Clips
     that are unroutable even under RULE1 are dropped (returns []).
+
+    The RULE1 baseline routing seeds every rule solve
+    ({!Optrouter_core.Optrouter.route}'s [?seed]): rules whose DRC accepts
+    the baseline are answered without any ILP (the paper's dominant
+    zero-Δ case), the rest start branch and bound from a re-encoded
+    incumbent when possible. Entries are byte-identical with reuse
+    disabled ([config] with [seed_reuse = false]) as long as no solver
+    limit is hit; only the solve effort differs.
 
     The baseline solve is serial (everything depends on it); the rule
     solves fan out over [pool] when given. [on_entry] is invoked from the
@@ -75,8 +104,10 @@ val clip_deltas :
     [List.concat_map (clip_deltas ...) clips] with better parallel
     scaling: all RULE1 baselines solve as one batch, then the whole
     (clip x rule) cross product of the surviving clips as a second batch,
-    so the pool stays saturated even when each clip has few rules. The
-    entry list is identical to the serial per-clip path. *)
+    so the pool stays saturated even when each clip has few rules. Each
+    cross-product job carries its clip's baseline routing as the solver
+    seed, exactly as in {!clip_deltas}. The entry list is identical to
+    the serial per-clip path. *)
 val sweep :
   ?config:Optrouter_core.Optrouter.config ->
   ?pool:Optrouter_exec.Pool.t ->

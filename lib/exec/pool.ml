@@ -142,6 +142,15 @@ let map ?on_done t f xs =
 let env_jobs () =
   match Sys.getenv_opt "OPTROUTER_JOBS" with
   | None -> 1
-  | Some v -> ( match int_of_string_opt (String.trim v) with
+  | Some v -> (
+    match int_of_string_opt (String.trim v) with
     | Some n when n >= 1 -> n
-    | Some _ | None -> 1)
+    | Some n ->
+      Log.warn (fun m ->
+          m "OPTROUTER_JOBS=%d is not a positive job count; running serially"
+            n);
+      1
+    | None ->
+      Log.warn (fun m ->
+          m "OPTROUTER_JOBS=%S is not an integer; running serially" v);
+      1)

@@ -59,5 +59,7 @@ val shutdown : t -> unit
 val with_pool : domains:int -> (t -> 'a) -> 'a
 
 (** Solve concurrency requested by the environment: the [OPTROUTER_JOBS]
-    variable, clamped to at least 1; unset or unparsable means 1. *)
+    variable, clamped to at least 1; unset means 1. An unparsable or
+    non-positive value also means 1, with a warning naming the rejected
+    value on the [optrouter.exec] log source. *)
 val env_jobs : unit -> int

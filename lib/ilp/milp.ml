@@ -61,7 +61,9 @@ let most_fractional tol (lp : Lp.t) x =
   Array.iteri
     (fun j (v : Lp.var) ->
       if v.kind = Lp.Integer then begin
-        let f = x.(j) -. Float.of_int (int_of_float (Float.floor x.(j))) in
+        (* [Float.floor] directly: an int_of_float round-trip is undefined
+           for values outside the native int range. *)
+        let f = x.(j) -. Float.floor x.(j) in
         let dist = Float.min f (1.0 -. f) in
         if dist > tol then begin
           let score = dist *. (1.0 +. Float.abs v.obj) in

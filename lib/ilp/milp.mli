@@ -36,6 +36,14 @@ type params = {
 
 val default_params : params
 
+(** [most_fractional tol lp x] is the branching variable the solver would
+    pick at the LP point [x]: the [Integer] variable whose fractional part
+    is furthest from integral (at least [tol] away), weighted by objective
+    coefficient so expensive decisions are fixed first. [None] when [x] is
+    integral. Total-function safe for values of any magnitude (doubles
+    beyond 2{^53} are integral by construction). Exposed for tests. *)
+val most_fractional : float -> Lp.t -> float array -> int option
+
 (** [make_params ()] is {!default_params}; each argument overrides one
     field. Prefer this over record literals at call sites — future solver
     knobs (e.g. per-solve job counts) then arrive without breaking

@@ -90,14 +90,21 @@ module Series = struct
 end
 
 module Telemetry = struct
-  let render ~solves ~nodes ~simplex_iterations ~wall_s ~limits ~infeasible
-      ~failures =
-    let buf = Buffer.create 128 in
+  let render ~solves ~fast_path_hits ~seeded_incumbents ~nodes
+      ~simplex_iterations ~busy_s ~wall_s ~limits ~infeasible ~failures =
+    let buf = Buffer.create 192 in
     Buffer.add_string buf
       (Printf.sprintf
-         "solver telemetry: %d solves in %.1f s wall (%d B&B nodes, %d \
-          simplex iterations)\n"
-         solves wall_s nodes simplex_iterations);
+         "solver telemetry: %d solves in %.1f s wall, %.1f s busy (%d B&B \
+          nodes, %d simplex iterations)\n"
+         solves wall_s busy_s nodes simplex_iterations);
+    Buffer.add_string buf
+      (Printf.sprintf
+         "                  %d fast-path hit%s, %d seeded incumbent%s\n"
+         fast_path_hits
+         (if fast_path_hits = 1 then "" else "s")
+         seeded_incumbents
+         (if seeded_incumbents = 1 then "" else "s"));
     Buffer.add_string buf
       (Printf.sprintf "                  %d limit, %d infeasible%s\n" limits
          infeasible

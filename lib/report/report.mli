@@ -24,16 +24,20 @@ module Series : sig
 end
 
 module Telemetry : sig
-  (** [render ~solves ~nodes ~simplex_iterations ~wall_s ~limits
-      ~infeasible ~failures] renders the per-sweep solver telemetry
-      summary the evaluation layer aggregates across (clip, rule) solves.
-      [wall_s] is summed per-solve wall time — under domain parallelism it
-      exceeds the sweep's elapsed time, which is the point of reporting
-      it. *)
+  (** Renders the per-sweep solver telemetry summary the evaluation layer
+      aggregates across (clip, rule) solves. [busy_s] is summed per-solve
+      wall time (aggregate solver work — under domain parallelism it
+      exceeds the elapsed time, which is the point of reporting it);
+      [wall_s] is the sweep's true elapsed wall clock. [fast_path_hits]
+      and [seeded_incumbents] count the solves answered or warm-started by
+      the baseline-reuse layer. *)
   val render :
     solves:int ->
+    fast_path_hits:int ->
+    seeded_incumbents:int ->
     nodes:int ->
     simplex_iterations:int ->
+    busy_s:float ->
     wall_s:float ->
     limits:int ->
     infeasible:int ->

@@ -60,6 +60,107 @@ let test_sweep_unroutable_entry () =
       (Sweep.delta_value e.Sweep.delta)
   | _ -> Alcotest.fail "expected one entry"
 
+(* ------------------------------------------------------------------ *)
+(* Baseline reuse                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Facing EOLs on one track: the RULE1 optimum stays DRC-clean under
+   RULE4 (SADP only from M4, which the 2-layer clip never reaches), so a
+   seeded solve must take the zero-Δ fast path: no ILP, zero nodes. *)
+let eol_clip =
+  Clip.make ~cols:4 ~rows:1 ~layers:2
+    [ two_pin "a" (0, 0) (1, 0); two_pin "b" (2, 0) (3, 0) ]
+
+let test_fast_path_zero_nodes () =
+  let r1 =
+    Optrouter.route ~config:fast_config ~tech:Tech.n28_12t
+      ~rules:(Rules.rule 1) eol_clip
+  in
+  match r1.Optrouter.verdict with
+  | Optrouter.Routed base -> (
+    let r4 =
+      Optrouter.route ~config:fast_config ~seed:base ~tech:Tech.n28_12t
+        ~rules:(Rules.rule 4) eol_clip
+    in
+    let s = r4.Optrouter.stats in
+    Alcotest.(check bool) "fast path taken" true
+      (s.Optrouter.seed_use = Optrouter.Seed_fast_path);
+    Alcotest.(check int) "zero B&B nodes" 0 s.Optrouter.nodes;
+    Alcotest.(check int) "zero simplex iterations" 0 s.Optrouter.simplex_iterations;
+    match r4.Optrouter.verdict with
+    | Optrouter.Routed sol ->
+      Alcotest.(check int) "same optimal cost"
+        base.Optrouter_grid.Route.metrics.cost
+        sol.Optrouter_grid.Route.metrics.cost
+    | Optrouter.Unroutable | Optrouter.Limit _ ->
+      Alcotest.fail "fast path must report Routed")
+  | Optrouter.Unroutable | Optrouter.Limit _ ->
+    Alcotest.fail "baseline solve failed"
+
+let test_seed_reuse_knob_disables_fast_path () =
+  let r1 =
+    Optrouter.route ~config:fast_config ~tech:Tech.n28_12t
+      ~rules:(Rules.rule 1) eol_clip
+  in
+  match r1.Optrouter.verdict with
+  | Optrouter.Routed base ->
+    let config =
+      Optrouter.make_config ~milp:fast_config.Optrouter.milp ~seed_reuse:false
+        ()
+    in
+    let r4 =
+      Optrouter.route ~config ~seed:base ~tech:Tech.n28_12t
+        ~rules:(Rules.rule 4) eol_clip
+    in
+    let s = r4.Optrouter.stats in
+    Alcotest.(check bool) "seed ignored" true
+      (s.Optrouter.seed_use = Optrouter.Seed_unused);
+    Alcotest.(check bool) "solved the ILP" true (s.Optrouter.nodes > 0)
+  | Optrouter.Unroutable | Optrouter.Limit _ ->
+    Alcotest.fail "baseline solve failed"
+
+let test_clip_deltas_fast_path_telemetry () =
+  let telemetry = ref Sweep.empty_telemetry in
+  let entries =
+    Sweep.clip_deltas ~config:fast_config ~telemetry ~tech:Tech.n28_12t
+      ~rules:[ Rules.rule 4 ] eol_clip
+  in
+  let t = !telemetry in
+  Alcotest.(check int) "one entry" 1 (List.length entries);
+  Alcotest.(check int) "RULE4 answered by the fast path" 1 t.Sweep.fast_path_hits;
+  (* the only rule solve was free, so all nodes belong to the baseline *)
+  let baseline =
+    Optrouter.route
+      ~config:(Sweep.baseline_config (Some fast_config))
+      ~tech:Tech.n28_12t ~rules:(Rules.rule 1) eol_clip
+  in
+  Alcotest.(check int) "rule solve contributed zero nodes"
+    baseline.Optrouter.stats.Optrouter.nodes t.Sweep.nodes
+
+let test_baseline_config_default_budget () =
+  (* Regression: with no explicit config the baseline must still triple
+     the default 60 s budget (an Option.map once dropped it entirely). *)
+  let time c = c.Optrouter.milp.Optrouter_ilp.Milp.time_limit_s in
+  Alcotest.(check (option (float 1e-9)))
+    "None triples the default config" (Some 180.0)
+    (time (Sweep.baseline_config None));
+  Alcotest.(check (option (float 1e-9)))
+    "explicit config tripled" (Some 60.0)
+    (time (Sweep.baseline_config (Some fast_config)))
+
+let test_telemetry_busy_vs_wall () =
+  let telemetry = ref Sweep.empty_telemetry in
+  let _ =
+    Sweep.clip_deltas ~config:fast_config ~telemetry ~tech:Tech.n28_12t
+      ~rules:[ Rules.rule 4; Rules.rule 6 ] eol_clip
+  in
+  let t = !telemetry in
+  Alcotest.(check bool) "busy time counted" true (t.Sweep.busy_s > 0.0);
+  Alcotest.(check bool) "wall time counted" true (t.Sweep.wall_s > 0.0);
+  (* serially, the sweep's wall clock covers every solve plus overhead *)
+  Alcotest.(check bool) "wall >= busy in a serial sweep" true
+    (t.Sweep.wall_s +. 1e-6 >= t.Sweep.busy_s)
+
 let test_sweep_drops_unroutable_baseline () =
   (* Unroutable even under RULE1: the clip must be dropped entirely. *)
   let clip = Clip.make ~cols:3 ~rows:2 ~layers:1 [ two_pin "a" (0, 0) (2, 1) ] in
@@ -319,6 +420,16 @@ let () =
           Alcotest.test_case "unroutable entry" `Quick test_sweep_unroutable_entry;
           Alcotest.test_case "unroutable baseline dropped" `Quick
             test_sweep_drops_unroutable_baseline;
+          Alcotest.test_case "fast path: zero nodes" `Quick
+            test_fast_path_zero_nodes;
+          Alcotest.test_case "seed_reuse=false ignores seeds" `Quick
+            test_seed_reuse_knob_disables_fast_path;
+          Alcotest.test_case "fast-path telemetry" `Quick
+            test_clip_deltas_fast_path_telemetry;
+          Alcotest.test_case "baseline config default budget" `Quick
+            test_baseline_config_default_budget;
+          Alcotest.test_case "busy vs wall telemetry" `Quick
+            test_telemetry_busy_vs_wall;
           Alcotest.test_case "series sorted" `Quick test_sweep_series_sorted;
           Alcotest.test_case "infeasible counts" `Quick test_sweep_infeasible_counts;
         ] );

@@ -100,6 +100,46 @@ let test_env_jobs () =
   Unix.putenv "OPTROUTER_JOBS" "0";
   Alcotest.(check int) "clamped to 1" 1 (Pool.env_jobs ())
 
+(* A reporter that only counts warnings; messages are formatted into a
+   scratch formatter so the [over]/[k] protocol stays honoured. *)
+let counting_reporter count =
+  {
+    Logs.report =
+      (fun _src level ~over k msgf ->
+        if level = Logs.Warning then incr count;
+        msgf (fun ?header:_ ?tags:_ fmt ->
+            Format.ikfprintf
+              (fun _ ->
+                over ();
+                k ())
+              Format.str_formatter fmt));
+  }
+
+let test_env_jobs_warns_on_rejects () =
+  (* Regression: invalid or non-positive OPTROUTER_JOBS values were
+     silently coerced to 1; they must now warn, naming the value. *)
+  let count = ref 0 in
+  let prev_reporter = Logs.reporter () in
+  let prev_level = Logs.level () in
+  Logs.set_reporter (counting_reporter count);
+  Logs.set_level (Some Logs.Warning);
+  Fun.protect
+    ~finally:(fun () ->
+      Logs.set_reporter prev_reporter;
+      Logs.set_level prev_level;
+      Unix.putenv "OPTROUTER_JOBS" "1")
+    (fun () ->
+      Unix.putenv "OPTROUTER_JOBS" "0";
+      Alcotest.(check int) "zero rejected" 1 (Pool.env_jobs ());
+      Unix.putenv "OPTROUTER_JOBS" "-3";
+      Alcotest.(check int) "negative rejected" 1 (Pool.env_jobs ());
+      Unix.putenv "OPTROUTER_JOBS" "bogus";
+      Alcotest.(check int) "garbage rejected" 1 (Pool.env_jobs ());
+      Alcotest.(check int) "one warning per rejected value" 3 !count;
+      Unix.putenv "OPTROUTER_JOBS" "4";
+      Alcotest.(check int) "valid value accepted" 4 (Pool.env_jobs ());
+      Alcotest.(check int) "no warning for valid values" 3 !count)
+
 (* ------------------------------------------------------------------ *)
 (* qcheck: Pool.map f == List.map f                                    *)
 (* ------------------------------------------------------------------ *)
@@ -206,6 +246,68 @@ let test_sweep_telemetry_and_on_entry () =
       Alcotest.(check bool) "renders" true
         (String.length (Sweep.render_telemetry t) > 0))
 
+(* ------------------------------------------------------------------ *)
+(* Baseline reuse: entries must not depend on the seed_reuse knob      *)
+(* ------------------------------------------------------------------ *)
+
+let no_reuse_config =
+  Optrouter.make_config
+    ~milp:(Milp.make_params ~max_nodes:5_000 ~time_limit_s:20.0 ())
+    ~seed_reuse:false ()
+
+let test_sweep_reuse_identity () =
+  let run config pool =
+    Sweep.sweep ~config ?pool ~tech:Tech.n28_12t ~rules:sweep_rules seed_clips
+  in
+  let reference = run fast_config None in
+  Alcotest.(check bool) "reference sweep nonempty" true (reference <> []);
+  Alcotest.(check (list entry_t))
+    "serial, reuse off" reference (run no_reuse_config None);
+  Pool.with_pool ~domains:2 (fun pool ->
+      Alcotest.(check (list entry_t))
+        "-j 2, reuse on" reference
+        (run fast_config (Some pool));
+      Alcotest.(check (list entry_t))
+        "-j 2, reuse off" reference
+        (run no_reuse_config (Some pool)))
+
+(* Random small clips for the reuse-identity property: shuffle the grid
+   positions with a seeded RNG and pair them up into two-pin nets. *)
+let random_clip (cols, rows, seed) =
+  let rng = Random.State.make [| seed; cols; rows |] in
+  let positions =
+    Array.init (cols * rows) (fun i -> (i mod cols, i / cols))
+  in
+  for i = Array.length positions - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let t = positions.(i) in
+    positions.(i) <- positions.(j);
+    positions.(j) <- t
+  done;
+  let nets = 1 + Random.State.int rng 2 in
+  let net i = two_pin (Printf.sprintf "n%d" i) positions.(2 * i) positions.((2 * i) + 1) in
+  Clip.make
+    ~name:(Printf.sprintf "rand-%dx%d-%d" cols rows seed)
+    ~cols ~rows ~layers:2
+    (List.init nets net)
+
+let qcheck_reuse_identity =
+  QCheck.Test.make ~count:6
+    ~name:"sweep entries identical with reuse on/off (serial and -j 2)"
+    QCheck.(triple (int_range 3 4) (int_range 2 3) (int_range 0 10_000))
+    (fun spec ->
+      let clip = random_clip spec in
+      let run config pool =
+        Sweep.clip_deltas ~config ?pool ~tech:Tech.n28_12t ~rules:sweep_rules
+          clip
+      in
+      let reference = run fast_config None in
+      let off = run no_reuse_config None in
+      Pool.with_pool ~domains:2 (fun pool ->
+          reference = off
+          && reference = run fast_config (Some pool)
+          && reference = run no_reuse_config (Some pool)))
+
 let () =
   Alcotest.run "exec"
     [
@@ -221,6 +323,8 @@ let () =
             test_map_reraises_first_error;
           Alcotest.test_case "on_done collector" `Quick test_on_done_collector;
           Alcotest.test_case "OPTROUTER_JOBS parsing" `Quick test_env_jobs;
+          Alcotest.test_case "OPTROUTER_JOBS warns on rejects" `Quick
+            test_env_jobs_warns_on_rejects;
           QCheck_alcotest.to_alcotest qcheck_map_equals_list_map;
         ] );
       ( "parallel sweep",
@@ -231,5 +335,8 @@ let () =
             test_parallel_clip_deltas_deterministic;
           Alcotest.test_case "telemetry and on_entry" `Quick
             test_sweep_telemetry_and_on_entry;
+          Alcotest.test_case "reuse on/off identical entries" `Quick
+            test_sweep_reuse_identity;
+          QCheck_alcotest.to_alcotest qcheck_reuse_identity;
         ] );
     ]

@@ -418,6 +418,52 @@ let test_milp_mixed () =
   check_float "n" 2.0 res.x.(0);
   check_float "r" 1.0 res.x.(1)
 
+(* ------------------------------------------------------------------ *)
+(* Branching variable selection                                        *)
+(* ------------------------------------------------------------------ *)
+
+let branch_tol = 1e-6
+
+let test_most_fractional_basic () =
+  let lp =
+    build
+      [ bin "x" 1.0; bin "y" 1.0; cont "z" 0.0 1.0 1.0 ]
+      []
+  in
+  Alcotest.(check (option int))
+    "fractional binary picked" (Some 1)
+    (Milp.most_fractional branch_tol lp [| 1.0; 0.5; 0.0 |]);
+  Alcotest.(check (option int))
+    "continuous fraction ignored" None
+    (Milp.most_fractional branch_tol lp [| 1.0; 0.0; 0.5 |]);
+  Alcotest.(check (option int))
+    "integral point" None
+    (Milp.most_fractional branch_tol lp [| 0.0; 1.0; 0.3 |])
+
+let test_most_fractional_objective_weighting () =
+  (* Equal fractionality: the variable with the larger |obj| wins. *)
+  let lp = build [ bin "cheap" 1.0; bin "dear" (-10.0) ] [] in
+  Alcotest.(check (option int))
+    "expensive decision fixed first" (Some 1)
+    (Milp.most_fractional branch_tol lp [| 0.5; 0.5 |])
+
+let test_most_fractional_huge_values () =
+  (* Regression: the fractional part used to be computed through
+     [int_of_float], which is undefined for doubles beyond the native
+     int range and could report a huge integral value as fractional.
+     Doubles >= 2^53 are integral by construction. *)
+  let lp =
+    build
+      [ ("big", 0.0, 1e30, 1.0, Lp.Integer); bin "x" 1.0 ]
+      []
+  in
+  Alcotest.(check (option int))
+    "1e19 is integral" None
+    (Milp.most_fractional branch_tol lp [| 1e19; 1.0 |]);
+  Alcotest.(check (option int))
+    "huge integral does not shadow a real fraction" (Some 1)
+    (Milp.most_fractional branch_tol lp [| 1e19; 0.5 |])
+
 let test_milp_node_limit () =
   let lp =
     build
@@ -869,6 +915,12 @@ let () =
           Alcotest.test_case "fractional equality" `Quick
             test_milp_integrality_gap_only_in_lp;
           Alcotest.test_case "mixed integer/continuous" `Quick test_milp_mixed;
+          Alcotest.test_case "most_fractional basics" `Quick
+            test_most_fractional_basic;
+          Alcotest.test_case "most_fractional objective weighting" `Quick
+            test_most_fractional_objective_weighting;
+          Alcotest.test_case "most_fractional huge values" `Quick
+            test_most_fractional_huge_values;
           Alcotest.test_case "node limit" `Quick test_milp_node_limit;
           Alcotest.test_case "initial incumbent" `Quick test_milp_initial_incumbent;
           Alcotest.test_case "invalid initial ignored" `Quick
