@@ -3,8 +3,8 @@
    minutes (see DESIGN.md / EXPERIMENTS.md for the scale mapping).
 
    Usage: main.exe [-j N] [--no-reuse] [SECTION...]
-   Sections: table2 table3 fig7 fig8 fig9 fig10a fig10b fig10c ilpsize
-             validate runtime ablation micro    (default: all)
+   Sections: table2 table3 fig7 fig8 fig9 fig10a fig10b fig10c audit
+             ilpsize validate runtime ablation micro    (default: all)
 
    [-j N] fans the independent ILP solves of the sweep sections (fig10*,
    validate) over N domains; the reported tables and figures are
@@ -43,6 +43,7 @@ module Lp = Optrouter_ilp.Lp
 module Simplex = Optrouter_ilp.Simplex
 module Milp = Optrouter_ilp.Milp
 module Pool = Optrouter_exec.Pool
+module Lp_audit = Optrouter_analysis.Lp_audit
 
 let env_int name default =
   match Sys.getenv_opt name with
@@ -492,6 +493,65 @@ let section_micro () =
       | Some _ | None -> Printf.printf "%-42s (no estimate)\n" name)
     results
 
+(* Static model audit over the same difficult clips the sweep sections
+   route: every (clip, applicable rule) formulation is built and audited,
+   no ILP is solved. A nonzero error count fails the bench run — a
+   formulation-coverage regression must not hide behind green timings. *)
+let section_audit () =
+  banner "audit: static formulation verification (no solving)";
+  let t0 = Unix.gettimeofday () in
+  let forms = ref 0 and errors = ref 0 and warnings = ref 0 in
+  let per_tech =
+    List.map
+      (fun tech ->
+        let clips = Experiments.difficult_clips ~params:bench_params tech in
+        let rules = Experiments.rules_for tech in
+        let tech_errors = ref 0 in
+        List.iter
+          (fun clip ->
+            List.iter
+              (fun (r : Rules.t) ->
+                incr forms;
+                let g = Graph.build ~tech ~rules:r clip in
+                let form = Formulate.build ~rules:r g in
+                let ds = Lp_audit.audit ~rules:r form in
+                tech_errors := !tech_errors + Lp_audit.error_count ds;
+                warnings :=
+                  !warnings
+                  + List.length (Lp_audit.by_severity Lp_audit.Warning ds);
+                if Lp_audit.error_count ds > 0 then
+                  Printf.printf "%s under %s:\n%s" clip.Clip.c_name
+                    r.Rules.name
+                    (Lp_audit.render (Lp_audit.by_severity Lp_audit.Error ds)))
+              rules)
+          clips;
+        errors := !errors + !tech_errors;
+        ( tech.Tech.name,
+          Report.Json.Obj
+            [
+              ("clips", Report.Json.Int (List.length clips));
+              ("rules", Report.Json.Int (List.length rules));
+              ("errors", Report.Json.Int !tech_errors);
+            ] ))
+      Tech.all
+  in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Printf.printf "audited %d formulations: %d errors, %d warnings (%.1f s)\n"
+    !forms !errors !warnings elapsed;
+  ensure_results_dir ();
+  let path = Filename.concat results_dir "BENCH_audit.json" in
+  Report.Json.write_file path
+    (Report.Json.Obj
+       [
+         ("formulations", Report.Json.Int !forms);
+         ("errors", Report.Json.Int !errors);
+         ("warnings", Report.Json.Int !warnings);
+         ("elapsed_s", Report.Json.Float elapsed);
+         ("per_tech", Report.Json.Obj per_tech);
+       ]);
+  Printf.printf "[audit report written to %s]\n%!" path;
+  if !errors > 0 then exit 1
+
 let sections =
   [
     ("table2", section_table2);
@@ -502,6 +562,7 @@ let sections =
     ("fig10a", fun () -> fig10_for "a" Tech.n28_12t);
     ("fig10b", fun () -> fig10_for "b" Tech.n28_8t);
     ("fig10c", fun () -> fig10_for "c" Tech.n7_9t);
+    ("audit", section_audit);
     ("ilpsize", section_ilpsize);
     ("validate", section_validate);
     ("runtime", section_runtime);

@@ -1,0 +1,47 @@
+(* Project source lint (see Optrouter_analysis.Source_lint for the rules).
+
+   Usage: lint [--expect-dirty] PATH...
+
+   Lints every .ml file under the given files/directories. Exits 0 when
+   clean and 1 when any finding is reported — or, with [--expect-dirty],
+   the reverse, which lets CI assert that the known-bad fixture is still
+   detected without hand-maintaining expected output. *)
+
+module Source_lint = Optrouter_analysis.Source_lint
+
+let () =
+  let expect_dirty = ref false in
+  let paths = ref [] in
+  let args = List.tl (Array.to_list Sys.argv) in
+  List.iter
+    (fun arg ->
+      match arg with
+      | "--expect-dirty" -> expect_dirty := true
+      | "--help" | "-h" ->
+        print_endline "usage: lint [--expect-dirty] PATH...";
+        print_endline "lints every .ml file under PATH...; codes:";
+        List.iter
+          (fun (code, doc) -> Printf.printf "  %s  %s\n" code doc)
+          Source_lint.codes;
+        exit 0
+      | _ -> paths := arg :: !paths)
+    args;
+  if !paths = [] then begin
+    prerr_endline "lint: no paths given (try --help)";
+    exit 2
+  end;
+  let findings = Source_lint.lint_paths (List.rev !paths) in
+  print_string (Source_lint.render findings);
+  if !expect_dirty then
+    if findings = [] then begin
+      prerr_endline "lint: expected findings, found none";
+      exit 1
+    end
+    else begin
+      Printf.printf "%d finding(s), as expected\n" (List.length findings);
+      exit 0
+    end
+  else if findings <> [] then begin
+    Printf.eprintf "lint: %d finding(s)\n" (List.length findings);
+    exit 1
+  end

@@ -26,6 +26,7 @@ module Experiments = Optrouter_eval.Experiments
 module Report = Optrouter_report.Report
 module Milp = Optrouter_ilp.Milp
 module Lp_file = Optrouter_ilp.Lp_file
+module Lp_audit = Optrouter_analysis.Lp_audit
 
 open Cmdliner
 
@@ -96,10 +97,21 @@ let load_clips path =
     Printf.eprintf "error: %s: %s\n" path msg;
     exit 1
 
-let config_of ?(reuse = true) ~time_limit () =
-  Optrouter_drv.make_config
-    ~milp:(Milp.make_params ~max_nodes:200_000 ~time_limit_s:time_limit ())
-    ~seed_reuse:reuse ()
+let config_of ?(reuse = true) ?(audit = false) ~time_limit () =
+  let milp = Milp.make_params ~max_nodes:200_000 ~time_limit_s:time_limit () in
+  if audit then
+    Optrouter_drv.make_config ~milp ~seed_reuse:reuse
+      ~audit:(Lp_audit.hook ()) ()
+  else Optrouter_drv.make_config ~milp ~seed_reuse:reuse ()
+
+let audit_flag =
+  Arg.(
+    value & flag
+    & info [ "audit" ]
+        ~doc:
+          "Run the model auditor on every formulation before solving and \
+           abort on audit errors. Fast-path solves build no formulation and \
+           are not audited.")
 
 let no_reuse_arg =
   Arg.(
@@ -113,9 +125,9 @@ let no_reuse_arg =
 
 (* ---- route ---- *)
 
-let do_route tech rules time_limit lp_out route_out path () =
+let do_route tech rules time_limit audit lp_out route_out path () =
   let clips = load_clips path in
-  let config = config_of ~time_limit () in
+  let config = config_of ~audit ~time_limit () in
   List.iteri
     (fun i clip ->
       (match lp_out with
@@ -171,14 +183,14 @@ let route_cmd =
   let doc = "Route clips optimally under a rule configuration." in
   Cmd.v (Cmd.info "route" ~doc)
     Term.(
-      const do_route $ tech_arg $ rule_arg $ time_limit_arg $ lp_out_arg
-      $ route_out_arg $ clips_file_arg $ logs_term)
+      const do_route $ tech_arg $ rule_arg $ time_limit_arg $ audit_flag
+      $ lp_out_arg $ route_out_arg $ clips_file_arg $ logs_term)
 
 (* ---- sweep ---- *)
 
-let do_sweep tech time_limit jobs no_reuse csv_out path () =
+let do_sweep tech time_limit jobs no_reuse audit csv_out path () =
   let clips = load_clips path in
-  let config = config_of ~reuse:(not no_reuse) ~time_limit () in
+  let config = config_of ~reuse:(not no_reuse) ~audit ~time_limit () in
   let rules = Experiments.rules_for tech in
   let telemetry = ref Sweep.empty_telemetry in
   let on_entry =
@@ -247,7 +259,7 @@ let sweep_cmd =
   Cmd.v (Cmd.info "sweep" ~doc)
     Term.(
       const do_sweep $ tech_arg $ time_limit_arg $ jobs_arg $ no_reuse_arg
-      $ csv_out $ clips_file_arg $ logs_term)
+      $ audit_flag $ csv_out $ clips_file_arg $ logs_term)
 
 (* ---- gen ---- *)
 
@@ -260,13 +272,7 @@ let do_gen tech profile_name util scale seed top paper out () =
       Printf.eprintf "error: unknown profile %S (aes or m0)\n" other;
       exit 1
   in
-  let profile =
-    {
-      profile with
-      Design.instance_count =
-        max 60 (int_of_float (float_of_int profile.Design.instance_count *. scale));
-    }
-  in
+  let profile = Experiments.scaled_profile scale profile in
   let d = Design.generate ~seed profile ~util tech in
   Printf.printf "%s\n" (Format.asprintf "%a" Design.pp d);
   let params =
@@ -412,13 +418,7 @@ let do_global tech profile_name util scale seed () =
       Printf.eprintf "error: unknown profile %S (aes or m0)\n" other;
       exit 1
   in
-  let profile =
-    {
-      profile with
-      Design.instance_count =
-        max 60 (int_of_float (float_of_int profile.Design.instance_count *. scale));
-    }
-  in
+  let profile = Experiments.scaled_profile scale profile in
   let d = Design.generate ~seed profile ~util tech in
   Printf.printf "%s\n" (Format.asprintf "%a" Design.pp d);
   let params = Extract.reduced_params in
@@ -450,6 +450,83 @@ let global_cmd =
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.") in
   Cmd.v (Cmd.info "global" ~doc)
     Term.(const do_global $ tech_arg $ profile $ util $ scale $ seed $ logs_term)
+
+(* ---- audit: static verification of every formulation, no solving ---- *)
+
+let do_audit tech json_out verbose path () =
+  let clips = load_clips path in
+  let rules = Experiments.rules_for tech in
+  let errors = ref 0 and warnings = ref 0 and infos = ref 0 in
+  let reports = ref [] in
+  let nforms = ref 0 in
+  List.iter
+    (fun clip ->
+      List.iter
+        (fun (r : Rules.t) ->
+          incr nforms;
+          let g = Graph.build ~tech ~rules:r clip in
+          let form = Formulate.build ~rules:r g in
+          let ds = Lp_audit.audit ~rules:r form in
+          errors := !errors + Lp_audit.error_count ds;
+          warnings := !warnings + List.length (Lp_audit.by_severity Lp_audit.Warning ds);
+          infos := !infos + List.length (Lp_audit.by_severity Lp_audit.Info ds);
+          reports :=
+            Lp_audit.to_json
+              ~meta:
+                [
+                  ("clip", Report.Json.String clip.Clip.c_name);
+                  ("rule", Report.Json.String r.Rules.name);
+                ]
+              ds
+            :: !reports;
+          let shown =
+            if verbose then ds else Lp_audit.by_severity Lp_audit.Error ds
+          in
+          if shown <> [] then begin
+            Printf.printf "%s under %s:\n" clip.Clip.c_name r.Rules.name;
+            print_string (Lp_audit.render shown)
+          end)
+        rules)
+    clips;
+  (match json_out with
+  | Some file ->
+    Report.Json.write_file file
+      (Report.Json.Obj
+         [
+           ("tech", Report.Json.String tech.Tech.name);
+           ("formulations", Report.Json.Int !nforms);
+           ("errors", Report.Json.Int !errors);
+           ("warnings", Report.Json.Int !warnings);
+           ("infos", Report.Json.Int !infos);
+           ("reports", Report.Json.List (List.rev !reports));
+         ]);
+    Printf.printf "wrote %s\n" file
+  | None -> ());
+  Printf.printf
+    "audited %d formulations (%d clips x %d rules): %d errors, %d warnings, %d infos\n"
+    !nforms (List.length clips) (List.length rules) !errors !warnings !infos;
+  if !errors > 0 then exit 1
+
+let audit_cmd =
+  let doc =
+    "Statically audit the ILP formulation of every (clip, applicable rule) \
+     pair without solving: structure, conditioning, redundancy and \
+     rule-coverage checks. Exits 1 when any error-level diagnostic is found."
+  in
+  let json_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Also write the full report as JSON.")
+  in
+  let verbose =
+    Arg.(
+      value & flag
+      & info [ "all" ]
+          ~doc:"Print warning- and info-level diagnostics too, not just errors.")
+  in
+  Cmd.v (Cmd.info "audit" ~doc)
+    Term.(const do_audit $ tech_arg $ json_out $ verbose $ clips_file_arg $ logs_term)
 
 (* ---- solve-lp: the MILP solver as a standalone utility ---- *)
 
@@ -511,8 +588,8 @@ let main_cmd =
   Cmd.group
     (Cmd.info "optrouter" ~version:"1.0.0" ~doc)
     [
-      route_cmd; sweep_cmd; gen_cmd; pincost_cmd; show_cmd; cells_cmd;
-      baseline_cmd; solve_lp_cmd; global_cmd;
+      route_cmd; sweep_cmd; audit_cmd; gen_cmd; pincost_cmd; show_cmd;
+      cells_cmd; baseline_cmd; solve_lp_cmd; global_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

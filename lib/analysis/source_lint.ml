@@ -1,0 +1,188 @@
+open Parsetree
+
+type finding = {
+  code : string;
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+}
+
+let codes =
+  [
+    ("L000", "file does not parse");
+    ("L001", "int_of_float / Float.to_int: use Optrouter_geom.Round");
+    ("L002", "= / <> against a nonzero float literal");
+    ("L003", "catch-all exception handler; bind a name instead");
+    ("L004", "mutable state at module toplevel (Atomic.make is allowed)");
+  ]
+
+let rec longident = function
+  | Longident.Lident s -> s
+  | Longident.Ldot (l, s) -> longident l ^ "." ^ s
+  | Longident.Lapply _ -> "<apply>"
+
+let strip_stdlib s =
+  match String.index_opt s '.' with
+  | Some 6 when String.sub s 0 6 = "Stdlib" ->
+    String.sub s 7 (String.length s - 7)
+  | _ -> s
+
+let unsafe_conversions = [ "int_of_float"; "Float.to_int" ]
+
+let mutable_creators =
+  [
+    "ref"; "Hashtbl.create"; "Buffer.create"; "Queue.create"; "Stack.create";
+    "Array.make"; "Array.create_float"; "Array.make_matrix"; "Bytes.create";
+    "Bytes.make";
+  ]
+
+let lint_structure ~filename str =
+  let out = ref [] in
+  let add (loc : Location.t) code message =
+    let p = loc.Location.loc_start in
+    out :=
+      {
+        code;
+        file = filename;
+        line = p.Lexing.pos_lnum;
+        col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
+        message;
+      }
+      :: !out
+  in
+  let nonzero_float_literal e =
+    match e.pexp_desc with
+    | Pexp_constant (Pconst_float (s, _)) -> begin
+      (* unparseable literals are reported rather than ignored *)
+      match float_of_string_opt s with
+      | Some v when v = 0.0 -> None
+      | Some _ | None -> Some s
+    end
+    | _ -> None
+  in
+  let check_expr e =
+    match e.pexp_desc with
+    | Pexp_ident { txt; _ }
+      when List.mem (strip_stdlib (longident txt)) unsafe_conversions ->
+      add e.pexp_loc "L001"
+        (Printf.sprintf
+           "%s truncates unbounded floats (undefined beyond 2^62); use \
+            Optrouter_geom.Round.floor/ceil/nearest/trunc"
+           (longident txt))
+    | Pexp_apply
+        ( { pexp_desc = Pexp_ident { txt = Longident.Lident (("=" | "<>") as op); _ }; _ },
+          args ) ->
+      List.iter
+        (fun (_, a) ->
+          match nonzero_float_literal a with
+          | Some lit ->
+            add a.pexp_loc "L002"
+              (Printf.sprintf
+                 "(%s) against float literal %s: computed floats rarely hit a \
+                  literal exactly; compare with a tolerance"
+                 op lit)
+          | None -> ())
+        args
+    | Pexp_try (_, cases) ->
+      List.iter
+        (fun c ->
+          match c.pc_lhs.ppat_desc with
+          | Ppat_any ->
+            add c.pc_lhs.ppat_loc "L003"
+              "catch-all handler [with _ ->] swallows every exception \
+               (including Out_of_memory); bind a name like [_exn] to make \
+               the swallow deliberate and greppable"
+          | _ -> ())
+        cases
+    | Pexp_match (_, cases) ->
+      List.iter
+        (fun c ->
+          match c.pc_lhs.ppat_desc with
+          | Ppat_exception { ppat_desc = Ppat_any; ppat_loc; _ } ->
+            add ppat_loc "L003"
+              "catch-all [exception _] case swallows every exception; bind \
+               a name like [_exn] to make the swallow deliberate and \
+               greppable"
+          | _ -> ())
+        cases
+    | _ -> ()
+  in
+  let check_structure_item si =
+    match si.pstr_desc with
+    | Pstr_value (_, vbs) ->
+      List.iter
+        (fun vb ->
+          match vb.pvb_expr.pexp_desc with
+          | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _)
+            when List.mem (strip_stdlib (longident txt)) mutable_creators ->
+            add vb.pvb_loc "L004"
+              (Printf.sprintf
+                 "toplevel %s is shared mutable state under domain \
+                  parallelism; use Atomic, or allocate inside the function \
+                  that uses it"
+                 (longident txt))
+          | _ -> ())
+        vbs
+    | _ -> ()
+  in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          check_expr e;
+          Ast_iterator.default_iterator.expr it e);
+      structure_item =
+        (fun it si ->
+          check_structure_item si;
+          Ast_iterator.default_iterator.structure_item it si);
+    }
+  in
+  it.Ast_iterator.structure it str;
+  (* findings were pushed depth-first; present them in source order *)
+  List.sort
+    (fun a b ->
+      match compare a.line b.line with 0 -> compare a.col b.col | c -> c)
+    !out
+
+let lint_string ~filename src =
+  let lexbuf = Lexing.from_string src in
+  Lexing.set_filename lexbuf filename;
+  match Parse.implementation lexbuf with
+  | str -> lint_structure ~filename str
+  | exception _parse_exn ->
+    [ { code = "L000"; file = filename; line = 1; col = 0; message = "file does not parse" } ]
+
+(* [Round] is the sanctioned home of the one raw [int_of_float]. *)
+let exempt file (f : finding) =
+  f.code = "L001" && Filename.basename file = "round.ml"
+
+let lint_file file =
+  let ic = open_in_bin file in
+  let src =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  List.filter (fun f -> not (exempt file f)) (lint_string ~filename:file src)
+
+let lint_paths paths =
+  let files = ref [] in
+  let rec walk p =
+    if Sys.is_directory p then
+      Array.iter (fun entry -> walk (Filename.concat p entry)) (Sys.readdir p)
+    else if Filename.check_suffix p ".ml" then files := p :: !files
+  in
+  List.iter walk paths;
+  List.concat_map lint_file (List.sort compare !files)
+
+let render fs =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun f ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s:%d:%d: [%s] %s\n" f.file f.line f.col f.code
+           f.message))
+    fs;
+  Buffer.contents buf

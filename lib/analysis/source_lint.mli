@@ -1,0 +1,56 @@
+(** Source lint for the solver stack.
+
+    A small, project-specific complement to the compiler's warnings, built
+    on [compiler-libs]: it parses [.ml] files (no typing) and flags the
+    handful of idioms that have actually produced bugs in this codebase.
+    Stable codes:
+
+    - [L001] — [int_of_float] / [Float.to_int]: truncation of an unbounded
+      float is undefined beyond [2^62] and silently drops the sign of
+      NaN-free garbage. Use {!Optrouter_geom.Round} ([floor]/[ceil]/
+      [nearest]/[trunc]), which clamps and rejects NaN. The one sanctioned
+      raw conversion lives in [lib/geom/round.ml] itself, which
+      {!lint_file} exempts from [L001].
+    - [L002] — [=] or [<>] against a {e nonzero} float literal: equality
+      of computed floats is almost always a rounding bug. Comparison
+      against literal zero is exempt — dropping exact-zero coefficients
+      is a legitimate sparse-matrix idiom, and [Float.equal (-0.) 0.] is
+      [false] so "fixing" it would change behaviour.
+    - [L003] — catch-all exception handlers ([with _ ->] or an
+      [exception _] match case): swallowing [Out_of_memory] or a typo'd
+      constructor alike. Bind a name ([with _exn ->]) so the swallow is
+      deliberate and greppable.
+    - [L004] — mutable state created at module toplevel ([ref],
+      [Hashtbl.create], [Buffer.create], [Array.make], ...): shared
+      freely across domains by {!Optrouter_exec.Pool}, this is a data
+      race waiting to happen. [Atomic.make] is allowed — it is the
+      domain-safe primitive the rest should be built on.
+
+    Parse failures surface as code [L000] rather than an exception, so a
+    lint run over a tree never dies half way. *)
+
+type finding = {
+  code : string;  (** stable, e.g. "L001" *)
+  file : string;
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based, compiler convention *)
+  message : string;
+}
+
+(** [(code, one-line description)] for every lint, in code order. *)
+val codes : (string * string) list
+
+(** Lint source text as parsed from [filename] (used verbatim in the
+    findings; no exemptions applied). *)
+val lint_string : filename:string -> string -> finding list
+
+(** Lint one [.ml] file. Applies the [round.ml]/[L001] exemption. Raises
+    [Sys_error] if the file cannot be read. *)
+val lint_file : string -> finding list
+
+(** All [.ml] files under the given files/directories (recursively),
+    sorted by path, linted with {!lint_file}. *)
+val lint_paths : string list -> finding list
+
+(** One [file:line:col: code message] line per finding. *)
+val render : finding list -> string

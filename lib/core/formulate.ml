@@ -34,6 +34,7 @@ type t = {
 
 let lp t = t.lp
 let graph t = t.graph
+let options t = t.options
 
 let sizes t =
   let binaries =

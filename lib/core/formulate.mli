@@ -54,6 +54,11 @@ val build :
   ?options:options -> rules:Optrouter_tech.Rules.t -> Optrouter_grid.Graph.t -> t
 val lp : t -> Optrouter_ilp.Lp.t
 val graph : t -> Optrouter_grid.Graph.t
+
+(** The options the formulation was built with — the model auditor needs
+    them to predict which constraint families must be present. *)
+val options : t -> options
+
 val sizes : t -> sizes
 
 (** [e_var t ~net ~edge ~dir] is the LP column of the arc-usage binary, or

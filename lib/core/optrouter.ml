@@ -37,6 +37,7 @@ type config = {
   drc_check : bool;
   heuristic_incumbent : bool;
   seed_reuse : bool;
+  audit : (rules:Rules.t -> Formulate.t -> unit) option;
 }
 
 let default_config =
@@ -49,6 +50,7 @@ let default_config =
     drc_check = true;
     heuristic_incumbent = true;
     seed_reuse = true;
+    audit = None;
   }
 
 let make_config ?(options = default_config.options)
@@ -57,7 +59,7 @@ let make_config ?(options = default_config.options)
     ?(bidirectional = default_config.bidirectional)
     ?(milp = default_config.milp) ?(drc_check = default_config.drc_check)
     ?(heuristic_incumbent = default_config.heuristic_incumbent)
-    ?(seed_reuse = default_config.seed_reuse) () =
+    ?(seed_reuse = default_config.seed_reuse) ?audit () =
   {
     options;
     via_shapes;
@@ -67,6 +69,7 @@ let make_config ?(options = default_config.options)
     drc_check;
     heuristic_incumbent;
     seed_reuse;
+    audit;
   }
 
 exception Drc_failure of string
@@ -102,7 +105,10 @@ let fast_path ~rules g (sol : Route.solution) =
     let metrics = Route.metrics_of g sol.Route.routes in
     Some { Route.routes = sol.Route.routes; metrics }
   | _ :: _ -> None
-  | exception _ -> None
+  (* Named binder, not [_]: the swallow is deliberate (a seed from a
+     foreign graph may make Drc.check raise anything) and the source lint
+     (L003) insists it stays greppable. *)
+  | exception _foreign_seed_exn -> None
 
 let route_graph ?(config = default_config) ?seed ~rules (g : Graph.t) =
   let start = Unix.gettimeofday () in
@@ -124,6 +130,7 @@ let route_graph ?(config = default_config) ?seed ~rules (g : Graph.t) =
     { verdict = Routed sol; stats }
   | None ->
   let form = Formulate.build ~options:config.options ~rules g in
+  Option.iter (fun f -> f ~rules form) config.audit;
   (* A known-good routing lifted to an LP point seeds branch and bound with
      an incumbent; the LP bound then prunes most of the tree immediately.
      Preference order: the caller's seed (a baseline routing that just

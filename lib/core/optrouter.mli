@@ -56,6 +56,13 @@ type config = {
           default [true]. When [false], seeds are ignored entirely — the
           escape hatch behind the sweep's [--no-reuse] flag, useful to
           verify that reuse changes solve effort but never results. *)
+  audit : (rules:Optrouter_tech.Rules.t -> Formulate.t -> unit) option;
+      (** invoked on every formulation right after {!Formulate.build},
+          before any solving; default [None]. The model auditor
+          ([Optrouter_analysis.Lp_audit.hook]) plugs in here — as a
+          callback so the core stays free of a dependency on the analysis
+          subsystem. Raise from the callback to abort the solve. Fast-path
+          solves build no formulation and are not audited. *)
 }
 
 val default_config : config
@@ -72,6 +79,7 @@ val make_config :
   ?drc_check:bool ->
   ?heuristic_incumbent:bool ->
   ?seed_reuse:bool ->
+  ?audit:(rules:Optrouter_tech.Rules.t -> Formulate.t -> unit) ->
   unit ->
   config
 

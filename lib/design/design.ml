@@ -1,4 +1,5 @@
 module Rect = Optrouter_geom.Rect
+module Round = Optrouter_geom.Round
 module Tech = Optrouter_tech.Tech
 module Cells = Optrouter_cells.Cells
 
@@ -98,13 +99,12 @@ let generate ?(seed = 42) profile ~util tech =
   let row_h_nm = Tech.row_height tech in
   let area_cols = float_of_int total_width /. util in
   let bands =
-    int_of_float
-      (Float.ceil
-         (Float.sqrt
-            (area_cols *. float_of_int tech.Tech.vpitch /. float_of_int row_h_nm)))
+    Round.ceil
+      (Float.sqrt
+         (area_cols *. float_of_int tech.Tech.vpitch /. float_of_int row_h_nm))
   in
   let bands = max 1 bands in
-  let width_cols = int_of_float (Float.ceil (area_cols /. float_of_int bands)) in
+  let width_cols = Round.ceil (area_cols /. float_of_int bands) in
   (* Deal instances into bands, then pack each band left to right with the
      leftover space spread as random gaps. *)
   let order = Array.init profile.instance_count Fun.id in

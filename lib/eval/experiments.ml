@@ -151,7 +151,9 @@ let scaled_profile scale (p : Design.profile) =
   {
     p with
     Design.instance_count =
-      max 60 (int_of_float (float_of_int p.Design.instance_count *. scale));
+      max 60
+        (Optrouter_geom.Round.floor
+           (float_of_int p.Design.instance_count *. scale));
   }
 
 let difficult_clips ?(params = default_fig10_params) tech =

@@ -39,6 +39,12 @@ type fig10_params = {
 
 val default_fig10_params : fig10_params
 
+(** [scaled_profile scale profile] shrinks a Table-2 design profile's
+    instance count by [scale] (floored, never below 60 instances) — the
+    scale mapping every reduced-size experiment and the CLI share. *)
+val scaled_profile :
+  float -> Optrouter_design.Design.profile -> Optrouter_design.Design.profile
+
 (** The difficult clips used by Figure 10 for one technology: harvested
     from AES and M0 designs at the given utilisations and ranked by pin
     cost. *)

@@ -101,10 +101,22 @@ let add_outcome t = function
   | Error _ -> { t with solves = t.solves + 1; failures = t.failures + 1 }
 
 let render_telemetry t =
-  Report.Telemetry.render ~solves:t.solves ~fast_path_hits:t.fast_path_hits
-    ~seeded_incumbents:t.seeded_incumbents ~nodes:t.nodes
-    ~simplex_iterations:t.simplex_iterations ~busy_s:t.busy_s ~wall_s:t.wall_s
-    ~limits:t.limits ~infeasible:t.infeasible ~failures:t.failures
+  let base =
+    Report.Telemetry.render ~solves:t.solves ~fast_path_hits:t.fast_path_hits
+      ~seeded_incumbents:t.seeded_incumbents ~nodes:t.nodes
+      ~simplex_iterations:t.simplex_iterations ~busy_s:t.busy_s ~wall_s:t.wall_s
+      ~limits:t.limits ~infeasible:t.infeasible ~failures:t.failures
+  in
+  (* Diagnostics the quiet-by-default Report.Log swallowed during the
+     sweep (maze reroute chatter, simplex progress): surface the counts so
+     a silent run still shows how much went unreported. *)
+  match Report.Log.counts () with
+  | [] -> base
+  | counts ->
+    base
+    ^ Printf.sprintf "                  suppressed diagnostics: %s\n"
+        (String.concat ", "
+           (List.map (fun (src, n) -> Printf.sprintf "%s=%d" src n) counts))
 
 (* True sweep wall clock, accumulated separately from the per-solve busy
    sum: under [-j N] the two diverge, and each tells a different story. *)

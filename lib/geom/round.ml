@@ -1,0 +1,14 @@
+(* [float_of_int max_int] rounds up to 2^62, which is the first value
+   strictly above every representable [int]; everything below it converts
+   exactly. [min_int] = -2^62 is itself exact. So the comparisons below
+   are conservative in exactly the right direction. *)
+let convert ~who f =
+  if Float.is_nan f then invalid_arg (who ^ ": NaN");
+  if f >= float_of_int max_int then max_int
+  else if f <= float_of_int min_int then min_int
+  else int_of_float f
+
+let floor f = convert ~who:"Round.floor" (Float.floor f)
+let ceil f = convert ~who:"Round.ceil" (Float.ceil f)
+let nearest f = convert ~who:"Round.nearest" (Float.round f)
+let trunc f = convert ~who:"Round.trunc" (Float.trunc f)

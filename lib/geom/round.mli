@@ -1,0 +1,20 @@
+(** Safe float-to-int conversions.
+
+    [int_of_float] is undefined behaviour for NaN and for values outside
+    the native [int] range, and it silently truncates toward zero — three
+    traps that have each produced real bugs in geometry and solver code
+    (see the [Milp.most_fractional] fix). These helpers make the rounding
+    direction explicit, clamp overflowing values to [min_int]/[max_int]
+    and raise [Invalid_argument] on NaN. *)
+
+(** Largest integer <= [f]. *)
+val floor : float -> int
+
+(** Smallest integer >= [f]. *)
+val ceil : float -> int
+
+(** Nearest integer, half away from zero (the [Float.round] convention). *)
+val nearest : float -> int
+
+(** Truncation toward zero — an explicit, checked [int_of_float]. *)
+val trunc : float -> int

@@ -1,3 +1,5 @@
+module Log = Optrouter_report.Report.Log
+
 type vstat = Basic | At_lower | At_upper | Nb_free
 type basis = { vstat : vstat array; basic : int array }
 type status = Optimal | Infeasible | Unbounded
@@ -806,20 +808,27 @@ module Instance = struct
       | Some _ | None -> ());
       st.niter <- st.niter + 1;
       let phase1 = infeasibility st > feas_tol in
-      if debug && st.niter mod 1000 = 0 then begin
-        let obj = ref 0.0 in
-        for pos = 0 to st.inst.m - 1 do
-          obj := !obj +. (st.inst.cost.(st.basic.(pos)) *. st.xb.(pos))
-        done;
-        for j = 0 to st.inst.ncols - 1 do
-          if st.vstat.(j) <> Basic then
-            obj := !obj +. (st.inst.cost.(j) *. nb_value st j)
-        done;
-        Printf.eprintf
-          "[simplex] iter=%d phase=%d infeas=%.3g obj=%.6f neta=%d eta_nnz=%d bland=%b degen=%d\n%!"
-          st.niter
-          (if phase1 then 1 else 2)
-          (infeasibility st) !obj st.neta (eta_nnz st) st.bland st.degen_count
+      if st.niter mod 1000 = 0 then begin
+        let progress_line () =
+          let obj = ref 0.0 in
+          for pos = 0 to st.inst.m - 1 do
+            obj := !obj +. (st.inst.cost.(st.basic.(pos)) *. st.xb.(pos))
+          done;
+          for j = 0 to st.inst.ncols - 1 do
+            if st.vstat.(j) <> Basic then
+              obj := !obj +. (st.inst.cost.(j) *. nb_value st j)
+          done;
+          Printf.sprintf
+            "iter=%d phase=%d infeas=%.3g obj=%.6f neta=%d eta_nnz=%d bland=%b degen=%d"
+            st.niter
+            (if phase1 then 1 else 2)
+            (infeasibility st) !obj st.neta (eta_nnz st) st.bland st.degen_count
+        in
+        (* The legacy OPTROUTER_SIMPLEX_DEBUG variable bypasses the level
+           filter; either way the event goes through the Log sink, whose
+           single-write lines cannot interleave across domains. *)
+        if debug then Log.emit Log.Debug ~src:"simplex" progress_line
+        else Log.debug ~src:"simplex" progress_line
       end;
       match price st ~phase1 with
       | None ->

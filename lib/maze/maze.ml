@@ -3,6 +3,7 @@ module Graph = Optrouter_grid.Graph
 module Rules = Optrouter_tech.Rules
 module Route = Optrouter_grid.Route
 module Drc = Optrouter_grid.Drc
+module Log = Optrouter_report.Report.Log
 
 type params = { restarts : int; rip_up_rounds : int; seed : int }
 
@@ -242,7 +243,14 @@ let nets_of_violation (sol : Route.solution) st viol =
     let owner v = if v < st.ngrid then st.vertex_owner.(v) else -1 in
     List.filter (fun k -> k >= 0) [ owner v1; owner v2 ]
 
+(* Legacy debug switch: bypasses the Report.Log level filter, but events
+   still flow through its sink (single-write lines, no cross-domain
+   interleaving) and are always counted into the telemetry either way. *)
 let maze_debug = Sys.getenv_opt "OPTROUTER_MAZE_DEBUG" <> None
+
+let maze_event line =
+  if maze_debug then Log.emit Log.Debug ~src:"maze" line
+  else Log.debug ~src:"maze" line
 
 let route ?(params = default_params) ~rules (g : Graph.t) =
   let nnets = Array.length g.nets in
@@ -288,8 +296,8 @@ let route ?(params = default_params) ~rules (g : Graph.t) =
         match route_net st k with
         | Some edges -> routes.(k) <- Some { Route.net = k; edges }
         | None ->
-          if maze_debug then
-            Printf.eprintf "[maze] attempt %d: net %d unroutable\n" attempt k;
+          maze_event (fun () ->
+              Printf.sprintf "attempt %d: net %d unroutable" attempt k);
           all_ok := false)
       order;
     (* Violation repair: penalise the offending vertices, rip the nets
@@ -310,13 +318,13 @@ let route ?(params = default_params) ~rules (g : Graph.t) =
       match Drc.check ~rules g sol with
       | [] -> continue_repair := false
       | viols ->
-        if maze_debug then begin
-          Printf.eprintf "[maze] attempt %d round %d: %d violations\n" attempt
-            !round (List.length viols);
-          List.iter
-            (fun v -> Format.eprintf "  %a@." (Drc.pp_violation g) v)
-            viols
-        end;
+        maze_event (fun () ->
+            Format.asprintf "attempt %d round %d: %d violations%a" attempt
+              !round (List.length viols)
+              (fun ppf ->
+                List.iter (fun v ->
+                    Format.fprintf ppf "@\n  %a" (Drc.pp_violation g) v))
+              viols);
         let guilty = ref [] in
         List.iter
           (fun viol ->

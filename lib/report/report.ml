@@ -56,8 +56,8 @@ module Series = struct
                 else i * (width - 1) / (xmax - 1)
               in
               let row =
-                int_of_float
-                  (Float.round ((y -. ymin) /. yspan *. float_of_int (height - 1)))
+                Optrouter_geom.Round.nearest
+                  ((y -. ymin) /. yspan *. float_of_int (height - 1))
               in
               let row = max 0 (min (height - 1) row) in
               canvas.(height - 1 - row).(x) <- marker)
@@ -110,6 +110,170 @@ module Telemetry = struct
          infeasible
          (if failures > 0 then Printf.sprintf ", %d failed" failures else ""));
     Buffer.contents buf
+end
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | String of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let escape s =
+    let buf = Buffer.create (String.length s + 2) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  let rec emit buf indent v =
+    let pad n = String.make (2 * n) ' ' in
+    match v with
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (string_of_bool b)
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f ->
+      (* JSON has no NaN/infinity; encode them as strings rather than
+         emitting an unparseable document. *)
+      if Float.is_finite f then Buffer.add_string buf (Printf.sprintf "%.6g" f)
+      else Buffer.add_string buf (Printf.sprintf "\"%h\"" f)
+    | String s ->
+      Buffer.add_char buf '"';
+      Buffer.add_string buf (escape s);
+      Buffer.add_char buf '"'
+    | List [] -> Buffer.add_string buf "[]"
+    | List items ->
+      Buffer.add_string buf "[\n";
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          Buffer.add_string buf (pad (indent + 1));
+          emit buf (indent + 1) item)
+        items;
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (pad indent);
+      Buffer.add_char buf ']'
+    | Obj [] -> Buffer.add_string buf "{}"
+    | Obj fields ->
+      Buffer.add_string buf "{\n";
+      List.iteri
+        (fun i (k, item) ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          Buffer.add_string buf (pad (indent + 1));
+          Buffer.add_char buf '"';
+          Buffer.add_string buf (escape k);
+          Buffer.add_string buf "\": ";
+          emit buf (indent + 1) item)
+        fields;
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (pad indent);
+      Buffer.add_char buf '}'
+
+  let to_string v =
+    let buf = Buffer.create 256 in
+    emit buf 0 v;
+    Buffer.add_char buf '\n';
+    Buffer.contents buf
+
+  let write_file path v =
+    let oc = open_out path in
+    output_string oc (to_string v);
+    close_out oc
+end
+
+module Log = struct
+  type level = Debug | Info | Warn | Error
+
+  let level_rank = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+
+  let level_name = function
+    | Debug -> "debug"
+    | Info -> "info"
+    | Warn -> "warn"
+    | Error -> "error"
+
+  (* All state is held in Atomics: messages and counters flow from pool
+     worker domains, so plain refs or a Hashtbl would race (and would trip
+     the source lint's L004). *)
+  let threshold : int Atomic.t =
+    (* -1 = silent. Initialised once from OPTROUTER_LOG. *)
+    Atomic.make
+      (match Option.map String.lowercase_ascii (Sys.getenv_opt "OPTROUTER_LOG") with
+      | Some "debug" -> 0
+      | Some "info" -> 1
+      | Some "warn" -> 2
+      | Some "error" -> 3
+      | Some _ | None -> -1)
+
+  let set_level lvl =
+    Atomic.set threshold (match lvl with None -> -1 | Some l -> level_rank l)
+
+  let enabled lvl =
+    let t = Atomic.get threshold in
+    t >= 0 && level_rank lvl >= t
+
+  let default_sink lvl ~src line =
+    (* One write of one preformatted line: concurrent domains may reorder
+       whole lines but never interleave within one. *)
+    output_string stderr
+      (Printf.sprintf "[%s] %s: %s\n" src (level_name lvl) line);
+    flush stderr
+
+  let sink : (level -> src:string -> string -> unit) Atomic.t =
+    Atomic.make default_sink
+
+  let set_sink = function
+    | None -> Atomic.set sink default_sink
+    | Some f -> Atomic.set sink f
+
+  (* Per-source event counters, lock-free: the bucket list only ever grows
+     and each bucket's count is itself atomic. *)
+  let counters : (string * int Atomic.t) list Atomic.t = Atomic.make []
+
+  let rec bucket src =
+    match List.assoc_opt src (Atomic.get counters) with
+    | Some c -> c
+    | None ->
+      let seen = Atomic.get counters in
+      let c = Atomic.make 0 in
+      if Atomic.compare_and_set counters seen ((src, c) :: seen) then c
+      else bucket src
+
+  let counts () =
+    Atomic.get counters
+    |> List.map (fun (src, c) -> (src, Atomic.get c))
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    |> List.filter (fun (_, n) -> n > 0)
+
+  let reset_counts () =
+    List.iter (fun (_, c) -> Atomic.set c 0) (Atomic.get counters)
+
+  (* [emit] bypasses the level filter (for legacy per-module debug env
+     vars); [event] is the normal counted-and-filtered entry point. Both
+     count, so quiet runs still surface how much was suppressed. *)
+  let emit lvl ~src msg =
+    Atomic.incr (bucket src);
+    (Atomic.get sink) lvl ~src (msg ())
+
+  let event lvl ~src msg =
+    if enabled lvl then emit lvl ~src msg else Atomic.incr (bucket src)
+
+  let debug ~src msg = event Debug ~src msg
+  let info ~src msg = event Info ~src msg
+  let warn ~src msg = event Warn ~src msg
+  let error ~src msg = event Error ~src msg
 end
 
 module Csv = struct

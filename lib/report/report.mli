@@ -45,6 +45,71 @@ module Telemetry : sig
     string
 end
 
+module Json : sig
+  (** A minimal JSON document builder — enough for the benchmark and audit
+      reports (objects, arrays, scalars; pretty-printed, trailing
+      newline). Non-finite floats are encoded as hex-float strings so the
+      output is always parseable. *)
+
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | String of string
+    | List of t list
+    | Obj of (string * t) list
+
+  val to_string : t -> string
+  val write_file : string -> t -> unit
+end
+
+module Log : sig
+  (** Leveled diagnostics for solver internals, safe under domain
+      parallelism.
+
+      Quiet by default: every event is {e counted} per source (see
+      {!counts}, surfaced in the sweep telemetry) but only rendered when
+      the level is enabled — so a parallel sweep never interleaves debug
+      garbage on stderr, yet a serial debugging run can see everything via
+      [OPTROUTER_LOG=debug] (or {!set_level}). The default sink writes one
+      preformatted line per event with a single [output_string], which
+      concurrent domains can reorder but not interleave. All internal
+      state is atomic. *)
+
+  type level = Debug | Info | Warn | Error
+
+  (** Enable rendering of events at [lvl] and above; [None] (the initial
+      state unless the [OPTROUTER_LOG] environment variable is set to
+      [debug]/[info]/[warn]/[error]) renders nothing. *)
+  val set_level : level option -> unit
+
+  val enabled : level -> bool
+
+  (** Replace ([Some]) or restore ([None]) the stderr sink. *)
+  val set_sink : (level -> src:string -> string -> unit) option -> unit
+
+  (** [event lvl ~src msg] counts one event against [src] and, when [lvl]
+      is enabled, formats and emits it. [msg] is only forced when
+      rendering. *)
+  val event : level -> src:string -> (unit -> string) -> unit
+
+  val debug : src:string -> (unit -> string) -> unit
+  val info : src:string -> (unit -> string) -> unit
+  val warn : src:string -> (unit -> string) -> unit
+  val error : src:string -> (unit -> string) -> unit
+
+  (** [emit] renders unconditionally (still counted) — the escape hatch
+      behind legacy per-module debug environment variables. *)
+  val emit : level -> src:string -> (unit -> string) -> unit
+
+  (** Per-source event counts since the last {!reset_counts}, sorted by
+      source, zero entries omitted. *)
+  val counts : unit -> (string * int) list
+
+  val reset_counts : unit -> unit
+end
+
 module Csv : sig
   val to_string : header:string list -> string list list -> string
   val write_file : string -> header:string list -> string list list -> unit

@@ -1,0 +1,41 @@
+(* Known-bad fixture for the source lint. NOT built by dune (no stanza
+   covers this directory); it exists so the test suite and CI can assert
+   that every lint rule still fires. One seeded violation per line is
+   annotated with the code it must trigger. *)
+
+(* L004: toplevel mutable state, shared across domains *)
+let call_count = ref 0
+
+(* L004: toplevel hash table *)
+let cache : (string, int) Hashtbl.t = Hashtbl.create 16
+
+(* L001: raw truncation of an unbounded float *)
+let bad_round x = int_of_float (x *. 100.0)
+
+(* L001: same primitive through the Float module *)
+let bad_round2 x = Float.to_int x
+
+(* L002: equality against a nonzero float literal *)
+let is_unit_cost c = c = 1.0
+
+(* L002: disequality against a nonzero float literal *)
+let not_half c = c <> 0.5
+
+(* NOT flagged: literal-zero comparison is the sanctioned sparse-drop
+   idiom (and Float.equal (-0.) 0. = false makes "fixing" it unsound) *)
+let is_zero c = c = 0.0
+
+(* L003: catch-all try handler *)
+let swallow f = try f () with _ -> ()
+
+(* L003: catch-all [exception _] match case *)
+let swallow2 f x = match f x with v -> Some v | exception _ -> None
+
+(* NOT flagged: named binder keeps the swallow greppable *)
+let deliberate f = try f () with _exn -> ()
+
+let () =
+  incr call_count;
+  Hashtbl.replace cache "calls" !call_count;
+  ignore (bad_round 1.5, bad_round2 2.5, is_unit_cost 1.0, not_half 0.25);
+  ignore (is_zero 0.0, swallow ignore, swallow2 (fun x -> x) 3, deliberate ignore)

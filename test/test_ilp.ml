@@ -50,6 +50,21 @@ let test_builder_drops_zero () =
   let lp = Lp.Builder.finish b in
   Alcotest.(check int) "y cancelled out" 1 (Array.length lp.rows.(0).coeffs)
 
+let test_builder_cancels_to_empty () =
+  (* repeated indices summing to exactly zero leave an EMPTY row, not a
+     dropped one — the model auditor (A005/A007) depends on the row
+     surviving so the cancellation stays visible *)
+  let b = Lp.Builder.create () in
+  let x = Lp.Builder.add_var b ~name:"x" ~lower:0.0 ~upper:1.0 ~obj:1.0 Lp.Continuous in
+  Lp.Builder.add_row b ~name:"gone" [ (x, 2.5); (x, -2.5) ] Lp.Le 1.0;
+  let lp = Lp.Builder.finish b in
+  Alcotest.(check int) "row kept" 1 (Lp.nrows lp);
+  Alcotest.(check int) "no coefficients" 0 (Array.length lp.rows.(0).coeffs);
+  Alcotest.(check string) "name kept" "gone" lp.rows.(0).r_name;
+  (* the empty row is vacuously satisfiable and must not break solving *)
+  let res = Simplex.solve lp in
+  Alcotest.(check bool) "still solves" true (res.status = Simplex.Optimal)
+
 let test_builder_rejects_bad_bounds () =
   let b = Lp.Builder.create () in
   match
@@ -750,6 +765,31 @@ let test_lp_file_roundtrip () =
     if r.status = Simplex.Optimal then
       check_float "same objective" r.objective r'.objective
 
+let test_lp_file_preserves_names () =
+  let lp =
+    build
+      [ bin "e_0_12_0" 4.0; cont "f_0_12_0" 0.0 2.0 0.0; bin "u_1_7" 0.0 ]
+      [
+        ("lk2_0_12_0", [ (0, 2.0); (1, -1.0) ], Lp.Ge, 0.0);
+        ("cap_12", [ (0, 1.0); (2, 1.0) ], Lp.Le, 1.0);
+        ("flow_0_3", [ (1, 1.0) ], Lp.Eq, 1.0);
+      ]
+  in
+  match Lp_file.of_string (Lp_file.to_string lp) with
+  | Error m -> Alcotest.fail m
+  | Ok lp' ->
+    let names_of extract arr =
+      List.sort compare (Array.to_list (Array.map extract arr))
+    in
+    Alcotest.(check (list string))
+      "variable names survive"
+      (names_of (fun (v : Lp.var) -> v.Lp.v_name) lp.Lp.vars)
+      (names_of (fun (v : Lp.var) -> v.Lp.v_name) lp'.Lp.vars);
+    Alcotest.(check (list string))
+      "row names survive"
+      (names_of (fun (r : Lp.row) -> r.Lp.r_name) lp.Lp.rows)
+      (names_of (fun (r : Lp.row) -> r.Lp.r_name) lp'.Lp.rows)
+
 let test_lp_file_parse_maximize () =
   let text =
     "Maximize\n obj: 3 x + 2 y\nSubject To\n c1: x + y <= 4\nBounds\n      0 <= x <= 3\n 0 <= y <= 3\nEnd\n"
@@ -866,6 +906,8 @@ let () =
             test_builder_merges_duplicates;
           Alcotest.test_case "drops cancelled coefficients" `Quick
             test_builder_drops_zero;
+          Alcotest.test_case "full cancellation keeps an empty row" `Quick
+            test_builder_cancels_to_empty;
           Alcotest.test_case "rejects inverted bounds" `Quick
             test_builder_rejects_bad_bounds;
           Alcotest.test_case "rejects bad variable index" `Quick
@@ -949,6 +991,8 @@ let () =
         [
           Alcotest.test_case "sections present" `Quick test_lp_file_output;
           Alcotest.test_case "round trip" `Quick test_lp_file_roundtrip;
+          Alcotest.test_case "round trip preserves names" `Quick
+            test_lp_file_preserves_names;
           Alcotest.test_case "maximize parsed" `Quick test_lp_file_parse_maximize;
           Alcotest.test_case "parse errors" `Quick test_lp_file_parse_errors;
         ] );
