@@ -84,6 +84,18 @@ let jobs_arg =
           "Fan independent ILP solves over $(docv) domains. Results are \
            identical to a serial run.")
 
+let solver_jobs_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "solver-jobs" ] ~docv:"N"
+        ~env:(Cmd.Env.info "OPTROUTER_SOLVER_JOBS")
+        ~doc:
+          "Run each branch-and-bound search on $(docv) worker domains. \
+           Proved optima are identical to a serial solve; only node counts \
+           and times change. Under sweep $(b,-j), solves only widen while \
+           pool domains are idle (two-level scheduling).")
+
 let clips_file_arg =
   Arg.(
     required
@@ -97,8 +109,10 @@ let load_clips path =
     Printf.eprintf "error: %s: %s\n" path msg;
     exit 1
 
-let config_of ?(reuse = true) ?(audit = false) ~time_limit () =
-  let milp = Milp.make_params ~max_nodes:200_000 ~time_limit_s:time_limit () in
+let config_of ?(reuse = true) ?(audit = false) ?(solver_jobs = 1) ~time_limit () =
+  let milp =
+    Milp.make_params ~max_nodes:200_000 ~time_limit_s:time_limit ~solver_jobs ()
+  in
   if audit then
     Optrouter_drv.make_config ~milp ~seed_reuse:reuse
       ~audit:(Lp_audit.hook ()) ()
@@ -125,9 +139,9 @@ let no_reuse_arg =
 
 (* ---- route ---- *)
 
-let do_route tech rules time_limit audit lp_out route_out path () =
+let do_route tech rules time_limit solver_jobs audit lp_out route_out path () =
   let clips = load_clips path in
-  let config = config_of ~audit ~time_limit () in
+  let config = config_of ~audit ~solver_jobs ~time_limit () in
   List.iteri
     (fun i clip ->
       (match lp_out with
@@ -183,14 +197,14 @@ let route_cmd =
   let doc = "Route clips optimally under a rule configuration." in
   Cmd.v (Cmd.info "route" ~doc)
     Term.(
-      const do_route $ tech_arg $ rule_arg $ time_limit_arg $ audit_flag
-      $ lp_out_arg $ route_out_arg $ clips_file_arg $ logs_term)
+      const do_route $ tech_arg $ rule_arg $ time_limit_arg $ solver_jobs_arg
+      $ audit_flag $ lp_out_arg $ route_out_arg $ clips_file_arg $ logs_term)
 
 (* ---- sweep ---- *)
 
-let do_sweep tech time_limit jobs no_reuse audit csv_out path () =
+let do_sweep tech time_limit jobs solver_jobs no_reuse audit csv_out path () =
   let clips = load_clips path in
-  let config = config_of ~reuse:(not no_reuse) ~audit ~time_limit () in
+  let config = config_of ~reuse:(not no_reuse) ~audit ~solver_jobs ~time_limit () in
   let rules = Experiments.rules_for tech in
   let telemetry = ref Sweep.empty_telemetry in
   let on_entry =
@@ -258,8 +272,8 @@ let sweep_cmd =
   in
   Cmd.v (Cmd.info "sweep" ~doc)
     Term.(
-      const do_sweep $ tech_arg $ time_limit_arg $ jobs_arg $ no_reuse_arg
-      $ audit_flag $ csv_out $ clips_file_arg $ logs_term)
+      const do_sweep $ tech_arg $ time_limit_arg $ jobs_arg $ solver_jobs_arg
+      $ no_reuse_arg $ audit_flag $ csv_out $ clips_file_arg $ logs_term)
 
 (* ---- gen ---- *)
 
@@ -530,7 +544,7 @@ let audit_cmd =
 
 (* ---- solve-lp: the MILP solver as a standalone utility ---- *)
 
-let do_solve_lp time_limit path () =
+let do_solve_lp time_limit solver_jobs path () =
   match Lp_file.read_file path with
   | Error msg ->
     Printf.eprintf "error: %s: %s\n" path msg;
@@ -549,7 +563,7 @@ let do_solve_lp time_limit path () =
         lp.Optrouter_ilp.Lp.vars
     in
     if has_integers then begin
-      let params = Milp.make_params ~time_limit_s:time_limit () in
+      let params = Milp.make_params ~time_limit_s:time_limit ~solver_jobs () in
       let r = Milp.solve ~params lp in
       match r.Milp.outcome with
       | Milp.Proved_optimal ->
@@ -581,7 +595,7 @@ let solve_lp_cmd =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.lp")
   in
   Cmd.v (Cmd.info "solve-lp" ~doc)
-    Term.(const do_solve_lp $ time_limit_arg $ lp_file $ logs_term)
+    Term.(const do_solve_lp $ time_limit_arg $ solver_jobs_arg $ lp_file $ logs_term)
 
 let main_cmd =
   let doc = "optimal ILP-based detailed router for BEOL design-rule evaluation" in

@@ -19,6 +19,11 @@ type stats = {
   simplex_iterations : int;
   elapsed_s : float;
   seed_use : seed_use;
+  solver_workers : int;
+  solver_steals : int;
+  solver_busy_s : float;
+  solver_wall_s : float;
+  dual_btran_saved : int;
 }
 
 type verdict =
@@ -125,6 +130,11 @@ let route_graph ?(config = default_config) ?seed ~rules (g : Graph.t) =
         simplex_iterations = 0;
         elapsed_s = Unix.gettimeofday () -. start;
         seed_use = Seed_fast_path;
+        solver_workers = 0;
+        solver_steals = 0;
+        solver_busy_s = 0.0;
+        solver_wall_s = 0.0;
+        dual_btran_saved = 0;
       }
     in
     { verdict = Routed sol; stats }
@@ -172,6 +182,11 @@ let route_graph ?(config = default_config) ?seed ~rules (g : Graph.t) =
       simplex_iterations = milp_result.Milp.simplex_iterations;
       elapsed_s;
       seed_use;
+      solver_workers = milp_result.Milp.workers;
+      solver_steals = milp_result.Milp.steals;
+      solver_busy_s = milp_result.Milp.solver_busy_s;
+      solver_wall_s = milp_result.Milp.solver_wall_s;
+      dual_btran_saved = milp_result.Milp.dual_btran_saved;
     }
   in
   let decode () =

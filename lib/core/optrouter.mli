@@ -28,6 +28,16 @@ type stats = {
   simplex_iterations : int;
   elapsed_s : float;  (** wall-clock seconds (valid under domain parallelism) *)
   seed_use : seed_use;
+  solver_workers : int;
+      (** parallel width of the branch-and-bound search; 0 for fast-path
+          solves (no search ran at all) *)
+  solver_steals : int;  (** cross-worker frontier steals inside the solve *)
+  solver_busy_s : float;
+      (** summed per-worker node-processing time of the solve *)
+  solver_wall_s : float;  (** wall clock of the MILP solve alone *)
+  dual_btran_saved : int;
+      (** BTRAN passes saved by the incremental dual update, summed over
+          the solve's LP re-optimisations *)
 }
 
 type verdict =

@@ -134,6 +134,7 @@ type fig10_params = {
   top_clips : int;
   time_limit_s : float;
   reuse : bool;
+  solver_jobs : int;
 }
 
 let default_fig10_params =
@@ -145,6 +146,7 @@ let default_fig10_params =
     top_clips = 8;
     time_limit_s = 20.0;
     reuse = true;
+    solver_jobs = 1;
   }
 
 let scaled_profile scale (p : Design.profile) =
@@ -180,7 +182,8 @@ let rules_for tech =
 let solver_config params =
   Optrouter.make_config
     ~milp:
-      (Milp.make_params ~max_nodes:50_000 ~time_limit_s:params.time_limit_s ())
+      (Milp.make_params ~max_nodes:50_000 ~time_limit_s:params.time_limit_s
+         ~solver_jobs:params.solver_jobs ())
     ~seed_reuse:params.reuse ()
 
 let fig10 ?(params = default_fig10_params) ?pool ?telemetry ?on_entry tech =

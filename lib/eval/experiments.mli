@@ -35,6 +35,11 @@ type fig10_params = {
       (** exploit the RULE1 baseline routing in every rule solve (DRC
           fast path + seeded incumbents); default [true]. Entries are
           identical either way — only solver effort changes. *)
+  solver_jobs : int;
+      (** branch-and-bound worker domains per ILP solve (default 1).
+          Under a sweep pool this is a {e request}: solves widen only
+          when pool domains are idle (see {!Sweep}). Entries are
+          identical either way — proved optima do not depend on it. *)
 }
 
 val default_fig10_params : fig10_params

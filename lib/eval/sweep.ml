@@ -40,6 +40,10 @@ type telemetry = {
   limits : int;
   infeasible : int;
   failures : int;
+  steals : int;
+  solver_busy_s : float;
+  solver_wall_s : float;
+  peak_workers : int;
 }
 
 let empty_telemetry =
@@ -54,6 +58,10 @@ let empty_telemetry =
     limits = 0;
     infeasible = 0;
     failures = 0;
+    steals = 0;
+    solver_busy_s = 0.0;
+    solver_wall_s = 0.0;
+    peak_workers = 0;
   }
 
 let merge_telemetry a b =
@@ -68,6 +76,10 @@ let merge_telemetry a b =
     limits = a.limits + b.limits;
     infeasible = a.infeasible + b.infeasible;
     failures = a.failures + b.failures;
+    steals = a.steals + b.steals;
+    solver_busy_s = a.solver_busy_s +. b.solver_busy_s;
+    solver_wall_s = a.solver_wall_s +. b.solver_wall_s;
+    peak_workers = max a.peak_workers b.peak_workers;
   }
 
 let add_result t (result : Optrouter.result) =
@@ -94,6 +106,10 @@ let add_result t (result : Optrouter.result) =
     busy_s = t.busy_s +. s.Optrouter.elapsed_s;
     limits = t.limits + limit;
     infeasible = t.infeasible + infeasible;
+    steals = t.steals + s.Optrouter.solver_steals;
+    solver_busy_s = t.solver_busy_s +. s.Optrouter.solver_busy_s;
+    solver_wall_s = t.solver_wall_s +. s.Optrouter.solver_wall_s;
+    peak_workers = max t.peak_workers s.Optrouter.solver_workers;
   }
 
 let add_outcome t = function
@@ -102,10 +118,12 @@ let add_outcome t = function
 
 let render_telemetry t =
   let base =
-    Report.Telemetry.render ~solves:t.solves ~fast_path_hits:t.fast_path_hits
+    Report.Telemetry.render ~steals:t.steals ~solver_busy_s:t.solver_busy_s
+      ~solver_wall_s:t.solver_wall_s ~peak_workers:t.peak_workers
+      ~solves:t.solves ~fast_path_hits:t.fast_path_hits
       ~seeded_incumbents:t.seeded_incumbents ~nodes:t.nodes
       ~simplex_iterations:t.simplex_iterations ~busy_s:t.busy_s ~wall_s:t.wall_s
-      ~limits:t.limits ~infeasible:t.infeasible ~failures:t.failures
+      ~limits:t.limits ~infeasible:t.infeasible ~failures:t.failures ()
   in
   (* Diagnostics the quiet-by-default Report.Log swallowed during the
      sweep (maze reroute chatter, simplex progress): surface the counts so
@@ -154,6 +172,39 @@ let fan ?pool ~on_done f xs =
 
 let solve_outcome ?config ?seed ~tech ~rules clip =
   try Ok (Optrouter.route ?config ?seed ~tech ~rules clip) with e -> Error e
+
+(* ------------------------------------------------------------------ *)
+(* Two-level scheduling                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* The sweep's domain budget: one slot per pool domain. A task holds one
+   slot while it runs (its own worker) and may widen its inner branch-and-
+   bound by whatever extra slots are free at solve start. While the pool
+   is saturated every slot is held and solves run single-worker — exactly
+   the serial-solver behaviour; at the sweep tail (and during the serial
+   baseline of [clip_deltas]) idle domains turn into solver workers for
+   the hard solves that remain. Grants happen at solve start only: a
+   running solve is never widened mid-flight. *)
+let budget_for pool =
+  Option.map (fun p -> Pool.Budget.create ~slots:(Pool.domains p)) pool
+
+let with_budget budget config f =
+  match budget with
+  | None -> f config
+  | Some b ->
+    let c = Option.value config ~default:Optrouter.default_config in
+    let want = c.Optrouter.milp.Optrouter_ilp.Milp.solver_jobs in
+    let base = Pool.Budget.acquire b 1 in
+    let extra =
+      if base = 1 && want > 1 then Pool.Budget.acquire b (want - 1) else 0
+    in
+    Fun.protect
+      ~finally:(fun () -> Pool.Budget.release b (base + extra))
+      (fun () ->
+        let milp =
+          { c.Optrouter.milp with Optrouter_ilp.Milp.solver_jobs = 1 + extra }
+        in
+        f (Some { c with Optrouter.milp }))
 
 (* A solve that dies (DRC audit failure, numerical trouble escaping the
    solver, ...) is folded into the [Limit] bucket: the sweep survives and
@@ -213,9 +264,12 @@ let baseline_of clip_name = function
     | Optrouter.Limit (Some _) -> None
     | Optrouter.Routed base -> Some base)
 
-let rule_entries ?config ?pool ?telemetry ?on_entry ~tech jobs =
+let rule_entries ?config ?pool ?budget ?telemetry ?on_entry ~tech jobs =
   let solve (clip, (base : Route.solution), r) =
-    let outcome = solve_outcome ?config ~seed:base ~tech ~rules:r clip in
+    let outcome =
+      with_budget budget config (fun config ->
+          solve_outcome ?config ~seed:base ~tech ~rules:r clip)
+    in
     ( entry_for ~clip_name:clip.Clip.c_name ~base_cost:base.Route.metrics.cost r
         outcome,
       outcome )
@@ -232,15 +286,21 @@ let rule_entries ?config ?pool ?telemetry ?on_entry ~tech jobs =
 
 let clip_deltas ?config ?pool ?telemetry ?on_entry ~tech ~rules clip =
   timed telemetry (fun () ->
+      let budget = budget_for pool in
+      (* The baseline runs serially in the calling domain while every
+         pool worker idles — so it may claim the whole budget as inner
+         solver width. *)
       let outcome =
-        solve_outcome ~config:(baseline_config config) ~tech
-          ~rules:(Rules.rule 1) clip
+        with_budget budget
+          (Some (baseline_config config))
+          (fun config ->
+            solve_outcome ?config ~tech ~rules:(Rules.rule 1) clip)
       in
       record telemetry outcome;
       match baseline_of clip.Clip.c_name outcome with
       | None -> []
       | Some base ->
-        rule_entries ?config ?pool ?telemetry ?on_entry ~tech
+        rule_entries ?config ?pool ?budget ?telemetry ?on_entry ~tech
           (List.map (fun r -> (clip, base, r)) rules))
 
 let sweep ?config ?pool ?telemetry ?on_entry ~tech ~rules clips =
@@ -250,12 +310,14 @@ let sweep ?config ?pool ?telemetry ?on_entry ~tech ~rules clips =
          of the surviving clips — so even a handful of clips saturates the
          pool. Each rule job carries its clip's baseline routing as the
          solver seed. *)
+      let budget = budget_for pool in
       let bconfig = baseline_config config in
       let baselines =
         fan ?pool
           ~on_done:(fun _ _ -> ())
           (fun clip ->
-            solve_outcome ~config:bconfig ~tech ~rules:(Rules.rule 1) clip)
+            with_budget budget (Some bconfig) (fun config ->
+                solve_outcome ?config ~tech ~rules:(Rules.rule 1) clip))
           clips
       in
       List.iter (record telemetry) baselines;
@@ -268,7 +330,7 @@ let sweep ?config ?pool ?telemetry ?on_entry ~tech ~rules clips =
                | Some base -> List.map (fun r -> (clip, base, r)) rules)
              clips baselines)
       in
-      rule_entries ?config ?pool ?telemetry ?on_entry ~tech jobs)
+      rule_entries ?config ?pool ?budget ?telemetry ?on_entry ~tech jobs)
 
 (* ------------------------------------------------------------------ *)
 (* Aggregation                                                         *)

@@ -13,7 +13,19 @@
     serial path. A solve that raises (a DRC audit failure, numerical
     trouble escaping the solver) is captured per task: the sweep carries
     on, the entry lands in the [Limit] bucket and the telemetry counts it
-    under [failures]. *)
+    under [failures].
+
+    Scheduling is two-level: the pool fans (clip, rule) tasks across
+    domains, and a per-sweep {!Optrouter_exec.Pool.Budget} of one slot
+    per domain lets solves widen their inner branch-and-bound search
+    ([config.milp.solver_jobs], capped by what is free at solve start).
+    A saturated pool leaves no spare slots, so mid-sweep solves run
+    single-worker exactly as before; the serial RULE1 baseline and the
+    sweep tail — where domains idle — hand their slots to the hard solves
+    that remain. Without a pool, [solver_jobs] is honoured as given.
+    Entries are identical either way: solver parallelism changes node
+    counts and (between alternative optima) the witness routing, never
+    the proved-optimal cost. *)
 
 type delta =
   | Delta of int  (** cost - cost(RULE1) *)
@@ -54,12 +66,20 @@ type telemetry = {
   limits : int;  (** solves that hit the node/time limit *)
   infeasible : int;
   failures : int;  (** solves that raised; reported as [Limit] entries *)
+  steals : int;
+      (** cross-worker frontier steals inside parallel solver searches *)
+  solver_busy_s : float;
+      (** summed per-worker branch-and-bound busy time across solves *)
+  solver_wall_s : float;  (** summed MILP-solve wall time across solves *)
+  peak_workers : int;
+      (** widest branch-and-bound search of the sweep; 0 when every solve
+          was answered by the fast path *)
 }
 
 val empty_telemetry : telemetry
 
 (** Field-wise sum of two telemetry records (e.g. to total several
-    sweeps). *)
+    sweeps); [peak_workers] merges by [max]. *)
 val merge_telemetry : telemetry -> telemetry -> telemetry
 
 (** Render with {!Optrouter_report.Report.Telemetry}. *)

@@ -139,18 +139,49 @@ let map ?on_done t f xs =
     (function Ok v -> v | Error e -> raise e)
     (map_result ?on_done t f xs)
 
-let env_jobs () =
-  match Sys.getenv_opt "OPTROUTER_JOBS" with
+let env_int_jobs name =
+  match Sys.getenv_opt name with
   | None -> 1
   | Some v -> (
     match int_of_string_opt (String.trim v) with
     | Some n when n >= 1 -> n
     | Some n ->
       Log.warn (fun m ->
-          m "OPTROUTER_JOBS=%d is not a positive job count; running serially"
-            n);
+          m "%s=%d is not a positive job count; running serially" name n);
       1
     | None ->
-      Log.warn (fun m ->
-          m "OPTROUTER_JOBS=%S is not an integer; running serially" v);
+      Log.warn (fun m -> m "%s=%S is not an integer; running serially" name v);
       1)
+
+let env_jobs () = env_int_jobs "OPTROUTER_JOBS"
+let env_solver_jobs () = env_int_jobs "OPTROUTER_SOLVER_JOBS"
+
+module Budget = struct
+  (* A lock-free counter of spare domain slots. Tasks running on pool
+     workers implicitly own their domain; what the budget tracks is the
+     *extra* width a task may claim for its inner solver. [acquire] is
+     all-or-part-or-nothing on what is available — it never blocks and
+     never over-grants, so the sum of outstanding grants can never exceed
+     [slots]. *)
+  type b = { slots : int Atomic.t; total : int }
+
+  let create ~slots =
+    let slots = max 0 slots in
+    { slots = Atomic.make slots; total = slots }
+
+  let total b = b.total
+  let available b = Atomic.get b.slots
+
+  let rec acquire b want =
+    if want <= 0 then 0
+    else
+      let cur = Atomic.get b.slots in
+      if cur <= 0 then 0
+      else
+        let take = min cur want in
+        if Atomic.compare_and_set b.slots cur (cur - take) then take
+        else acquire b want
+
+  let release b k =
+    if k > 0 then ignore (Atomic.fetch_and_add b.slots k)
+end

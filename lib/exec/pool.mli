@@ -63,3 +63,38 @@ val with_pool : domains:int -> (t -> 'a) -> 'a
     non-positive value also means 1, with a warning naming the rejected
     value on the [optrouter.exec] log source. *)
 val env_jobs : unit -> int
+
+(** Per-solve (inner, branch-and-bound) concurrency requested by the
+    environment: the [OPTROUTER_SOLVER_JOBS] variable, with exactly the
+    parsing and fallback rules of {!env_jobs}. *)
+val env_solver_jobs : unit -> int
+
+(** A lock-free budget of spare domain slots, the glue of the two-level
+    scheduler: the sweep gives each pool a budget of [domains] slots, a
+    task holds one slot while it runs and may claim up to
+    [solver_jobs - 1] extra slots for its inner branch-and-bound workers.
+    While the pool is saturated every slot is held and solves run
+    single-worker; at the sweep tail the freed slots flow to the solves
+    that start while domains idle — exactly when widening helps. *)
+module Budget : sig
+  type b
+
+  (** [create ~slots] (negative values behave as 0). *)
+  val create : slots:int -> b
+
+  (** The slot count the budget was created with. *)
+  val total : b -> int
+
+  (** Currently unclaimed slots; advisory under concurrency. *)
+  val available : b -> int
+
+  (** [acquire b want] claims up to [want] slots and returns how many it
+      got (0 when none are free or [want <= 0]). Never blocks, never
+      over-grants: the sum of outstanding grants never exceeds the
+      budget. *)
+  val acquire : b -> int -> int
+
+  (** [release b k] returns [k] slots ([k <= 0] is a no-op). Callers must
+      release exactly what they acquired. *)
+  val release : b -> int -> unit
+end

@@ -1,11 +1,25 @@
-(** Branch-and-bound solver for mixed integer linear programs.
+(** Parallel branch-and-bound solver for mixed integer linear programs.
 
-    Solves the LP relaxation with {!Simplex}, branches on the most
-    fractional [Integer] variable, and explores depth-first (taking the
-    rounding-preferred child first) with warm-started bases. When every
-    variable carrying a nonzero objective coefficient is integral with an
-    integral coefficient, LP bounds are rounded up, which prunes much
-    earlier on routing instances whose costs are small integers. *)
+    Solves LP relaxations with {!Simplex} on [solver_jobs] workers (OCaml
+    domains — the calling domain plus [solver_jobs - 1] spawned ones).
+    Each worker owns a private {!Simplex.Instance} and pulls open subtree
+    roots from a shared best-bound frontier; after branching it keeps the
+    rounding-preferred child locally (plunging — a DFS dive over the hot
+    warm basis) and publishes the sibling for any worker to steal.
+    Branching uses pseudo-costs once both directions of a variable have
+    been observed, falling back to {!most_fractional} until then. Nodes
+    carry bound-delta chains instead of copied bound arrays, so node
+    creation is O(changed bounds), not O(nvars).
+
+    Determinism contract: for a given problem the returned [objective],
+    [best_bound] and [outcome] (in particular [Proved_optimal]) are the
+    same whatever [solver_jobs] is — pruning decisions only ever compare
+    against proven incumbents, so racing workers can change the order of
+    exploration, the [nodes]/[simplex_iterations] counts and (between
+    alternative optima) the witness [x], never the optimum itself. When
+    every variable carrying a nonzero objective coefficient is integral
+    with an integral coefficient, LP bounds are rounded up, which prunes
+    much earlier on routing instances whose costs are small integers. *)
 
 type outcome =
   | Proved_optimal
@@ -21,6 +35,17 @@ type result = {
   nodes : int;
   best_bound : float;  (** global lower bound at termination *)
   simplex_iterations : int;
+  workers : int;  (** effective parallel width of the search *)
+  steals : int;
+      (** frontier nodes popped by a worker other than the one that
+          pushed them; always 0 for serial solves *)
+  solver_busy_s : float;
+      (** summed per-worker node-processing time; [solver_busy_s /
+          solver_wall_s] is the achieved parallel speedup of the solve *)
+  solver_wall_s : float;  (** wall clock of the whole solve *)
+  dual_btran_saved : int;
+      (** BTRAN passes avoided by {!Simplex}'s incremental dual update,
+          summed over all LP re-optimisations of the search *)
 }
 
 type params = {
@@ -32,27 +57,39 @@ type params = {
           per-solve deadline. *)
   integrality_tol : float;
   log : bool;
+  solver_jobs : int;
+      (** worker domains for the branch-and-bound search itself (1 =
+          serial, the default). Independent of the sweep-level pool; see
+          {!Optrouter_eval.Sweep} for how the two levels share a machine
+          budget. Values below 1 behave as 1; capped at 128. *)
+  refactor : Simplex.refactor_params;
+      (** adaptive refactorisation policy handed to every LP solve *)
 }
 
 val default_params : params
 
-(** [most_fractional tol lp x] is the branching variable the solver would
-    pick at the LP point [x]: the [Integer] variable whose fractional part
-    is furthest from integral (at least [tol] away), weighted by objective
-    coefficient so expensive decisions are fixed first. [None] when [x] is
-    integral. Total-function safe for values of any magnitude (doubles
-    beyond 2{^53} are integral by construction). Exposed for tests. *)
+(** [most_fractional tol lp x] is the fallback branching variable at the
+    LP point [x]: the [Integer] variable whose fractional part is
+    furthest from integral (at least [tol] away), weighted by objective
+    coefficient so expensive decisions are fixed first. [None] when [x]
+    is integral. The search proper prefers pseudo-cost scores once a
+    variable has been branched both ways; until then it scores exactly
+    like this function. Total-function safe for values of any magnitude
+    (doubles beyond 2{^53} are integral by construction). Exposed for
+    tests. *)
 val most_fractional : float -> Lp.t -> float array -> int option
 
 (** [make_params ()] is {!default_params}; each argument overrides one
     field. Prefer this over record literals at call sites — future solver
-    knobs (e.g. per-solve job counts) then arrive without breaking
-    callers. [time_limit_s] left out means no time limit. *)
+    knobs then arrive without breaking callers. [time_limit_s] left out
+    means no time limit. *)
 val make_params :
   ?max_nodes:int ->
   ?time_limit_s:float ->
   ?integrality_tol:float ->
   ?log:bool ->
+  ?solver_jobs:int ->
+  ?refactor:Simplex.refactor_params ->
   unit ->
   params
 
@@ -69,7 +106,8 @@ val make_params :
     Nodes that cannot beat it are pruned and only strictly better
     incumbents are recorded; if the search completes without finding one,
     the outcome is [Proved_optimal] with [objective = cutoff] and an empty
-    [x] — the external solution was already optimal. *)
+    [x] — the external solution was already optimal. Both fast paths hold
+    under any [solver_jobs]. *)
 val solve :
   ?params:params ->
   ?presolve:bool ->

@@ -12,6 +12,9 @@ type result = {
   reduced_costs : float array;
   basis : basis;
   iterations : int;
+  btran_saved : int;
+      (** full BTRAN passes avoided by the incremental dual update in
+          [dual_reoptimize] *)
 }
 
 exception Numerical_failure of string
@@ -20,7 +23,22 @@ let dual_tol = 1e-9
 let feas_tol = 1e-7
 let zero_tol = 1e-12
 let pivot_tol = 1e-8
-let refactor_every = 128
+
+(* Refactorisation policy. The pivot interval is the classic hard cap; the
+   two adaptive triggers refactor *early* when the eta file degrades before
+   the interval is up: [fill_factor] bounds eta-file fill (nonzeros per
+   row) relative to a fresh factorisation, and [residual_tol] bounds the
+   drift of the factorised representation, measured as the relative
+   infinity-norm residual of [B x_B + N x_N = rhs]. Routing bases are
+   extremely sparse, so a dense eta file or a drifting residual is always
+   accumulated round-off, never genuine structure. *)
+type refactor_params = {
+  interval : int;
+  fill_factor : float;
+  residual_tol : float;
+}
+
+let default_refactor = { interval = 128; fill_factor = 16.0; residual_tol = 1e-7 }
 
 (* Eta matrix of the product-form inverse: identity with column [e_row]
    replaced. [e_piv] is the diagonal entry; [e_idx]/[e_val] hold the
@@ -102,6 +120,7 @@ module Instance = struct
 
   type st = {
     inst : t;
+    refp : refactor_params;
     lo : float array;
     up : float array;
     vstat : vstat array;
@@ -112,6 +131,9 @@ module Instance = struct
     y : float array;
     mutable etas : eta array;
     mutable neta : int;
+    mutable eta_nnz_count : int;  (** running nonzero count of the eta file *)
+    mutable nnz_at_refactor : int;  (** eta nonzeros of the fresh factorisation *)
+    mutable btran_saved : int;
     mutable niter : int;
     mutable pivots_since_refactor : int;
     mutable bland : bool;
@@ -132,7 +154,8 @@ module Instance = struct
       st.etas <- bigger
     end;
     st.etas.(st.neta) <- e;
-    st.neta <- st.neta + 1
+    st.neta <- st.neta + 1;
+    st.eta_nnz_count <- st.eta_nnz_count + 1 + Array.length e.e_idx
 
   let ftran st v =
     for k = 0 to st.neta - 1 do
@@ -209,6 +232,7 @@ module Instance = struct
   let refactor st =
     let m = st.inst.m in
     st.neta <- 0;
+    st.eta_nnz_count <- 0;
     let assigned = Array.make m false in
     let old_cols = Array.copy st.basic in
     Array.sort
@@ -280,6 +304,7 @@ module Instance = struct
       end
     done;
     st.pivots_since_refactor <- 0;
+    st.nnz_at_refactor <- st.eta_nnz_count;
     compute_xb st
 
   let eta_nnz st =
@@ -296,6 +321,8 @@ module Instance = struct
   let cold_reset st =
     let n = st.inst.n and m = st.inst.m in
     st.neta <- 0;
+    st.eta_nnz_count <- 0;
+    st.nnz_at_refactor <- 0;
     for j = 0 to st.inst.ncols - 1 do
       st.vpos.(j) <- -1;
       st.vstat.(j) <- At_lower;
@@ -308,6 +335,49 @@ module Instance = struct
     done;
     st.pivots_since_refactor <- 0;
     compute_xb st
+
+  (* Drift of the factorised representation:
+     ||B x_B + N x_N - rhs||_inf / (1 + ||rhs||_inf). A fresh
+     factorisation satisfies the system to round-off; growth means the
+     eta file has accumulated cancellation and the basis values are no
+     longer trustworthy. One sparse matrix-vector pass, no FTRAN. *)
+  let ftran_residual st =
+    let m = st.inst.m in
+    let r = Array.make m 0.0 in
+    Array.blit st.inst.rhs 0 r 0 m;
+    for j = 0 to st.inst.ncols - 1 do
+      let v =
+        if st.vstat.(j) = Basic then st.xb.(st.vpos.(j)) else nb_value st j
+      in
+      if v <> 0.0 && Float.is_finite v then begin
+        let idx = st.inst.cidx.(j) and vl = st.inst.cval.(j) in
+        for p = 0 to Array.length idx - 1 do
+          r.(idx.(p)) <- r.(idx.(p)) -. (vl.(p) *. v)
+        done
+      end
+    done;
+    let mx = ref 0.0 and scale = ref 1.0 in
+    for i = 0 to m - 1 do
+      mx := Float.max !mx (Float.abs r.(i));
+      scale := Float.max !scale (Float.abs st.inst.rhs.(i))
+    done;
+    !mx /. !scale
+
+  (* Adaptive refactorisation: the pivot interval is the hard cap, but a
+     degrading eta file triggers early. Fill requires both an absolute
+     budget ([fill_factor] nonzeros per row) and genuine growth over the
+     fresh factorisation, so an intrinsically dense basis cannot thrash;
+     the residual probe runs every 32 pivots. Both triggers wait out the
+     first few pivots — refactoring is itself O(eta file). *)
+  let should_refactor st =
+    st.pivots_since_refactor >= st.refp.interval
+    || (st.pivots_since_refactor >= 8
+       && float_of_int st.eta_nnz_count
+          > st.refp.fill_factor *. float_of_int (st.inst.m + 1)
+       && st.eta_nnz_count > 2 * st.nnz_at_refactor)
+    || (st.pivots_since_refactor >= 8
+       && st.pivots_since_refactor mod 32 = 0
+       && ftran_residual st > st.refp.residual_tol)
 
   (* Primal degeneracy remedy (the EXPAND idea): shift every finite bound
      outward by a tiny column-specific epsilon so basic variables are never
@@ -544,6 +614,11 @@ module Instance = struct
      always-correct primal loop. *)
   let dual_reoptimize st ~max_pivots =
     let m = st.inst.m and ncols = st.inst.ncols in
+    (* One BTRAN computes the duals here; every subsequent pivot updates
+       them incrementally (y += theta * rho, where rho = B^-T e_r is the
+       pivot row the ratio test needs anyway), so each dual pivot costs a
+       single BTRAN pass instead of two. Refactorisation recomputes them
+       from scratch for hygiene. *)
     let dual_feasible () =
       compute_duals st ~phase1:false;
       try
@@ -590,11 +665,13 @@ module Instance = struct
           Array.fill rho 0 m 0.0;
           rho.(r) <- 1.0;
           btran st rho;
-          compute_duals st ~phase1:false;
+          (* st.y is already current (incremental update below), saving
+             the from-scratch BTRAN the pivot loop used to do here *)
+          st.btran_saved <- st.btran_saved + 1;
           (* dual ratio test: smallest |d|/|alpha| among columns whose
              admissible movement pushes the leaving value back in range *)
           let best_j = ref (-1) and best_ratio = ref infinity in
-          let best_alpha = ref 0.0 in
+          let best_alpha = ref 0.0 and best_d = ref 0.0 in
           for j = 0 to ncols - 1 do
             if st.vstat.(j) <> Basic && st.up.(j) -. st.lo.(j) > zero_tol then begin
               let idx = st.inst.cidx.(j) and vl = st.inst.cval.(j) in
@@ -622,7 +699,8 @@ module Instance = struct
                   then begin
                     best_j := j;
                     best_ratio := ratio;
-                    best_alpha := alpha
+                    best_alpha := alpha;
+                    best_d := d
                   end
                 end
               end
@@ -694,7 +772,17 @@ module Instance = struct
                 st.basic.(r) <- q;
                 st.xb.(r) <- entering_value;
                 st.pivots_since_refactor <- st.pivots_since_refactor + 1;
-                if st.pivots_since_refactor >= refactor_every then refactor st
+                (* Incremental dual update: the new basis prices q to zero,
+                   so y' = y + (d_q / alpha_rq) * rho. Bound flips leave
+                   the basis (and hence y) untouched. *)
+                let theta = !best_d /. alpha in
+                for i = 0 to m - 1 do
+                  if rho.(i) <> 0.0 then st.y.(i) <- st.y.(i) +. (theta *. rho.(i))
+                done;
+                if should_refactor st then begin
+                  refactor st;
+                  compute_duals st ~phase1:false
+                end
               end
             end
           end
@@ -725,9 +813,11 @@ module Instance = struct
       basis =
         ({ vstat = Array.copy st.vstat; basic = Array.copy st.basic } : basis);
       iterations = st.niter;
+      btran_saved = st.btran_saved;
     }
 
-  let solve ?basis ?lower ?upper ?(max_iters = 200_000) ?deadline_s inst =
+  let solve ?basis ?lower ?upper ?(max_iters = 200_000) ?deadline_s
+      ?refactor:(refp = default_refactor) inst =
     let n = inst.n and m = inst.m and ncols = inst.ncols in
     let lo = Array.copy inst.base_lo and up = Array.copy inst.base_up in
     (match lower with
@@ -747,6 +837,7 @@ module Instance = struct
     let st =
       {
         inst;
+        refp;
         lo;
         up;
         vstat = Array.make ncols At_lower;
@@ -757,6 +848,9 @@ module Instance = struct
         y = Array.make m 0.0;
         etas = [||];
         neta = 0;
+        eta_nnz_count = 0;
+        nnz_at_refactor = 0;
+        btran_saved = 0;
         niter = 0;
         pivots_since_refactor = 0;
         bland = false;
@@ -902,14 +996,14 @@ module Instance = struct
         st.degen_count <- 0;
         st.bland <- false
       end;
-      if st.pivots_since_refactor >= refactor_every then refactor st;
+      if should_refactor st then refactor st;
       loop ()
     in
     loop ()
 end
 
-let solve ?basis ?max_iters lp =
-  Instance.solve ?basis ?max_iters (Instance.create lp)
+let solve ?basis ?max_iters ?refactor lp =
+  Instance.solve ?basis ?max_iters ?refactor (Instance.create lp)
 
 let verify_optimal ?(tol = 1e-6) (lp : Lp.t) (res : result) =
   if res.status <> Optimal then Error "status is not Optimal"

@@ -34,7 +34,26 @@ type result = {
   reduced_costs : float array;  (** one per structural variable *)
   basis : basis;
   iterations : int;
+  btran_saved : int;
+      (** full BTRAN passes the dual re-optimisation avoided by updating
+          the duals incrementally across pivots (one saved pass per dual
+          pivot); 0 on cold starts that never enter the dual method *)
 }
+
+(** Refactorisation policy: [interval] is the hard cap on pivots between
+    refactorisations of the eta file; the adaptive triggers refactor early
+    when the eta file fills past [fill_factor] nonzeros per row (and has
+    at least doubled since the last fresh factorisation, so dense bases
+    cannot thrash) or when the relative residual of [B x = rhs] drifts
+    past [residual_tol]. *)
+type refactor_params = {
+  interval : int;
+  fill_factor : float;
+  residual_tol : float;
+}
+
+(** [{ interval = 128; fill_factor = 16.0; residual_tol = 1e-7 }] *)
+val default_refactor : refactor_params
 
 exception Numerical_failure of string
 
@@ -48,24 +67,28 @@ module Instance : sig
   val nvars : t -> int
   val nrows : t -> int
 
-  (** [solve ?basis ?lower ?upper ?max_iters ?deadline_s inst] solves the
-      instance. [lower]/[upper], when given, override the structural
-      variable bounds (arrays of length [nvars]); [deadline_s] is an
-      absolute [Unix.gettimeofday] value after which the solve aborts. Raises
-      {!Numerical_failure} if the basis cannot be kept factorised, the
-      iteration limit is hit, or the deadline passes. *)
+  (** [solve ?basis ?lower ?upper ?max_iters ?deadline_s ?refactor inst]
+      solves the instance. [lower]/[upper], when given, override the
+      structural variable bounds (arrays of length [nvars]); [deadline_s]
+      is an absolute [Unix.gettimeofday] value after which the solve
+      aborts; [refactor] (default {!default_refactor}) tunes the adaptive
+      refactorisation policy. Raises {!Numerical_failure} if the basis
+      cannot be kept factorised, the iteration limit is hit, or the
+      deadline passes. *)
   val solve :
     ?basis:basis ->
     ?lower:float array ->
     ?upper:float array ->
     ?max_iters:int ->
     ?deadline_s:float ->
+    ?refactor:refactor_params ->
     t ->
     result
 end
 
 (** One-shot convenience wrapper around {!Instance}. *)
-val solve : ?basis:basis -> ?max_iters:int -> Lp.t -> result
+val solve :
+  ?basis:basis -> ?max_iters:int -> ?refactor:refactor_params -> Lp.t -> result
 
 (** [verify_optimal ?tol lp result] independently checks the optimality
     certificate: primal feasibility of [result.x] and sign conditions of the

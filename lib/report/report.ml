@@ -90,8 +90,9 @@ module Series = struct
 end
 
 module Telemetry = struct
-  let render ~solves ~fast_path_hits ~seeded_incumbents ~nodes
-      ~simplex_iterations ~busy_s ~wall_s ~limits ~infeasible ~failures =
+  let render ?(steals = 0) ?(solver_busy_s = 0.0) ?(solver_wall_s = 0.0)
+      ?(peak_workers = 1) ~solves ~fast_path_hits ~seeded_incumbents ~nodes
+      ~simplex_iterations ~busy_s ~wall_s ~limits ~infeasible ~failures () =
     let buf = Buffer.create 192 in
     Buffer.add_string buf
       (Printf.sprintf
@@ -109,6 +110,28 @@ module Telemetry = struct
       (Printf.sprintf "                  %d limit, %d infeasible%s\n" limits
          infeasible
          (if failures > 0 then Printf.sprintf ", %d failed" failures else ""));
+    (* Only solves that actually ran a parallel search earn the extra
+       line; a purely serial sweep keeps its historical three-line form. *)
+    if peak_workers > 1 || steals > 0 then begin
+      let nodes_per_s =
+        if solver_busy_s > 0.0 then float_of_int nodes /. solver_busy_s
+        else 0.0
+      in
+      let efficiency =
+        (* summed worker busy over (wall x width): 1.0 means every solver
+           worker was busy for the whole of every solve *)
+        if solver_wall_s > 0.0 && peak_workers > 0 then
+          solver_busy_s /. (solver_wall_s *. float_of_int peak_workers)
+        else 0.0
+      in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "                  solver parallelism: peak %d workers, %d \
+            steal%s, %.0f nodes/s, %.2f efficiency\n"
+           peak_workers steals
+           (if steals = 1 then "" else "s")
+           nodes_per_s efficiency)
+    end;
     Buffer.contents buf
 end
 

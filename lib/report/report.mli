@@ -30,8 +30,20 @@ module Telemetry : sig
       exceeds the elapsed time, which is the point of reporting it);
       [wall_s] is the sweep's true elapsed wall clock. [fast_path_hits]
       and [seeded_incumbents] count the solves answered or warm-started by
-      the baseline-reuse layer. *)
+      the baseline-reuse layer.
+
+      The optional arguments describe solver-level (inner, branch-and-
+      bound) parallelism and add a fourth line when any solve ran with
+      more than one worker or stole a node: [steals] is the cross-worker
+      frontier steal count, [solver_busy_s]/[solver_wall_s] the summed
+      per-worker busy time and summed solve wall time, [peak_workers] the
+      widest solve. The line reports nodes per busy second and parallel
+      efficiency ([solver_busy_s / (solver_wall_s * peak_workers)]). *)
   val render :
+    ?steals:int ->
+    ?solver_busy_s:float ->
+    ?solver_wall_s:float ->
+    ?peak_workers:int ->
     solves:int ->
     fast_path_hits:int ->
     seeded_incumbents:int ->
@@ -42,6 +54,7 @@ module Telemetry : sig
     limits:int ->
     infeasible:int ->
     failures:int ->
+    unit ->
     string
 end
 

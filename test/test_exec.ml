@@ -100,6 +100,55 @@ let test_env_jobs () =
   Unix.putenv "OPTROUTER_JOBS" "0";
   Alcotest.(check int) "clamped to 1" 1 (Pool.env_jobs ())
 
+let test_env_solver_jobs () =
+  Unix.putenv "OPTROUTER_SOLVER_JOBS" "4";
+  Alcotest.(check int) "parses" 4 (Pool.env_solver_jobs ());
+  Unix.putenv "OPTROUTER_SOLVER_JOBS" "nope";
+  Alcotest.(check int) "unparsable means serial" 1 (Pool.env_solver_jobs ());
+  Unix.putenv "OPTROUTER_SOLVER_JOBS" "1"
+
+(* ------------------------------------------------------------------ *)
+(* Budget                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_budget_basics () =
+  let b = Pool.Budget.create ~slots:3 in
+  Alcotest.(check int) "total" 3 (Pool.Budget.total b);
+  Alcotest.(check int) "all free" 3 (Pool.Budget.available b);
+  Alcotest.(check int) "grants what it has" 2 (Pool.Budget.acquire b 2);
+  Alcotest.(check int) "one left" 1 (Pool.Budget.available b);
+  Alcotest.(check int) "partial grant" 1 (Pool.Budget.acquire b 5);
+  Alcotest.(check int) "exhausted grants zero" 0 (Pool.Budget.acquire b 1);
+  Alcotest.(check int) "zero want is free" 0 (Pool.Budget.acquire b 0);
+  Pool.Budget.release b 3;
+  Alcotest.(check int) "released" 3 (Pool.Budget.available b);
+  Pool.Budget.release b 0;
+  Alcotest.(check int) "zero release is a no-op" 3 (Pool.Budget.available b);
+  let empty = Pool.Budget.create ~slots:(-2) in
+  Alcotest.(check int) "negative slots behave as 0" 0 (Pool.Budget.total empty);
+  Alcotest.(check int) "nothing to grant" 0 (Pool.Budget.acquire empty 1)
+
+let test_budget_concurrent_never_overgrants () =
+  (* Hammer one budget from several domains; the sum of outstanding
+     grants must never exceed the budget, and everything acquired must
+     come back. *)
+  let slots = 4 in
+  let b = Pool.Budget.create ~slots in
+  let overgrant = Atomic.make false in
+  let worker () =
+    for _ = 1 to 500 do
+      let got = Pool.Budget.acquire b 2 in
+      if got > 2 || Pool.Budget.available b > slots then
+        Atomic.set overgrant true;
+      Pool.Budget.release b got
+    done
+  in
+  let domains = List.init 3 (fun _ -> Domain.spawn worker) in
+  worker ();
+  List.iter Domain.join domains;
+  Alcotest.(check bool) "never over-grants" false (Atomic.get overgrant);
+  Alcotest.(check int) "all slots returned" slots (Pool.Budget.available b)
+
 (* A reporter that only counts warnings; messages are formatted into a
    scratch formatter so the [over]/[k] protocol stays honoured. *)
 let counting_reporter count =
@@ -178,6 +227,13 @@ let fast_config =
     ~milp:(Milp.make_params ~max_nodes:5_000 ~time_limit_s:20.0 ())
     ()
 
+(* fast_config with every ILP solve requesting a 2-wide branch-and-bound
+   search (the two-level scheduler's inner level). *)
+let wide_config =
+  Optrouter.make_config
+    ~milp:(Milp.make_params ~max_nodes:5_000 ~time_limit_s:20.0 ~solver_jobs:2 ())
+    ()
+
 let entry_t =
   let pp ppf (e : Sweep.entry) =
     Format.fprintf ppf "%s/%s d=%.0f cost=%s base=%d" e.Sweep.clip_name
@@ -224,6 +280,27 @@ let test_parallel_clip_deltas_deterministic () =
           in
           Alcotest.(check (list entry_t)) clip.Clip.c_name serial parallel)
         seed_clips)
+
+let test_sweep_solver_jobs_identity () =
+  (* Two-level scheduling must not change entries: a sweep whose solves
+     request 2-wide branch and bound — serial, and under a pool where
+     the budget throttles the widening — reproduces the 1-wide list. *)
+  let serial = serial_entries () in
+  let wide_serial =
+    List.concat_map
+      (fun clip ->
+        Sweep.clip_deltas ~config:wide_config ~tech:Tech.n28_12t
+          ~rules:sweep_rules clip)
+      seed_clips
+  in
+  Alcotest.(check (list entry_t)) "2-wide solves, no pool" serial wide_serial;
+  Pool.with_pool ~domains:2 (fun pool ->
+      let wide_pooled =
+        Sweep.sweep ~config:wide_config ~pool ~tech:Tech.n28_12t
+          ~rules:sweep_rules seed_clips
+      in
+      Alcotest.(check (list entry_t)) "2-wide solves under a 2-domain pool"
+        serial wide_pooled)
 
 let test_sweep_telemetry_and_on_entry () =
   Pool.with_pool ~domains:2 (fun pool ->
@@ -325,7 +402,16 @@ let () =
           Alcotest.test_case "OPTROUTER_JOBS parsing" `Quick test_env_jobs;
           Alcotest.test_case "OPTROUTER_JOBS warns on rejects" `Quick
             test_env_jobs_warns_on_rejects;
+          Alcotest.test_case "OPTROUTER_SOLVER_JOBS parsing" `Quick
+            test_env_solver_jobs;
           QCheck_alcotest.to_alcotest qcheck_map_equals_list_map;
+        ] );
+      ( "budget",
+        [
+          Alcotest.test_case "acquire/release accounting" `Quick
+            test_budget_basics;
+          Alcotest.test_case "concurrent acquire never over-grants" `Quick
+            test_budget_concurrent_never_overgrants;
         ] );
       ( "parallel sweep",
         [
@@ -333,6 +419,8 @@ let () =
             test_parallel_sweep_deterministic;
           Alcotest.test_case "clip_deltas matches serial" `Quick
             test_parallel_clip_deltas_deterministic;
+          Alcotest.test_case "solver-jobs sweep matches serial" `Quick
+            test_sweep_solver_jobs_identity;
           Alcotest.test_case "telemetry and on_entry" `Quick
             test_sweep_telemetry_and_on_entry;
           Alcotest.test_case "reuse on/off identical entries" `Quick

@@ -605,6 +605,128 @@ let test_milp_cutoff_improved () =
   Alcotest.(check bool) "real point" true (Array.length res.x = 2)
 
 (* ------------------------------------------------------------------ *)
+(* Parallel branch and bound                                           *)
+(* ------------------------------------------------------------------ *)
+
+let solve_jobs ?initial ?cutoff jobs lp =
+  let params = Milp.make_params ~solver_jobs:jobs () in
+  Milp.solve ~params ?initial ?cutoff lp
+
+(* The solver's determinism contract: any width returns the same
+   objective and outcome as the serial search (node counts and, between
+   alternative optima, the witness may differ). Cross-checked against
+   the exhaustive oracle so a shared bug cannot hide in the comparison. *)
+let prop_parallel_matches_serial =
+  QCheck.Test.make
+    ~name:"parallel solve matches serial and enumeration (2 and 4 workers)"
+    ~count:120
+    (QCheck.make ~print:(Format.asprintf "%a" Lp.pp) random_binary_milp_gen)
+    (fun lp ->
+      let serial = Milp.solve lp in
+      let oracle = enumerate_binary_optimum lp in
+      List.for_all
+        (fun jobs ->
+          let res = solve_jobs jobs lp in
+          match (serial.outcome, res.outcome, oracle) with
+          | Milp.Proved_optimal, Milp.Proved_optimal, Some best ->
+            Float.abs (res.objective -. serial.objective) <= 1e-6
+            && Float.abs (res.objective -. best) <= 1e-6
+            && Lp.is_integral lp res.x
+            && Lp.is_feasible lp res.x
+          | Milp.Infeasible, Milp.Infeasible, None -> true
+          | _, _, _ -> false)
+        [ 2; 4 ])
+
+let test_milp_parallel_cutoff_fast_path () =
+  (* the cutoff-only Proved_optimal contract (external optimum confirmed,
+     empty witness) holds under a parallel search *)
+  let lp =
+    build
+      [ bin "a" (-3.0); bin "b" (-2.0) ]
+      [ ("cap", [ (0, 2.0); (1, 2.0) ], Lp.Le, 3.0) ]
+  in
+  let res = solve_jobs ~cutoff:(-3.0) 2 lp in
+  Alcotest.(check bool) "optimal" true (res.outcome = Milp.Proved_optimal);
+  check_float "objective" (-3.0) res.objective;
+  Alcotest.(check int) "empty point" 0 (Array.length res.x);
+  Alcotest.(check int) "width recorded" 2 res.workers
+
+let test_milp_parallel_initial_incumbent () =
+  (* the seeded-incumbent fast path holds under a parallel search *)
+  let lp =
+    build
+      [ bin "a" (-10.0); bin "b" (-6.0); bin "c" (-4.0) ]
+      [ ("cap", [ (0, 1.0); (1, 1.0); (2, 1.0) ], Lp.Le, 2.0) ]
+  in
+  let res = solve_jobs ~initial:[| 1.0; 1.0; 0.0 |] 2 lp in
+  Alcotest.(check bool) "optimal" true (res.outcome = Milp.Proved_optimal);
+  check_float "objective" (-16.0) res.objective
+
+let test_milp_parallel_stats () =
+  (* a forced-branching instance: serial and 4-wide runs agree on the
+     optimum and report sane effort statistics *)
+  let lp =
+    build
+      [ bin "x1" (-1.0); bin "x2" (-1.0); bin "x3" (-1.0) ]
+      [ ("cap", [ (0, 2.0); (1, 2.0); (2, 2.0) ], Lp.Le, 3.0) ]
+  in
+  let serial = Milp.solve lp in
+  Alcotest.(check int) "serial width" 1 serial.workers;
+  Alcotest.(check int) "serial never steals" 0 serial.steals;
+  Alcotest.(check bool) "busy time measured" true (serial.solver_busy_s >= 0.0);
+  let par = solve_jobs 4 lp in
+  Alcotest.(check int) "parallel width" 4 par.workers;
+  Alcotest.(check bool) "both optimal" true
+    (serial.outcome = Milp.Proved_optimal && par.outcome = Milp.Proved_optimal);
+  check_float "same objective" serial.objective par.objective;
+  check_float "known optimum" (-1.0) par.objective
+
+(* ------------------------------------------------------------------ *)
+(* LP-file regression corpus                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* dune runs the suite from the workspace root or from test/; the
+   fixture deps are declared relative to test/ *)
+let fixture path =
+  if Sys.file_exists path then path else Filename.concat "test" path
+
+let corpus =
+  [
+    ("fixtures/knapsack.lp", Some (-16.0));
+    ("fixtures/cover.lp", Some 2.0);
+    ("fixtures/assign.lp", Some 10.0);
+    ("fixtures/mixed.lp", Some (-10.0));
+    ("fixtures/branchy.lp", Some (-1.0));
+    ("fixtures/infeasible.lp", None);
+  ]
+
+let test_corpus_known_optima () =
+  List.iter
+    (fun (path, expected) ->
+      match Lp_file.read_file (fixture path) with
+      | Error m -> Alcotest.fail (path ^ ": " ^ m)
+      | Ok lp ->
+        List.iter
+          (fun jobs ->
+            let res = solve_jobs jobs lp in
+            let label = Printf.sprintf "%s at %d worker(s)" path jobs in
+            match expected with
+            | Some opt ->
+              Alcotest.(check bool)
+                (label ^ " proved") true
+                (res.outcome = Milp.Proved_optimal);
+              check_float (label ^ " objective") opt res.objective;
+              Alcotest.(check bool)
+                (label ^ " integral feasible point") true
+                (Lp.is_integral lp res.x && Lp.is_feasible lp res.x)
+            | None ->
+              Alcotest.(check bool)
+                (label ^ " infeasible") true
+                (res.outcome = Milp.Infeasible))
+          [ 1; 2; 4 ])
+    corpus
+
+(* ------------------------------------------------------------------ *)
 (* Presolve                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -858,9 +980,10 @@ let test_verify_optimal_rejects_bogus () =
   Alcotest.(check bool) "infeasible point rejected" true
     (Result.is_error (Simplex.verify_optimal lp infeasible))
 
-let test_simplex_bigger_structured () =
-  (* A transportation-style LP with a known optimum: 3 sources (supply
-     10/20/30), 3 sinks (demand 15/25/20), unit costs i*j+1. *)
+(* A transportation-style LP: 3 sources (supply 10/20/30), 3 sinks
+   (demand 15/25/20), unit costs i*j+1. Big enough to pivot repeatedly,
+   so it also exercises the refactorisation policy. *)
+let transportation_lp () =
   let b = Lp.Builder.create () in
   let x = Array.make_matrix 3 3 0 in
   for i = 0 to 2 do
@@ -886,7 +1009,10 @@ let test_simplex_bigger_structured () =
       (List.init 3 (fun i -> (x.(i).(j), 1.0)))
       Lp.Ge demand.(j)
   done;
-  let lp = Lp.Builder.finish b in
+  Lp.Builder.finish b
+
+let test_simplex_bigger_structured () =
+  let lp = transportation_lp () in
   let res = solve_optimal lp in
   (* row 0 costs 1 everywhere; rows 1/2 prefer low-j columns. A known
      optimal assignment costs 10*1 + (5+15)*1|2... verify against the
@@ -894,6 +1020,46 @@ let test_simplex_bigger_structured () =
   match Dense.solve lp with
   | Dense.Optimal (obj, _) -> check_float "matches oracle" obj res.objective
   | Dense.Infeasible | Dense.Unbounded -> Alcotest.fail "oracle disagrees"
+
+let test_simplex_refactor_policies () =
+  (* Aggressive refactorisation policies (every pivot; on any eta fill;
+     on any FTRAN residual) must not change the optimum — they only
+     trade pivot speed for numerical freshness. *)
+  let lp = transportation_lp () in
+  let reference = Simplex.solve lp in
+  List.iter
+    (fun (label, refactor) ->
+      let r = Simplex.solve ~refactor lp in
+      Alcotest.(check bool) (label ^ " optimal") true (r.status = Simplex.Optimal);
+      check_float (label ^ " objective") reference.objective r.objective)
+    [
+      ("every pivot", { Simplex.default_refactor with Simplex.interval = 1 });
+      ("fill trigger", { Simplex.default_refactor with Simplex.fill_factor = 0.0 });
+      ( "residual trigger",
+        { Simplex.default_refactor with Simplex.residual_tol = 0.0 } )
+    ]
+
+let test_simplex_warm_dual_btran_saved () =
+  (* Tightening a basic variable's bound makes the warm re-solve run the
+     dual simplex; every dual pivot reuses the ratio-test BTRAN instead
+     of recomputing the duals, and reports the saving. *)
+  let lp =
+    build
+      [ cont "x" 0.0 3.0 (-1.0); cont "y" 0.0 3.0 (-2.0) ]
+      [ ("cap", [ (0, 1.0); (1, 1.0) ], Lp.Le, 4.0) ]
+  in
+  let inst = Simplex.Instance.create lp in
+  let r1 = Simplex.Instance.solve inst in
+  check_float "cold optimum" (-7.0) r1.objective;
+  (* x is basic at 1; capping it at 0.5 forces a dual pivot *)
+  let r2 =
+    Simplex.Instance.solve ~basis:r1.basis ~lower:[| 0.0; 0.0 |]
+      ~upper:[| 0.5; 3.0 |] inst
+  in
+  Alcotest.(check bool) "optimal" true (r2.status = Simplex.Optimal);
+  check_float "warm optimum" (-6.5) r2.objective;
+  Alcotest.(check bool)
+    "dual pivots saved a BTRAN each" true (r2.btran_saved >= 1)
 
 let qtest = QCheck_alcotest.to_alcotest
 
@@ -941,6 +1107,10 @@ let () =
             test_verify_optimal_rejects_bogus;
           Alcotest.test_case "transportation LP" `Quick
             test_simplex_bigger_structured;
+          Alcotest.test_case "aggressive refactor policies" `Quick
+            test_simplex_refactor_policies;
+          Alcotest.test_case "warm dual re-solve saves BTRANs" `Quick
+            test_simplex_warm_dual_btran_saved;
         ] );
       ( "simplex-properties",
         [
@@ -973,6 +1143,21 @@ let () =
             test_milp_cutoff_improved;
         ] );
       ("milp-properties", [ qtest prop_milp_matches_enumeration ]);
+      ( "milp-parallel",
+        [
+          Alcotest.test_case "cutoff fast path at width 2" `Quick
+            test_milp_parallel_cutoff_fast_path;
+          Alcotest.test_case "initial incumbent at width 2" `Quick
+            test_milp_parallel_initial_incumbent;
+          Alcotest.test_case "stats and identity at width 4" `Quick
+            test_milp_parallel_stats;
+          qtest prop_parallel_matches_serial;
+        ] );
+      ( "lp-corpus",
+        [
+          Alcotest.test_case "fixture MILPs prove known optima at widths 1/2/4"
+            `Quick test_corpus_known_optima;
+        ] );
       ( "presolve",
         [
           Alcotest.test_case "fixed variables eliminated" `Quick
