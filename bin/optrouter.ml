@@ -25,6 +25,7 @@ module Pool = Optrouter_exec.Pool
 module Experiments = Optrouter_eval.Experiments
 module Report = Optrouter_report.Report
 module Milp = Optrouter_ilp.Milp
+module Simplex = Optrouter_ilp.Simplex
 module Lp_file = Optrouter_ilp.Lp_file
 module Lp_audit = Optrouter_analysis.Lp_audit
 
@@ -84,6 +85,26 @@ let jobs_arg =
           "Fan independent ILP solves over $(docv) domains. Results are \
            identical to a serial run.")
 
+let pricing_conv =
+  let parse s =
+    match Simplex.pricing_of_string s with
+    | Ok p -> Ok p
+    | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv (parse, fun ppf p -> Format.pp_print_string ppf (Simplex.pricing_name p))
+
+let pricing_arg =
+  Arg.(
+    value
+    & opt (some pricing_conv) None
+    & info [ "pricing" ] ~docv:"RULE"
+        ~env:(Cmd.Env.info "OPTROUTER_PRICING")
+        ~doc:
+          "Simplex pricing rule: $(b,devex) (reference-weight partial \
+           pricing, the default) or $(b,dantzig) (full most-negative scan). \
+           Every rule proves the same optimum; only iteration counts and \
+           speed change.")
+
 let solver_jobs_arg =
   Arg.(
     value
@@ -109,9 +130,16 @@ let load_clips path =
     Printf.eprintf "error: %s: %s\n" path msg;
     exit 1
 
-let config_of ?(reuse = true) ?(audit = false) ?(solver_jobs = 1) ~time_limit () =
+let config_of ?(reuse = true) ?(audit = false) ?(solver_jobs = 1) ?pricing
+    ~time_limit () =
+  let simplex =
+    match pricing with
+    | None -> Simplex.make_params ()
+    | Some pricing -> Simplex.make_params ~pricing ()
+  in
   let milp =
-    Milp.make_params ~max_nodes:200_000 ~time_limit_s:time_limit ~solver_jobs ()
+    Milp.make_params ~max_nodes:200_000 ~time_limit_s:time_limit ~solver_jobs
+      ~simplex ()
   in
   if audit then
     Optrouter_drv.make_config ~milp ~seed_reuse:reuse
@@ -139,9 +167,10 @@ let no_reuse_arg =
 
 (* ---- route ---- *)
 
-let do_route tech rules time_limit solver_jobs audit lp_out route_out path () =
+let do_route tech rules time_limit solver_jobs pricing audit lp_out route_out
+    path () =
   let clips = load_clips path in
-  let config = config_of ~audit ~solver_jobs ~time_limit () in
+  let config = config_of ~audit ~solver_jobs ?pricing ~time_limit () in
   List.iteri
     (fun i clip ->
       (match lp_out with
@@ -198,13 +227,17 @@ let route_cmd =
   Cmd.v (Cmd.info "route" ~doc)
     Term.(
       const do_route $ tech_arg $ rule_arg $ time_limit_arg $ solver_jobs_arg
-      $ audit_flag $ lp_out_arg $ route_out_arg $ clips_file_arg $ logs_term)
+      $ pricing_arg $ audit_flag $ lp_out_arg $ route_out_arg $ clips_file_arg
+      $ logs_term)
 
 (* ---- sweep ---- *)
 
-let do_sweep tech time_limit jobs solver_jobs no_reuse audit csv_out path () =
+let do_sweep tech time_limit jobs solver_jobs pricing no_reuse audit csv_out
+    path () =
   let clips = load_clips path in
-  let config = config_of ~reuse:(not no_reuse) ~audit ~solver_jobs ~time_limit () in
+  let config =
+    config_of ~reuse:(not no_reuse) ~audit ~solver_jobs ?pricing ~time_limit ()
+  in
   let rules = Experiments.rules_for tech in
   let telemetry = ref Sweep.empty_telemetry in
   let on_entry =
@@ -273,7 +306,8 @@ let sweep_cmd =
   Cmd.v (Cmd.info "sweep" ~doc)
     Term.(
       const do_sweep $ tech_arg $ time_limit_arg $ jobs_arg $ solver_jobs_arg
-      $ no_reuse_arg $ audit_flag $ csv_out $ clips_file_arg $ logs_term)
+      $ pricing_arg $ no_reuse_arg $ audit_flag $ csv_out $ clips_file_arg
+      $ logs_term)
 
 (* ---- gen ---- *)
 
@@ -544,7 +578,14 @@ let audit_cmd =
 
 (* ---- solve-lp: the MILP solver as a standalone utility ---- *)
 
-let do_solve_lp time_limit solver_jobs path () =
+let read_text_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let do_solve_lp time_limit solver_jobs pricing warm_basis basis_out path () =
   match Lp_file.read_file path with
   | Error msg ->
     Printf.eprintf "error: %s: %s\n" path msg;
@@ -562,9 +603,42 @@ let do_solve_lp time_limit solver_jobs path () =
             Printf.printf "  %s = %g\n" v.Optrouter_ilp.Lp.v_name x.(j))
         lp.Optrouter_ilp.Lp.vars
     in
+    let basis =
+      match warm_basis with
+      | None -> None
+      | Some file -> (
+        match Simplex.Basis.of_string lp (read_text_file file) with
+        | Ok (b, fixup) ->
+          if fixup = `Patched then
+            Printf.eprintf "note: warm basis %s repaired to fit %s\n" file path;
+          Some b
+        | Error msg ->
+          Printf.eprintf "error: %s: %s\n" file msg;
+          exit 1)
+    in
+    let simplex_params =
+      match (basis, pricing) with
+      | None, None -> Simplex.make_params ()
+      | Some basis, None -> Simplex.make_params ~basis ()
+      | None, Some pricing -> Simplex.make_params ~pricing ()
+      | Some basis, Some pricing -> Simplex.make_params ~basis ~pricing ()
+    in
+    let write_basis b =
+      match basis_out with
+      | None -> ()
+      | Some file ->
+        let oc = open_out file in
+        output_string oc (Simplex.Basis.to_string lp b);
+        close_out oc;
+        Printf.printf "wrote %s\n" file
+    in
     if has_integers then begin
-      let params = Milp.make_params ~time_limit_s:time_limit ~solver_jobs () in
-      let r = Milp.solve ~params lp in
+      let params =
+        Milp.make_params ~time_limit_s:time_limit ~solver_jobs
+          ~simplex:simplex_params ()
+      in
+      let r = Milp.solve ?root_basis:basis ~params lp in
+      (match r.Milp.root_basis with Some b -> write_basis b | None -> ());
       match r.Milp.outcome with
       | Milp.Proved_optimal ->
         Printf.printf "optimal: %g (%d nodes)\n" r.Milp.objective r.Milp.nodes;
@@ -579,14 +653,15 @@ let do_solve_lp time_limit solver_jobs path () =
         Printf.printf "unknown (limit hit), bound %g\n" r.Milp.best_bound
     end
     else begin
-      let r = Optrouter_ilp.Simplex.solve lp in
-      match r.Optrouter_ilp.Simplex.status with
-      | Optrouter_ilp.Simplex.Optimal ->
-        Printf.printf "optimal: %g (%d iterations)\n"
-          r.Optrouter_ilp.Simplex.objective r.Optrouter_ilp.Simplex.iterations;
-        print_point r.Optrouter_ilp.Simplex.x
-      | Optrouter_ilp.Simplex.Infeasible -> print_endline "infeasible"
-      | Optrouter_ilp.Simplex.Unbounded -> print_endline "unbounded"
+      let r = Simplex.solve ~params:simplex_params lp in
+      match r.Simplex.status with
+      | Simplex.Optimal ->
+        write_basis r.Simplex.basis;
+        Printf.printf "optimal: %g (%d iterations, %d bound flips)\n"
+          r.Simplex.objective r.Simplex.iterations r.Simplex.bound_flips;
+        print_point r.Simplex.x
+      | Simplex.Infeasible -> print_endline "infeasible"
+      | Simplex.Unbounded -> print_endline "unbounded"
     end
 
 let solve_lp_cmd =
@@ -594,8 +669,30 @@ let solve_lp_cmd =
   let lp_file =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.lp")
   in
+  let warm_basis =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "warm-basis" ] ~docv:"FILE"
+          ~doc:
+            "Warm-start the (root) LP from a basis file previously written \
+             by $(b,--basis-out). Statuses are matched by name, so the \
+             basis may come from a structurally different LP; mismatches \
+             are repaired.")
+  in
+  let basis_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "basis-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the optimal (root-)LP basis in the textual basis format \
+             for later $(b,--warm-basis) reuse.")
+  in
   Cmd.v (Cmd.info "solve-lp" ~doc)
-    Term.(const do_solve_lp $ time_limit_arg $ solver_jobs_arg $ lp_file $ logs_term)
+    Term.(
+      const do_solve_lp $ time_limit_arg $ solver_jobs_arg $ pricing_arg
+      $ warm_basis $ basis_out $ lp_file $ logs_term)
 
 let main_cmd =
   let doc = "optimal ILP-based detailed router for BEOL design-rule evaluation" in

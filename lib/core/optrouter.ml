@@ -6,6 +6,7 @@ module Rules = Optrouter_tech.Rules
 module Tech = Optrouter_tech.Tech
 module Via_shape = Optrouter_tech.Via_shape
 module Milp = Optrouter_ilp.Milp
+module Simplex = Optrouter_ilp.Simplex
 
 type seed_use =
   | Seed_unused
@@ -17,6 +18,10 @@ type stats = {
   sizes : Formulate.sizes;
   nodes : int;
   simplex_iterations : int;
+  root_lp_iters : int;
+  bound_flips : int;
+  warm_start : Simplex.warm;
+  root_basis : (string * Simplex.vstat) list option;
   elapsed_s : float;
   seed_use : seed_use;
   solver_workers : int;
@@ -115,9 +120,11 @@ let fast_path ~rules g (sol : Route.solution) =
      (L003) insists it stays greppable. *)
   | exception _foreign_seed_exn -> None
 
-let route_graph ?(config = default_config) ?seed ~rules (g : Graph.t) =
+let route_graph ?(config = default_config) ?seed ?warm_basis ~rules
+    (g : Graph.t) =
   let start = Unix.gettimeofday () in
   let seed = if config.seed_reuse then seed else None in
+  let warm_basis = if config.seed_reuse then warm_basis else None in
   match Option.bind seed (fast_path ~rules g) with
   | Some sol ->
     Log.debug (fun m ->
@@ -128,6 +135,10 @@ let route_graph ?(config = default_config) ?seed ~rules (g : Graph.t) =
         sizes = no_sizes;
         nodes = 0;
         simplex_iterations = 0;
+        root_lp_iters = 0;
+        bound_flips = 0;
+        warm_start = `Cold;
+        root_basis = None;
         elapsed_s = Unix.gettimeofday () -. start;
         seed_use = Seed_fast_path;
         solver_workers = 0;
@@ -173,13 +184,35 @@ let route_graph ?(config = default_config) ?seed ~rules (g : Graph.t) =
       | None -> None
     end
   in
-  let milp_result = Milp.solve ?initial ~params:config.milp (Formulate.lp form) in
+  let lp = Formulate.lp form in
+  (* A name-keyed basis from a related solve (the sweep's RULE1 baseline)
+     is remapped onto this LP's columns; the simplex reports whether it
+     actually reused it, and a remap that had to patch structural
+     differences downgrades [`Reused] to [`Repaired]. *)
+  let root_basis, remap_patched =
+    match warm_basis with
+    | None -> (None, false)
+    | Some assoc ->
+      let b, fixup = Simplex.Basis.of_assoc lp assoc in
+      (Some b, fixup = `Patched)
+  in
+  let milp_result = Milp.solve ?initial ?root_basis ~params:config.milp lp in
   let elapsed_s = Unix.gettimeofday () -. start in
+  let warm_start =
+    match milp_result.Milp.root_warm with
+    | `Reused when remap_patched -> `Repaired
+    | w -> w
+  in
   let stats =
     {
       sizes = Formulate.sizes form;
       nodes = milp_result.Milp.nodes;
       simplex_iterations = milp_result.Milp.simplex_iterations;
+      root_lp_iters = milp_result.Milp.root_lp_iters;
+      bound_flips = milp_result.Milp.root_bound_flips;
+      warm_start;
+      root_basis =
+        Option.map (Simplex.Basis.to_assoc lp) milp_result.Milp.root_basis;
       elapsed_s;
       seed_use;
       solver_workers = milp_result.Milp.workers;
@@ -211,12 +244,12 @@ let route_graph ?(config = default_config) ?seed ~rules (g : Graph.t) =
   in
   { verdict; stats }
 
-let route ?(config = default_config) ?seed ~tech ~rules clip =
+let route ?(config = default_config) ?seed ?warm_basis ~tech ~rules clip =
   let g =
     Graph.build ~via_shapes:config.via_shapes ~single_vias:config.single_vias
       ~bidirectional:config.bidirectional ~tech ~rules clip
   in
-  route_graph ~config ?seed ~rules g
+  route_graph ~config ?seed ?warm_basis ~rules g
 
 let cost_of result =
   match result.verdict with

@@ -26,6 +26,17 @@ type stats = {
       (** all zero for a {!Seed_fast_path} solve — no ILP was built *)
   nodes : int;  (** branch-and-bound nodes *)
   simplex_iterations : int;
+  root_lp_iters : int;
+      (** simplex iterations of the root-relaxation solve alone *)
+  bound_flips : int;  (** bound-flip ratio-test steps of the root solve *)
+  warm_start : Optrouter_ilp.Simplex.warm;
+      (** whether the [?warm_basis] was reused by the root solve:
+          [`Cold] (none given, or abandoned), [`Reused] (applied as-is)
+          or [`Repaired] (name remap or factorisation had to patch it) *)
+  root_basis : (string * Optrouter_ilp.Simplex.vstat) list option;
+      (** name-keyed optimal basis of the root relaxation, for reuse as
+          [?warm_basis] on a related solve; [None] when the root LP did
+          not finish, or on fast-path solves *)
   elapsed_s : float;  (** wall-clock seconds (valid under domain parallelism) *)
   seed_use : seed_use;
   solver_workers : int;
@@ -108,23 +119,33 @@ exception Drc_failure of string
     when not ({!Seed_rejected}). Results are identical with or without a
     seed (and with [seed_reuse] off) up to solver limits — only the effort
     changes. Passing a merely-feasible (non-optimal) seed is unsound: the
-    fast path would report it as optimal. *)
+    fast path would report it as optimal.
+
+    [warm_basis], when given, is a name-keyed LP basis from a related
+    solve (typically [stats.root_basis] of the RULE1 baseline), remapped
+    onto this formulation via {!Optrouter_ilp.Simplex.Basis.of_assoc} and
+    used to warm-start the root relaxation. Unlike [?seed] it carries no
+    optimality claim, so any basis is safe — the simplex re-optimises
+    dually and falls back to a cold start when it does not help. Gated by
+    [seed_reuse], like seeds. *)
 val route :
   ?config:config ->
   ?seed:Optrouter_grid.Route.solution ->
+  ?warm_basis:(string * Optrouter_ilp.Simplex.vstat) list ->
   tech:Optrouter_tech.Tech.t ->
   rules:Optrouter_tech.Rules.t ->
   Optrouter_grid.Clip.t ->
   result
 
 (** Route over an already-built graph (the graph must have been built with
-    the same rules). [seed] as in {!route}; its edge ids must refer to [g]
-    (graph construction is deterministic and rule-independent, so a
-    solution decoded from any rule configuration of the same clip, tech
-    and graph options is valid). *)
+    the same rules). [seed] and [warm_basis] as in {!route}; the seed's
+    edge ids must refer to [g] (graph construction is deterministic and
+    rule-independent, so a solution decoded from any rule configuration of
+    the same clip, tech and graph options is valid). *)
 val route_graph :
   ?config:config ->
   ?seed:Optrouter_grid.Route.solution ->
+  ?warm_basis:(string * Optrouter_ilp.Simplex.vstat) list ->
   rules:Optrouter_tech.Rules.t ->
   Optrouter_grid.Graph.t ->
   result

@@ -35,6 +35,10 @@ type telemetry = {
   seeded_incumbents : int;
   nodes : int;
   simplex_iterations : int;
+  root_lp_iters : int;
+  bound_flips : int;
+  warm_reused : int;
+  warm_repaired : int;
   busy_s : float;
   wall_s : float;
   limits : int;
@@ -53,6 +57,10 @@ let empty_telemetry =
     seeded_incumbents = 0;
     nodes = 0;
     simplex_iterations = 0;
+    root_lp_iters = 0;
+    bound_flips = 0;
+    warm_reused = 0;
+    warm_repaired = 0;
     busy_s = 0.0;
     wall_s = 0.0;
     limits = 0;
@@ -71,6 +79,10 @@ let merge_telemetry a b =
     seeded_incumbents = a.seeded_incumbents + b.seeded_incumbents;
     nodes = a.nodes + b.nodes;
     simplex_iterations = a.simplex_iterations + b.simplex_iterations;
+    root_lp_iters = a.root_lp_iters + b.root_lp_iters;
+    bound_flips = a.bound_flips + b.bound_flips;
+    warm_reused = a.warm_reused + b.warm_reused;
+    warm_repaired = a.warm_repaired + b.warm_repaired;
     busy_s = a.busy_s +. b.busy_s;
     wall_s = a.wall_s +. b.wall_s;
     limits = a.limits + b.limits;
@@ -96,6 +108,12 @@ let add_result t (result : Optrouter.result) =
     | Optrouter.Seed_incumbent -> (0, 1)
     | Optrouter.Seed_unused | Optrouter.Seed_rejected -> (0, 0)
   in
+  let reused, repaired =
+    match s.Optrouter.warm_start with
+    | `Reused -> (1, 0)
+    | `Repaired -> (0, 1)
+    | `Cold -> (0, 0)
+  in
   {
     t with
     solves = t.solves + 1;
@@ -103,6 +121,10 @@ let add_result t (result : Optrouter.result) =
     seeded_incumbents = t.seeded_incumbents + seeded;
     nodes = t.nodes + s.Optrouter.nodes;
     simplex_iterations = t.simplex_iterations + s.Optrouter.simplex_iterations;
+    root_lp_iters = t.root_lp_iters + s.Optrouter.root_lp_iters;
+    bound_flips = t.bound_flips + s.Optrouter.bound_flips;
+    warm_reused = t.warm_reused + reused;
+    warm_repaired = t.warm_repaired + repaired;
     busy_s = t.busy_s +. s.Optrouter.elapsed_s;
     limits = t.limits + limit;
     infeasible = t.infeasible + infeasible;
@@ -120,6 +142,8 @@ let render_telemetry t =
   let base =
     Report.Telemetry.render ~steals:t.steals ~solver_busy_s:t.solver_busy_s
       ~solver_wall_s:t.solver_wall_s ~peak_workers:t.peak_workers
+      ~root_lp_iters:t.root_lp_iters ~bound_flips:t.bound_flips
+      ~warm_reused:t.warm_reused ~warm_repaired:t.warm_repaired
       ~solves:t.solves ~fast_path_hits:t.fast_path_hits
       ~seeded_incumbents:t.seeded_incumbents ~nodes:t.nodes
       ~simplex_iterations:t.simplex_iterations ~busy_s:t.busy_s ~wall_s:t.wall_s
@@ -170,8 +194,9 @@ let fan ?pool ~on_done f xs =
     Pool.map pool f xs ~on_done:(fun i r ->
         match r with Ok y -> on_done i y | Error _ -> ())
 
-let solve_outcome ?config ?seed ~tech ~rules clip =
-  try Ok (Optrouter.route ?config ?seed ~tech ~rules clip) with e -> Error e
+let solve_outcome ?config ?seed ?warm_basis ~tech ~rules clip =
+  try Ok (Optrouter.route ?config ?seed ?warm_basis ~tech ~rules clip)
+  with e -> Error e
 
 (* ------------------------------------------------------------------ *)
 (* Two-level scheduling                                                *)
@@ -251,9 +276,10 @@ let baseline_config config =
       };
   }
 
-(* The proved-optimal RULE1 routing, reused to seed every rule solve of
-   the clip. Unproved ([Limit]) baselines would poison every delta, so
-   the clip is dropped either way. *)
+(* The proved-optimal RULE1 routing — and the name-keyed basis of its root
+   relaxation — reused to seed and warm-start every rule solve of the
+   clip. Unproved ([Limit]) baselines would poison every delta, so the
+   clip is dropped either way. *)
 let baseline_of clip_name = function
   | Error e ->
     warn_failure clip_name "RULE1" (Error e);
@@ -262,13 +288,14 @@ let baseline_of clip_name = function
     match baseline.Optrouter.verdict with
     | Optrouter.Unroutable | Optrouter.Limit None -> None
     | Optrouter.Limit (Some _) -> None
-    | Optrouter.Routed base -> Some base)
+    | Optrouter.Routed base ->
+      Some (base, baseline.Optrouter.stats.Optrouter.root_basis))
 
 let rule_entries ?config ?pool ?budget ?telemetry ?on_entry ~tech jobs =
-  let solve (clip, (base : Route.solution), r) =
+  let solve (clip, (base : Route.solution), warm_basis, r) =
     let outcome =
       with_budget budget config (fun config ->
-          solve_outcome ?config ~seed:base ~tech ~rules:r clip)
+          solve_outcome ?config ~seed:base ?warm_basis ~tech ~rules:r clip)
     in
     ( entry_for ~clip_name:clip.Clip.c_name ~base_cost:base.Route.metrics.cost r
         outcome,
@@ -299,9 +326,9 @@ let clip_deltas ?config ?pool ?telemetry ?on_entry ~tech ~rules clip =
       record telemetry outcome;
       match baseline_of clip.Clip.c_name outcome with
       | None -> []
-      | Some base ->
+      | Some (base, warm) ->
         rule_entries ?config ?pool ?budget ?telemetry ?on_entry ~tech
-          (List.map (fun r -> (clip, base, r)) rules))
+          (List.map (fun r -> (clip, base, warm, r)) rules))
 
 let sweep ?config ?pool ?telemetry ?on_entry ~tech ~rules clips =
   timed telemetry (fun () ->
@@ -327,7 +354,8 @@ let sweep ?config ?pool ?telemetry ?on_entry ~tech ~rules clips =
              (fun clip outcome ->
                match baseline_of clip.Clip.c_name outcome with
                | None -> []
-               | Some base -> List.map (fun r -> (clip, base, r)) rules)
+               | Some (base, warm) ->
+                 List.map (fun r -> (clip, base, warm, r)) rules)
              clips baselines)
       in
       rule_entries ?config ?pool ?budget ?telemetry ?on_entry ~tech jobs)

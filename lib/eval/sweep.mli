@@ -61,6 +61,16 @@ type telemetry = {
           baseline routing instead of the maze heuristic *)
   nodes : int;  (** branch-and-bound nodes *)
   simplex_iterations : int;
+  root_lp_iters : int;
+      (** simplex iterations spent in root-relaxation solves alone *)
+  bound_flips : int;
+      (** bound-flip ratio-test steps across the root solves *)
+  warm_reused : int;
+      (** rule solves whose root LP reused the baseline's remapped basis
+          as-is *)
+  warm_repaired : int;
+      (** rule solves whose remapped basis needed structural or
+          factorisation repair before reuse *)
   busy_s : float;  (** summed per-solve wall time (aggregate solver work) *)
   wall_s : float;  (** true elapsed wall clock of the sweep *)
   limits : int;  (** solves that hit the node/time limit *)

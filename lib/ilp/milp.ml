@@ -7,6 +7,10 @@ type result = {
   nodes : int;
   best_bound : float;
   simplex_iterations : int;
+  root_lp_iters : int;
+  root_bound_flips : int;
+  root_warm : Simplex.warm;
+  root_basis : Simplex.basis option;
   workers : int;
   steals : int;
   solver_busy_s : float;
@@ -20,7 +24,7 @@ type params = {
   integrality_tol : float;
   log : bool;
   solver_jobs : int;
-  refactor : Simplex.refactor_params;
+  simplex : Simplex.Params.t;
 }
 
 let default_params =
@@ -30,14 +34,14 @@ let default_params =
     integrality_tol = 1e-6;
     log = false;
     solver_jobs = 1;
-    refactor = Simplex.default_refactor;
+    simplex = Simplex.Params.default;
   }
 
 let make_params ?(max_nodes = default_params.max_nodes) ?time_limit_s
     ?(integrality_tol = default_params.integrality_tol)
     ?(log = default_params.log) ?(solver_jobs = default_params.solver_jobs)
-    ?(refactor = default_params.refactor) () =
-  { max_nodes; time_limit_s; integrality_tol; log; solver_jobs; refactor }
+    ?(simplex = default_params.simplex) () =
+  { max_nodes; time_limit_s; integrality_tol; log; solver_jobs; simplex }
 
 (* Wall clock for the time budget: CPU time is meaningless as a deadline
    when several solves share the process (domain-parallel sweeps), and
@@ -161,6 +165,11 @@ type shared = {
   steals : int Atomic.t;
   hit_limit : bool Atomic.t;
   root_unbounded : bool Atomic.t;
+  (* Root-relaxation telemetry: the depth-0 node is processed exactly
+     once, so this is written once; the mutex only orders that write
+     against the driver's read after the workers join. *)
+  rmutex : Mutex.t;
+  mutable root_info : (int * int * Simplex.warm * Simplex.basis option) option;
   (* pseudo-costs: average objective degradation per unit of bound change,
      per variable and direction. Updated once per solved node, so one
      small mutex is cheap relative to the LP solves it guards. *)
@@ -368,9 +377,22 @@ let children nd (res : Simplex.result) j wid =
   if f <= 0.5 then (down, up) else (up, down)
 
 let solve_lp sh inst warm lo up =
+  let sp = sh.prm.simplex in
   let attempt basis =
-    Simplex.Instance.solve ?basis ~lower:lo ~upper:up ?deadline_s:sh.deadline
-      ~refactor:sh.prm.refactor inst
+    let params =
+      {
+        sp with
+        Simplex.Params.basis;
+        lower = Some lo;
+        upper = Some up;
+        deadline_s =
+          (* the B&B time limit wins over any caller-supplied deadline *)
+          (match sh.deadline with
+          | Some _ as d -> d
+          | None -> sp.Simplex.Params.deadline_s);
+      }
+    in
+    Simplex.Instance.solve ~params inst
   in
   match attempt warm with
   | r -> Some r
@@ -415,6 +437,18 @@ let process sh wid inst lo up nd =
       | Some res -> (
         ignore (Atomic.fetch_and_add sh.iters res.Simplex.iterations);
         ignore (Atomic.fetch_and_add sh.btran_saved res.Simplex.btran_saved);
+        if nd.depth = 0 then begin
+          Mutex.lock sh.rmutex;
+          sh.root_info <-
+            Some
+              ( res.Simplex.iterations,
+                res.Simplex.bound_flips,
+                res.Simplex.warm,
+                if res.Simplex.status = Simplex.Optimal then
+                  Some res.Simplex.basis
+                else None );
+          Mutex.unlock sh.rmutex
+        end;
         match res.Simplex.status with
         | Simplex.Infeasible -> None
         | Simplex.Unbounded ->
@@ -475,7 +509,7 @@ let worker sh wid () =
 (* ------------------------------------------------------------------ *)
 
 let rec solve ?(params = default_params) ?(presolve = false) ?initial ?cutoff
-    (lp : Lp.t) =
+    ?root_basis (lp : Lp.t) =
   if presolve then
     match Presolve.presolve lp with
     | Presolve.Infeasible _ ->
@@ -486,6 +520,10 @@ let rec solve ?(params = default_params) ?(presolve = false) ?initial ?cutoff
         nodes = 0;
         best_bound = infinity;
         simplex_iterations = 0;
+        root_lp_iters = 0;
+        root_bound_flips = 0;
+        root_warm = `Cold;
+        root_basis = None;
         workers = max 1 params.solver_jobs;
         steals = 0;
         solver_busy_s = 0.0;
@@ -496,16 +534,19 @@ let rec solve ?(params = default_params) ?(presolve = false) ?initial ?cutoff
       let offset = Presolve.objective_offset m in
       let initial = Option.map (Presolve.project m) initial in
       let cutoff = Option.map (fun c -> c -. offset) cutoff in
+      (* A caller-supplied root basis is positional in [lp]'s columns and
+         cannot survive the reduction; drop it rather than misapply it. *)
       let res = solve ~params ~presolve:false ?initial ?cutoff lp' in
       {
         res with
         objective = res.objective +. offset;
         best_bound = res.best_bound +. offset;
+        root_basis = None;
         x = (if Array.length res.x = Lp.nvars lp' then Presolve.restore m res.x else res.x);
       }
-  else solve_unreduced ~params ?initial ?cutoff lp
+  else solve_unreduced ~params ?initial ?cutoff ?root_basis lp
 
-and solve_unreduced ~params ?initial ?cutoff (lp : Lp.t) =
+and solve_unreduced ~params ?initial ?cutoff ?root_basis (lp : Lp.t) =
   let n = Lp.nvars lp in
   let start = now () in
   let integral_obj = objective_is_integral lp in
@@ -536,7 +577,7 @@ and solve_unreduced ~params ?initial ?cutoff (lp : Lp.t) =
       deltas = Root;
       depth = 0;
       parent_bound = neg_infinity;
-      warm = None;
+      warm = root_basis;
       pc_var = -1;
       pc_up = false;
       pc_frac = 1.0;
@@ -566,6 +607,8 @@ and solve_unreduced ~params ?initial ?cutoff (lp : Lp.t) =
       steals = Atomic.make 0;
       hit_limit = Atomic.make false;
       root_unbounded = Atomic.make false;
+      rmutex = Mutex.create ();
+      root_info = None;
       pmutex = Mutex.create ();
       pc_sum_dn = Array.make n 0.0;
       pc_cnt_dn = Array.make n 0;
@@ -612,6 +655,14 @@ and solve_unreduced ~params ?initial ?cutoff (lp : Lp.t) =
         (Infeasible, infinity, Array.make n 0.0)
       | None -> (Unknown, infinity, Array.make n 0.0)
   in
+  let root_lp_iters, root_bound_flips, root_warm, root_basis =
+    Mutex.lock sh.rmutex;
+    let info = sh.root_info in
+    Mutex.unlock sh.rmutex;
+    match info with
+    | Some (it, flips, warm, b) -> (it, flips, warm, b)
+    | None -> (0, 0, `Cold, None)
+  in
   {
     outcome;
     objective;
@@ -619,6 +670,10 @@ and solve_unreduced ~params ?initial ?cutoff (lp : Lp.t) =
     nodes = Atomic.get sh.nodes;
     best_bound;
     simplex_iterations = Atomic.get sh.iters;
+    root_lp_iters;
+    root_bound_flips;
+    root_warm;
+    root_basis;
     workers = jobs;
     steals = Atomic.get sh.steals;
     solver_busy_s;

@@ -35,6 +35,16 @@ type result = {
   nodes : int;
   best_bound : float;  (** global lower bound at termination *)
   simplex_iterations : int;
+  root_lp_iters : int;
+      (** simplex iterations of the root-relaxation solve alone; 0 when
+          the search stopped before the root LP finished *)
+  root_bound_flips : int;  (** bound-flip steps of the root solve *)
+  root_warm : Simplex.warm;
+      (** how the root solve used the [?root_basis] warm start *)
+  root_basis : Simplex.basis option;
+      (** optimal basis of the root relaxation, for reuse as a
+          [?root_basis] on related LPs (remapped via {!Simplex.Basis});
+          [None] when the root LP did not finish [Optimal] *)
   workers : int;  (** effective parallel width of the search *)
   steals : int;
       (** frontier nodes popped by a worker other than the one that
@@ -62,8 +72,10 @@ type params = {
           serial, the default). Independent of the sweep-level pool; see
           {!Optrouter_eval.Sweep} for how the two levels share a machine
           budget. Values below 1 behave as 1; capped at 128. *)
-  refactor : Simplex.refactor_params;
-      (** adaptive refactorisation policy handed to every LP solve *)
+  simplex : Simplex.Params.t;
+      (** LP solver parameters (pricing rule, refactorisation policy, …)
+          handed to every LP solve; the per-node basis, bounds and
+          deadline fields are overridden by the search itself *)
 }
 
 val default_params : params
@@ -89,7 +101,7 @@ val make_params :
   ?integrality_tol:float ->
   ?log:bool ->
   ?solver_jobs:int ->
-  ?refactor:Simplex.refactor_params ->
+  ?simplex:Simplex.Params.t ->
   unit ->
   params
 
@@ -107,12 +119,19 @@ val make_params :
     incumbents are recorded; if the search completes without finding one,
     the outcome is [Proved_optimal] with [objective = cutoff] and an empty
     [x] — the external solution was already optimal. Both fast paths hold
-    under any [solver_jobs]. *)
+    under any [solver_jobs].
+
+    [root_basis] warm-starts the root-relaxation solve (typically the
+    remapped optimal basis of a related LP, via {!Simplex.Basis});
+    [result.root_warm] reports whether it was reused. It is dropped when
+    [presolve] reduces the problem — the positional basis cannot survive
+    the reduction. *)
 val solve :
   ?params:params ->
   ?presolve:bool ->
   ?initial:float array ->
   ?cutoff:float ->
+  ?root_basis:Simplex.basis ->
   Lp.t ->
   result
 (** [presolve] (default [false]) applies {!Presolve} first and lifts the

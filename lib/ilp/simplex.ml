@@ -4,6 +4,10 @@ type vstat = Basic | At_lower | At_upper | Nb_free
 type basis = { vstat : vstat array; basic : int array }
 type status = Optimal | Infeasible | Unbounded
 
+type pricing = Dantzig | Devex
+
+type warm = [ `Cold | `Reused | `Repaired ]
+
 type result = {
   status : status;
   objective : float;
@@ -12,6 +16,14 @@ type result = {
   reduced_costs : float array;
   basis : basis;
   iterations : int;
+  bound_flips : int;
+      (** ratio-test steps resolved by flipping the entering variable to
+          its opposite bound — no basis change, no eta, no fresh BTRAN *)
+  warm : warm;
+      (** how the starting basis was used: [`Cold] (none supplied, or the
+          supplied one was abandoned), [`Reused] (factorised as given) or
+          [`Repaired] (factorised after substituting slacks for singular
+          columns) *)
   btran_saved : int;
       (** full BTRAN passes avoided by the incremental dual update in
           [dual_reoptimize] *)
@@ -40,15 +52,48 @@ type refactor_params = {
 
 let default_refactor = { interval = 128; fill_factor = 16.0; residual_tol = 1e-7 }
 
-(* Eta matrix of the product-form inverse: identity with column [e_row]
-   replaced. [e_piv] is the diagonal entry; [e_idx]/[e_val] hold the
-   off-pivot entries of that column. *)
-type eta = {
-  e_row : int;
-  e_piv : float;
-  e_idx : int array;
-  e_val : float array;
-}
+let pricing_name = function Dantzig -> "dantzig" | Devex -> "devex"
+
+let pricing_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "dantzig" | "full" -> Ok Dantzig
+  | "devex" | "partial" -> Ok Devex
+  | other ->
+    Error (Printf.sprintf "unknown pricing %S (expected dantzig|devex)" other)
+
+(* Read once at module initialisation; an unparseable value silently keeps
+   the default so a stray environment cannot break solves. *)
+let env_pricing =
+  match Sys.getenv_opt "OPTROUTER_PRICING" with
+  | None -> Devex
+  | Some s -> ( match pricing_of_string s with Ok p -> p | Error _ -> Devex)
+
+module Params = struct
+  type t = {
+    basis : basis option;
+    lower : float array option;
+    upper : float array option;
+    max_iters : int;
+    deadline_s : float option;
+    refactor : refactor_params;
+    pricing : pricing;
+  }
+
+  let default =
+    {
+      basis = None;
+      lower = None;
+      upper = None;
+      max_iters = 200_000;
+      deadline_s = None;
+      refactor = default_refactor;
+      pricing = env_pricing;
+    }
+end
+
+let make_params ?basis ?lower ?upper ?(max_iters = 200_000) ?deadline_s
+    ?(refactor = default_refactor) ?(pricing = env_pricing) () =
+  { Params.basis; lower; upper; max_iters; deadline_s; refactor; pricing }
 
 module Instance = struct
   type t = {
@@ -121,6 +166,7 @@ module Instance = struct
   type st = {
     inst : t;
     refp : refactor_params;
+    pricing : pricing;
     lo : float array;
     up : float array;
     vstat : vstat array;
@@ -129,10 +175,30 @@ module Instance = struct
     xb : float array;
     w : float array;
     y : float array;
-    mutable etas : eta array;
+    (* Eta file of the product-form inverse, stored as a flat pool of
+       unboxed arrays rather than an array of per-eta records: eta [k]
+       pivots on row [e_rows.(k)] with diagonal [e_pivs.(k)] (already
+       inverted), and its off-pivot entries live at
+       [e_start.(k) .. e_start.(k+1) - 1] of [e_idx]/[e_val]. The FTRAN/
+       BTRAN kernels walk these contiguously with unsafe accesses — the
+       routing LPs spend most of their time here. *)
+    mutable e_rows : int array;
+    mutable e_pivs : float array;
+    mutable e_start : int array;  (** length [cap + 1]; [e_start.(neta)] = pool fill *)
+    mutable e_idx : int array;
+    mutable e_val : float array;
     mutable neta : int;
     mutable eta_nnz_count : int;  (** running nonzero count of the eta file *)
     mutable nnz_at_refactor : int;  (** eta nonzeros of the fresh factorisation *)
+    dw : float array;  (** devex reference weights, one per column *)
+    mutable cursor : int;  (** partial-pricing scan cursor *)
+    mutable y_valid : bool;
+        (** [y] holds current phase-2 duals: bound flips leave the basis
+            (hence the duals) untouched, so pricing after a flip can skip
+            the BTRAN entirely *)
+    mutable nflips : int;
+    mutable warm_outcome : warm;
+    mutable repairs : int;  (** basis columns dropped by refactorisation *)
     mutable btran_saved : int;
     mutable niter : int;
     mutable pivots_since_refactor : int;
@@ -146,39 +212,89 @@ module Instance = struct
     mutable orig_up : float array;
   }
 
-  let push_eta st e =
-    if st.neta = Array.length st.etas then begin
-      let cap = max 64 (2 * st.neta) in
-      let bigger = Array.make cap e in
-      Array.blit st.etas 0 bigger 0 st.neta;
-      st.etas <- bigger
+  (* Build and push the eta for a pivot on row [r] of the FTRANned column
+     held in [st.w]. Identity columns (pivot 1, no off-pivot entries)
+     produce no eta at all. Any eta push is a basis change, so the cached
+     phase-2 duals are invalidated here. *)
+  let push_eta_from_w st r =
+    let m = st.inst.m in
+    let w = st.w in
+    let piv = w.(r) in
+    let cnt = ref 0 in
+    for i = 0 to m - 1 do
+      if i <> r && Float.abs (Array.unsafe_get w i) > zero_tol then incr cnt
+    done;
+    if !cnt > 0 || Float.abs (piv -. 1.0) > zero_tol then begin
+      if st.neta = Array.length st.e_rows then begin
+        let cap = max 64 (2 * st.neta) in
+        let rows = Array.make cap 0 and pivs = Array.make cap 0.0 in
+        let starts = Array.make (cap + 1) 0 in
+        Array.blit st.e_rows 0 rows 0 st.neta;
+        Array.blit st.e_pivs 0 pivs 0 st.neta;
+        Array.blit st.e_start 0 starts 0 (st.neta + 1);
+        st.e_rows <- rows;
+        st.e_pivs <- pivs;
+        st.e_start <- starts
+      end;
+      let off = st.e_start.(st.neta) in
+      if off + !cnt > Array.length st.e_idx then begin
+        let cap = max 256 (max (off + !cnt) (2 * Array.length st.e_idx)) in
+        let idx = Array.make cap 0 and vl = Array.make cap 0.0 in
+        Array.blit st.e_idx 0 idx 0 off;
+        Array.blit st.e_val 0 vl 0 off;
+        st.e_idx <- idx;
+        st.e_val <- vl
+      end;
+      let p = ref off in
+      for i = 0 to m - 1 do
+        if i <> r then begin
+          let wi = Array.unsafe_get w i in
+          if Float.abs wi > zero_tol then begin
+            Array.unsafe_set st.e_idx !p i;
+            Array.unsafe_set st.e_val !p (-.wi /. piv);
+            incr p
+          end
+        end
+      done;
+      st.e_rows.(st.neta) <- r;
+      st.e_pivs.(st.neta) <- 1.0 /. piv;
+      st.neta <- st.neta + 1;
+      st.e_start.(st.neta) <- !p;
+      st.eta_nnz_count <- st.eta_nnz_count + 1 + !cnt
     end;
-    st.etas.(st.neta) <- e;
-    st.neta <- st.neta + 1;
-    st.eta_nnz_count <- st.eta_nnz_count + 1 + Array.length e.e_idx
+    st.y_valid <- false
 
   let ftran st v =
+    let e_rows = st.e_rows and e_pivs = st.e_pivs and e_start = st.e_start in
+    let e_idx = st.e_idx and e_val = st.e_val in
     for k = 0 to st.neta - 1 do
-      let e = st.etas.(k) in
-      let t = v.(e.e_row) in
+      let r = Array.unsafe_get e_rows k in
+      let t = Array.unsafe_get v r in
       if t <> 0.0 then begin
-        v.(e.e_row) <- e.e_piv *. t;
-        let idx = e.e_idx and vl = e.e_val in
-        for p = 0 to Array.length idx - 1 do
-          v.(idx.(p)) <- v.(idx.(p)) +. (vl.(p) *. t)
+        Array.unsafe_set v r (Array.unsafe_get e_pivs k *. t);
+        let stop = Array.unsafe_get e_start (k + 1) in
+        for p = Array.unsafe_get e_start k to stop - 1 do
+          let i = Array.unsafe_get e_idx p in
+          Array.unsafe_set v i
+            (Array.unsafe_get v i +. (Array.unsafe_get e_val p *. t))
         done
       end
     done
 
   let btran st v =
+    let e_rows = st.e_rows and e_pivs = st.e_pivs and e_start = st.e_start in
+    let e_idx = st.e_idx and e_val = st.e_val in
     for k = st.neta - 1 downto 0 do
-      let e = st.etas.(k) in
-      let s = ref (e.e_piv *. v.(e.e_row)) in
-      let idx = e.e_idx and vl = e.e_val in
-      for p = 0 to Array.length idx - 1 do
-        s := !s +. (vl.(p) *. v.(idx.(p)))
+      let r = Array.unsafe_get e_rows k in
+      let s = ref (Array.unsafe_get e_pivs k *. Array.unsafe_get v r) in
+      let stop = Array.unsafe_get e_start (k + 1) in
+      for p = Array.unsafe_get e_start k to stop - 1 do
+        s :=
+          !s
+          +. Array.unsafe_get e_val p
+             *. Array.unsafe_get v (Array.unsafe_get e_idx p)
       done;
-      v.(e.e_row) <- !s
+      Array.unsafe_set v r !s
     done
 
   let nb_value st j =
@@ -260,33 +376,13 @@ module Instance = struct
         st.basic.(r) <- j;
         st.vpos.(j) <- r;
         st.vstat.(j) <- Basic;
-        let piv = st.w.(r) in
-        (* Identity pivot on an otherwise-empty column needs no eta. *)
-        let nontrivial = ref (Float.abs (piv -. 1.0) > zero_tol) in
-        let cnt = ref 0 in
-        for i = 0 to m - 1 do
-          if i <> r && Float.abs st.w.(i) > zero_tol then begin
-            incr cnt;
-            nontrivial := true
-          end
-        done;
-        if !nontrivial then begin
-          let idx = Array.make !cnt 0 and vl = Array.make !cnt 0.0 in
-          let p = ref 0 in
-          for i = 0 to m - 1 do
-            if i <> r && Float.abs st.w.(i) > zero_tol then begin
-              idx.(!p) <- i;
-              vl.(!p) <- -.st.w.(i) /. piv;
-              incr p
-            end
-          done;
-          push_eta st { e_row = r; e_piv = 1.0 /. piv; e_idx = idx; e_val = vl }
-        end
+        push_eta_from_w st r
       end
     in
     Array.iter (fun j -> st.vpos.(j) <- -1) old_cols;
     Array.iter place old_cols;
     (* Kick singular columns out of the basis... *)
+    st.repairs <- st.repairs + List.length !dropped;
     List.iter
       (fun j ->
         st.vstat.(j) <- At_lower;
@@ -305,14 +401,10 @@ module Instance = struct
     done;
     st.pivots_since_refactor <- 0;
     st.nnz_at_refactor <- st.eta_nnz_count;
+    st.y_valid <- false;
     compute_xb st
 
-  let eta_nnz st =
-    let total = ref 0 in
-    for k = 0 to st.neta - 1 do
-      total := !total + 1 + Array.length st.etas.(k).e_idx
-    done;
-    !total
+  let eta_nnz st = st.eta_nnz_count
 
   (* Throw a basis away and restart from the all-slack basis; the composite
      phase 1 then restores feasibility. Used when a warm-start basis
@@ -323,6 +415,9 @@ module Instance = struct
     st.neta <- 0;
     st.eta_nnz_count <- 0;
     st.nnz_at_refactor <- 0;
+    st.y_valid <- false;
+    st.cursor <- 0;
+    Array.fill st.dw 0 (Array.length st.dw) 1.0;
     for j = 0 to st.inst.ncols - 1 do
       st.vpos.(j) <- -1;
       st.vstat.(j) <- At_lower;
@@ -445,7 +540,14 @@ module Instance = struct
       st.y.(pos) <-
         (if phase1 then basic_phase1_cost st pos else cost_of st st.basic.(pos))
     done;
-    btran st st.y
+    btran st st.y;
+    (* Phase-1 duals depend on the basic values, which move every step, so
+       they are never cached; phase-2 duals stay valid until the basis or
+       the (perturbed) costs change. *)
+    st.y_valid <- not phase1
+
+  let ensure_duals st ~phase1 =
+    if phase1 || not st.y_valid then compute_duals st ~phase1
 
   let reduced_cost st ~phase1 j =
     let c = if phase1 then 0.0 else cost_of st j in
@@ -458,8 +560,8 @@ module Instance = struct
 
   (* Dantzig pricing (largest violation), falling back to Bland's rule when
      a long degenerate stall is detected. *)
-  let price st ~phase1 =
-    compute_duals st ~phase1;
+  let dantzig_price st ~phase1 =
+    ensure_duals st ~phase1;
     let best = ref None in
     let consider j dir dq =
       let score = Float.abs dq in
@@ -487,6 +589,66 @@ module Instance = struct
        done
      with Exit -> ());
     Option.map fst !best
+
+  (* Devex pricing over a partial candidate scan. Scores are d^2 / w_j
+     against the reference weights in [st.dw]; the scan starts at the
+     persistent cursor and wraps, stopping one chunk after the first
+     eligible candidate. Because the duals are fixed for the whole call, a
+     full wrap that finds no candidate is exactly the full-pricing
+     optimality claim — no separate refresh pass is needed (and the solve
+     loop re-derives any terminal claim from a fresh factorisation
+     anyway). *)
+  let devex_price st ~phase1 =
+    ensure_duals st ~phase1;
+    let ncols = st.inst.ncols in
+    let chunk = max 200 (ncols / 16) in
+    let best = ref None and best_score = ref 0.0 in
+    let scanned = ref 0 and found = ref 0 in
+    let j = ref st.cursor in
+    if !j >= ncols then j := 0;
+    (* A presolve-emptied LP has no columns at all; the do-while scan below
+       tests its exit condition only after touching a column. *)
+    let scanning = ref (ncols > 0) in
+    while !scanning do
+      let jj = !j in
+      (match st.vstat.(jj) with
+      | Basic -> ()
+      | At_lower | At_upper | Nb_free ->
+        if st.up.(jj) -. st.lo.(jj) > zero_tol then begin
+          let d = reduced_cost st ~phase1 jj in
+          let dir =
+            match st.vstat.(jj) with
+            | At_lower -> if d < -.dual_tol then 1.0 else 0.0
+            | At_upper -> if d > dual_tol then -1.0 else 0.0
+            | Nb_free ->
+              if d < -.dual_tol then 1.0
+              else if d > dual_tol then -1.0
+              else 0.0
+            | Basic -> 0.0
+          in
+          if dir <> 0.0 then begin
+            incr found;
+            let score = d *. d /. Float.max 1e-12 st.dw.(jj) in
+            if score > !best_score then begin
+              best_score := score;
+              best := Some { q = jj; dir; dq = d }
+            end
+          end
+        end);
+      incr scanned;
+      j := jj + 1;
+      if !j >= ncols then j := 0;
+      if !scanned >= ncols then scanning := false
+      else if !found > 0 && !scanned >= chunk then scanning := false
+    done;
+    st.cursor <- !j;
+    !best
+
+  let price st ~phase1 =
+    (* Bland's rule needs the least-index eligible column, which only the
+       full scan provides. *)
+    if st.bland || st.pricing = Dantzig then dantzig_price st ~phase1
+    else devex_price st ~phase1
 
   type step_limit = Unlimited | Flip of float | Block of int * float * vstat
 
@@ -560,6 +722,7 @@ module Instance = struct
         | At_upper -> At_lower
         | Nb_free | Basic ->
           raise (Numerical_failure "flip on free or basic variable"));
+      st.nflips <- st.nflips + 1;
       t
     | Block (r, t, leave_bound) ->
       let delta = e.dir *. t in
@@ -581,20 +744,12 @@ module Instance = struct
       let piv = st.w.(r) in
       if Float.abs piv < pivot_tol /. 10.0 then
         raise (Numerical_failure "pivot element too small");
-      let cnt = ref 0 in
-      for i = 0 to st.inst.m - 1 do
-        if i <> r && Float.abs st.w.(i) > zero_tol then incr cnt
-      done;
-      let idx = Array.make !cnt 0 and vl = Array.make !cnt 0.0 in
-      let p = ref 0 in
-      for i = 0 to st.inst.m - 1 do
-        if i <> r && Float.abs st.w.(i) > zero_tol then begin
-          idx.(!p) <- i;
-          vl.(!p) <- -.st.w.(i) /. piv;
-          incr p
-        end
-      done;
-      push_eta st { e_row = r; e_piv = 1.0 /. piv; e_idx = idx; e_val = vl };
+      (* Devex: only the leaving variable gets a fresh reference weight
+         (the cheap update); an overflowing weight resets the framework. *)
+      let wl = Float.max 1.0 (Float.max 1.0 st.dw.(e.q) /. (piv *. piv)) in
+      if wl > 1e10 then Array.fill st.dw 0 (Array.length st.dw) 1.0
+      else st.dw.(leaving) <- wl;
+      push_eta_from_w st r;
       st.vstat.(e.q) <- Basic;
       st.vpos.(e.q) <- r;
       st.basic.(r) <- e.q;
@@ -742,7 +897,8 @@ module Instance = struct
                   (match st.vstat.(q) with
                   | At_lower -> At_upper
                   | At_upper -> At_lower
-                  | s -> s)
+                  | s -> s);
+                st.nflips <- st.nflips + 1
               end
               else begin
                 let entering_value = nb_value st q +. tau in
@@ -752,21 +908,12 @@ module Instance = struct
                 done;
                 st.vstat.(jl) <- (if !below then At_lower else At_upper);
                 st.vpos.(jl) <- -1;
-                let cnt = ref 0 in
-                for i = 0 to m - 1 do
-                  if i <> r && Float.abs st.w.(i) > zero_tol then incr cnt
-                done;
-                let idx = Array.make !cnt 0 and vl = Array.make !cnt 0.0 in
-                let p = ref 0 in
-                for i = 0 to m - 1 do
-                  if i <> r && Float.abs st.w.(i) > zero_tol then begin
-                    idx.(!p) <- i;
-                    vl.(!p) <- -.st.w.(i) /. alpha;
-                    incr p
-                  end
-                done;
-                push_eta st
-                  { e_row = r; e_piv = 1.0 /. alpha; e_idx = idx; e_val = vl };
+                let wl =
+                  Float.max 1.0 (Float.max 1.0 st.dw.(q) /. (alpha *. alpha))
+                in
+                if wl > 1e10 then Array.fill st.dw 0 (Array.length st.dw) 1.0
+                else st.dw.(jl) <- wl;
+                push_eta_from_w st r;
                 st.vstat.(q) <- Basic;
                 st.vpos.(q) <- r;
                 st.basic.(r) <- q;
@@ -813,11 +960,23 @@ module Instance = struct
       basis =
         ({ vstat = Array.copy st.vstat; basic = Array.copy st.basic } : basis);
       iterations = st.niter;
+      bound_flips = st.nflips;
+      warm = st.warm_outcome;
       btran_saved = st.btran_saved;
     }
 
-  let solve ?basis ?lower ?upper ?(max_iters = 200_000) ?deadline_s
-      ?refactor:(refp = default_refactor) inst =
+  let solve ?(params = Params.default) inst =
+    let {
+      Params.basis;
+      lower;
+      upper;
+      max_iters;
+      deadline_s;
+      refactor = refp;
+      pricing;
+    } =
+      params
+    in
     let n = inst.n and m = inst.m and ncols = inst.ncols in
     let lo = Array.copy inst.base_lo and up = Array.copy inst.base_up in
     (match lower with
@@ -838,6 +997,7 @@ module Instance = struct
       {
         inst;
         refp;
+        pricing;
         lo;
         up;
         vstat = Array.make ncols At_lower;
@@ -846,10 +1006,20 @@ module Instance = struct
         xb = Array.make m 0.0;
         w = Array.make m 0.0;
         y = Array.make m 0.0;
-        etas = [||];
+        e_rows = [||];
+        e_pivs = [||];
+        e_start = [| 0 |];
+        e_idx = [||];
+        e_val = [||];
         neta = 0;
         eta_nnz_count = 0;
         nnz_at_refactor = 0;
+        dw = Array.make ncols 1.0;
+        cursor = 0;
+        y_valid = false;
+        nflips = 0;
+        warm_outcome = `Cold;
+        repairs = 0;
         btran_saved = 0;
         niter = 0;
         pivots_since_refactor = 0;
@@ -874,13 +1044,20 @@ module Instance = struct
       for j = 0 to ncols - 1 do
         normalize_nonbasic st j
       done;
+      st.warm_outcome <- `Reused;
       refactor st;
       (* Re-optimise with the dual simplex; when it stalls (or the basis
          factorised with pathological fill-in) a cold start beats grinding
          the primal through a half-repaired basis. *)
-      if eta_nnz st > (30 * m) + 5000 then cold_reset st
-      else if not (dual_reoptimize st ~max_pivots:((m / 2) + 200)) then
-        cold_reset st
+      if eta_nnz st > (30 * m) + 5000 then begin
+        cold_reset st;
+        st.warm_outcome <- `Cold
+      end
+      else if not (dual_reoptimize st ~max_pivots:((m / 2) + 200)) then begin
+        cold_reset st;
+        st.warm_outcome <- `Cold
+      end
+      else if st.repairs > 0 then st.warm_outcome <- `Repaired
     | None ->
       for r = 0 to m - 1 do
         st.basic.(r) <- n + r;
@@ -930,6 +1107,7 @@ module Instance = struct
           (* optimal for the perturbed costs: withdraw the perturbation and
              re-optimise the genuine objective (usually a few pivots) *)
           st.perturbed <- false;
+          st.y_valid <- false;
           st.bland <- false;
           st.degen_count <- 0;
           confirm := false;
@@ -979,6 +1157,7 @@ module Instance = struct
         if st.degen_count > 600 then begin
           if st.perturb_rounds < 3 then begin
             st.perturbed <- true;
+            st.y_valid <- false;
             st.perturb_rounds <- st.perturb_rounds + 1;
             Array.iteri
               (fun j v ->
@@ -1002,8 +1181,150 @@ module Instance = struct
     loop ()
 end
 
-let solve ?basis ?max_iters ?refactor lp =
-  Instance.solve ?basis ?max_iters ?refactor (Instance.create lp)
+let solve ?params lp = Instance.solve ?params (Instance.create lp)
+
+module Basis = struct
+  type t = basis
+
+  (* Name-keyed views of a basis, for warm starts across *different* LPs:
+     rule deltas add or drop a few row families and columns between the
+     RULE1 and RULEk encodings, so positional indices do not line up but
+     names do. Only the per-column status is recorded — basis *positions*
+     are an artefact of factorisation order and are rebuilt by [refactor]
+     on intake. Variable and row namespaces share the flat assoc; a row
+     entry carries the status of the row's logical slack. *)
+
+  let status_code = function
+    | Basic -> "B"
+    | At_lower -> "L"
+    | At_upper -> "U"
+    | Nb_free -> "F"
+
+  let status_of_code = function
+    | "B" -> Some Basic
+    | "L" -> Some At_lower
+    | "U" -> Some At_upper
+    | "F" -> Some Nb_free
+    | _ -> None
+
+  let to_assoc (lp : Lp.t) (b : basis) =
+    let n = Lp.nvars lp and m = Lp.nrows lp in
+    if Array.length b.vstat <> n + m then
+      invalid_arg "Simplex.Basis.to_assoc: basis does not match the LP shape";
+    let acc = ref [] in
+    for r = m - 1 downto 0 do
+      acc := (lp.rows.(r).Lp.r_name, b.vstat.(n + r)) :: !acc
+    done;
+    for j = n - 1 downto 0 do
+      acc := (lp.vars.(j).Lp.v_name, b.vstat.(j)) :: !acc
+    done;
+    !acc
+
+  let of_assoc (lp : Lp.t) assoc =
+    let n = Lp.nvars lp and m = Lp.nrows lp in
+    let ncols = n + m in
+    let tbl = Hashtbl.create (max 16 (List.length assoc)) in
+    List.iter (fun (name, s) -> Hashtbl.replace tbl name s) assoc;
+    let vstat = Array.make ncols At_lower in
+    let patched = ref false in
+    Array.iteri
+      (fun j (v : Lp.var) ->
+        match Hashtbl.find_opt tbl v.Lp.v_name with
+        | Some s -> vstat.(j) <- s
+        | None ->
+          (* new column: nonbasic at a bound (normalised on intake) *)
+          patched := true)
+      lp.vars;
+    Array.iteri
+      (fun r (row : Lp.row) ->
+        match Hashtbl.find_opt tbl row.Lp.r_name with
+        | Some s -> vstat.(n + r) <- s
+        | None ->
+          (* new row: its slack starts basic, absorbing the row *)
+          vstat.(n + r) <- Basic;
+          patched := true)
+      lp.rows;
+    (* The basic set must have exactly [m] members before factorisation.
+       Demote surplus basics highest column index first (slacks before
+       structurals); fill a deficit by promoting nonbasic slacks lowest
+       row first — there is always one, since [m] slacks exist. *)
+    let nbasic = ref 0 in
+    Array.iter (fun s -> if s = Basic then incr nbasic) vstat;
+    if !nbasic <> m then patched := true;
+    let j = ref (ncols - 1) in
+    while !nbasic > m && !j >= 0 do
+      if vstat.(!j) = Basic then begin
+        vstat.(!j) <- At_lower;
+        decr nbasic
+      end;
+      decr j
+    done;
+    let r = ref 0 in
+    while !nbasic < m && !r < m do
+      if vstat.(n + !r) <> Basic then begin
+        vstat.(n + !r) <- Basic;
+        incr nbasic
+      end;
+      incr r
+    done;
+    let basic = Array.make m 0 in
+    let pos = ref 0 in
+    Array.iteri
+      (fun j s ->
+        if s = Basic then begin
+          basic.(!pos) <- j;
+          incr pos
+        end)
+      vstat;
+    (({ vstat; basic } : basis), if !patched then `Patched else `Exact)
+
+  let to_string (lp : Lp.t) (b : basis) =
+    let n = Lp.nvars lp and m = Lp.nrows lp in
+    if Array.length b.vstat <> n + m then
+      invalid_arg "Simplex.Basis.to_string: basis does not match the LP shape";
+    let buf = Buffer.create (16 * (n + m)) in
+    Buffer.add_string buf "# optrouter basis v1\n";
+    for j = 0 to n - 1 do
+      Buffer.add_string buf
+        (Printf.sprintf "v %s %s\n" lp.vars.(j).Lp.v_name
+           (status_code b.vstat.(j)))
+    done;
+    for r = 0 to m - 1 do
+      Buffer.add_string buf
+        (Printf.sprintf "r %s %s\n" lp.rows.(r).Lp.r_name
+           (status_code b.vstat.(n + r)))
+    done;
+    Buffer.contents buf
+
+  let of_string (lp : Lp.t) text =
+    let lines = String.split_on_char '\n' text in
+    let parse (acc, lineno, err) line =
+      let lineno = lineno + 1 in
+      match err with
+      | Some _ -> (acc, lineno, err)
+      | None -> (
+        let line = String.trim line in
+        if line = "" || line.[0] = '#' then (acc, lineno, None)
+        else
+          match String.split_on_char ' ' line with
+          | [ ("v" | "r"); name; code ] -> (
+            match status_of_code code with
+            | Some s -> ((name, s) :: acc, lineno, None)
+            | None ->
+              ( acc,
+                lineno,
+                Some (Printf.sprintf "line %d: bad status %S" lineno code) ))
+          | _ ->
+            ( acc,
+              lineno,
+              Some (Printf.sprintf "line %d: expected 'v|r NAME B|L|U|F'" lineno)
+            ))
+    in
+    let acc, _, err = List.fold_left parse ([], 0, None) lines in
+    match err with
+    | Some e -> Error e
+    | None -> Ok (of_assoc lp (List.rev acc))
+end
 
 let verify_optimal ?(tol = 1e-6) (lp : Lp.t) (res : result) =
   if res.status <> Optimal then Error "status is not Optimal"

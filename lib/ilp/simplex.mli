@@ -1,14 +1,26 @@
 (** Revised primal simplex for linear programs with bounded variables.
 
     The implementation follows the classic product-form-of-the-inverse
-    design: the basis inverse is maintained as a sequence of eta matrices,
-    refactorised periodically from the basis columns for numerical hygiene.
-    Rows are turned into equalities with one (bounded) logical slack per
-    row, so the initial all-slack basis always exists; primal infeasibility
-    of a starting basis is driven out by a composite phase-1 objective
-    (piecewise-linear sum of bound violations of basic variables), which
-    also makes warm starts from an arbitrary basis possible — this is what
-    {!Milp} relies on between branch-and-bound nodes.
+    design: the basis inverse is maintained as a sequence of eta matrices
+    (stored as a flat pool of unboxed arrays so the FTRAN/BTRAN kernels
+    stream contiguous memory), refactorised periodically from the basis
+    columns for numerical hygiene. Rows are turned into equalities with one
+    (bounded) logical slack per row, so the initial all-slack basis always
+    exists; primal infeasibility of a starting basis is driven out by a
+    composite phase-1 objective (piecewise-linear sum of bound violations
+    of basic variables), which also makes warm starts from an arbitrary
+    basis possible — this is what {!Milp} relies on between branch-and-
+    bound nodes, and what {!Basis} extends across structurally different
+    LPs via name-keyed remapping.
+
+    Pricing is devex over a partial candidate scan by default (reference
+    weights updated per pivot, wrap-around chunked scan); Dantzig full
+    pricing remains available and both provably reach the same optimum —
+    pricing only chooses the path, the optimality test is pricing-
+    independent, and terminal claims are re-derived from a fresh
+    factorisation. Ratio-test steps limited by the entering variable's own
+    opposite bound are applied as bound flips: no basis change, no eta, and
+    the cached duals stay valid so the next pricing pass skips its BTRAN.
 
     Integrality kinds on variables are ignored here; this module solves the
     continuous relaxation. *)
@@ -26,6 +38,17 @@ type basis = { vstat : vstat array; basic : int array }
 
 type status = Optimal | Infeasible | Unbounded
 
+(** Entering-variable selection rule. [Devex] (the default) prices a
+    partial candidate list against devex reference weights; [Dantzig] is
+    the classic full most-negative scan. Both certify the same optimum. *)
+type pricing = Dantzig | Devex
+
+(** How a supplied starting basis was used: [`Cold] — none supplied, or it
+    was abandoned (pathological fill-in, dual re-optimisation stall);
+    [`Reused] — factorised exactly as given; [`Repaired] — factorised
+    after substituting logical slacks for singular columns. *)
+type warm = [ `Cold | `Reused | `Repaired ]
+
 type result = {
   status : status;
   objective : float;  (** meaningful only when [status = Optimal] *)
@@ -34,6 +57,10 @@ type result = {
   reduced_costs : float array;  (** one per structural variable *)
   basis : basis;
   iterations : int;
+  bound_flips : int;
+      (** ratio-test steps resolved by flipping the entering variable to
+          its opposite bound — no basis change, no eta, no fresh BTRAN *)
+  warm : warm;
   btran_saved : int;
       (** full BTRAN passes the dual re-optimisation avoided by updating
           the duals incrementally across pivots (one saved pass per dual
@@ -57,6 +84,46 @@ val default_refactor : refactor_params
 
 exception Numerical_failure of string
 
+val pricing_name : pricing -> string
+
+(** Accepts ["dantzig"]/["full"] and ["devex"]/["partial"], case
+    insensitively. *)
+val pricing_of_string : string -> (pricing, string) Result.t
+
+(** Solver parameters, replacing the former optional-argument soup on
+    {!Instance.solve}. Build with {!make_params}. *)
+module Params : sig
+  type t = {
+    basis : basis option;  (** warm-start basis (instance column layout) *)
+    lower : float array option;
+        (** overrides the structural lower bounds; length [nvars] *)
+    upper : float array option;
+    max_iters : int;
+    deadline_s : float option;
+        (** absolute [Unix.gettimeofday] abort time *)
+    refactor : refactor_params;
+    pricing : pricing;
+  }
+
+  (** No basis, no bound overrides, 200k iterations, no deadline,
+      {!default_refactor}, and the pricing selected by the
+      [OPTROUTER_PRICING] environment variable (default [Devex]). *)
+  val default : t
+end
+
+(** Builder mirroring [Milp.make_params]: each argument defaults to the
+    corresponding {!Params.default} field. *)
+val make_params :
+  ?basis:basis ->
+  ?lower:float array ->
+  ?upper:float array ->
+  ?max_iters:int ->
+  ?deadline_s:float ->
+  ?refactor:refactor_params ->
+  ?pricing:pricing ->
+  unit ->
+  Params.t
+
 (** A prepared instance caches the column-wise matrix so that repeated
     solves with different variable bounds (as branch and bound does) avoid
     re-elaborating the problem. *)
@@ -67,32 +134,57 @@ module Instance : sig
   val nvars : t -> int
   val nrows : t -> int
 
-  (** [solve ?basis ?lower ?upper ?max_iters ?deadline_s ?refactor inst]
-      solves the instance. [lower]/[upper], when given, override the
-      structural variable bounds (arrays of length [nvars]); [deadline_s]
-      is an absolute [Unix.gettimeofday] value after which the solve
-      aborts; [refactor] (default {!default_refactor}) tunes the adaptive
-      refactorisation policy. Raises {!Numerical_failure} if the basis
-      cannot be kept factorised, the iteration limit is hit, or the
-      deadline passes. *)
-  val solve :
-    ?basis:basis ->
-    ?lower:float array ->
-    ?upper:float array ->
-    ?max_iters:int ->
-    ?deadline_s:float ->
-    ?refactor:refactor_params ->
-    t ->
-    result
+  (** [solve ?params inst] solves the instance under [params] (default
+      {!Params.default}). Raises {!Numerical_failure} if the basis cannot
+      be kept factorised, the iteration limit is hit, or the deadline
+      passes. *)
+  val solve : ?params:Params.t -> t -> result
 end
 
 (** One-shot convenience wrapper around {!Instance}. *)
-val solve :
-  ?basis:basis -> ?max_iters:int -> ?refactor:refactor_params -> Lp.t -> result
+val solve : ?params:Params.t -> Lp.t -> result
+
+(** Name-keyed basis views, enabling warm starts across structurally
+    different LPs (e.g. the RULE1 optimal basis remapped onto a RULEk
+    encoding whose rule deltas added or dropped a few row families). Only
+    per-column statuses travel; basis positions are rebuilt by
+    refactorisation on intake. Variable and row names share one flat
+    association list — a row entry carries the status of the row's logical
+    slack. *)
+module Basis : sig
+  type t = basis
+
+  (** [to_assoc lp b] lists [(name, status)] for every structural variable
+      of [lp], then every row (its slack's status), in declaration order.
+      Raises [Invalid_argument] if [b] does not match [lp]'s shape. *)
+  val to_assoc : Lp.t -> basis -> (string * vstat) list
+
+  (** [of_assoc lp assoc] rebuilds a basis for [lp] from name-keyed
+      statuses, repairing structural mismatches: unknown-to-[assoc]
+      columns start nonbasic, unknown rows get a basic slack, and the
+      basic set is trimmed/filled to exactly [m] members (surplus demoted
+      highest column index first, deficit filled by promoting slacks
+      lowest row first). Returns [`Exact] when no repair was needed,
+      [`Patched] otherwise. The result may still be singular — the solver
+      repairs that during factorisation. *)
+  val of_assoc :
+    Lp.t -> (string * vstat) list -> basis * [ `Exact | `Patched ]
+
+  (** Textual round-trip used by the [--warm-basis]/[--basis-out] CLI
+      path: a [# optrouter basis v1] header, then one [v NAME S] line per
+      variable and one [r NAME S] line per row with [S] in [B|L|U|F].
+      [of_string] tolerates blank and [#] comment lines and repairs via
+      {!of_assoc}. *)
+  val to_string : Lp.t -> basis -> string
+
+  val of_string :
+    Lp.t -> string -> (basis * [ `Exact | `Patched ], string) Result.t
+end
 
 (** [verify_optimal ?tol lp result] independently checks the optimality
     certificate: primal feasibility of [result.x] and sign conditions of the
     reduced costs against the variable bounds. Returns an error description
     on failure. Useful in tests: it certifies optimality without trusting
-    the solver internals. *)
+    the solver internals — every pricing mode and warm-start path must pass
+    it with the same objective. *)
 val verify_optimal : ?tol:float -> Lp.t -> result -> (unit, string) Result.t

@@ -91,8 +91,10 @@ end
 
 module Telemetry = struct
   let render ?(steals = 0) ?(solver_busy_s = 0.0) ?(solver_wall_s = 0.0)
-      ?(peak_workers = 1) ~solves ~fast_path_hits ~seeded_incumbents ~nodes
-      ~simplex_iterations ~busy_s ~wall_s ~limits ~infeasible ~failures () =
+      ?(peak_workers = 1) ?(root_lp_iters = 0) ?(bound_flips = 0)
+      ?(warm_reused = 0) ?(warm_repaired = 0) ~solves ~fast_path_hits
+      ~seeded_incumbents ~nodes ~simplex_iterations ~busy_s ~wall_s ~limits
+      ~infeasible ~failures () =
     let buf = Buffer.create 192 in
     Buffer.add_string buf
       (Printf.sprintf
@@ -110,6 +112,16 @@ module Telemetry = struct
       (Printf.sprintf "                  %d limit, %d infeasible%s\n" limits
          infeasible
          (if failures > 0 then Printf.sprintf ", %d failed" failures else ""));
+    (* Root-LP line only when the solver actually reported root activity:
+       historical three-line output is preserved for fast-path-only runs. *)
+    if root_lp_iters > 0 || warm_reused > 0 || warm_repaired > 0 then
+      Buffer.add_string buf
+        (Printf.sprintf
+           "                  root LP: %d iterations, %d bound flip%s, warm \
+            basis %d reused / %d repaired\n"
+           root_lp_iters bound_flips
+           (if bound_flips = 1 then "" else "s")
+           warm_reused warm_repaired);
     (* Only solves that actually ran a parallel search earn the extra
        line; a purely serial sweep keeps its historical three-line form. *)
     if peak_workers > 1 || steals > 0 then begin

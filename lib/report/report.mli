@@ -38,12 +38,22 @@ module Telemetry : sig
       frontier steal count, [solver_busy_s]/[solver_wall_s] the summed
       per-worker busy time and summed solve wall time, [peak_workers] the
       widest solve. The line reports nodes per busy second and parallel
-      efficiency ([solver_busy_s / (solver_wall_s * peak_workers)]). *)
+      efficiency ([solver_busy_s / (solver_wall_s * peak_workers)]).
+
+      [root_lp_iters]/[bound_flips]/[warm_reused]/[warm_repaired]
+      (defaults 0) describe the root-relaxation solves: when any root
+      activity was reported, an extra line shows the root-LP iteration
+      total, bound-flip count, and how many solves reused or repaired a
+      warm-start basis. *)
   val render :
     ?steals:int ->
     ?solver_busy_s:float ->
     ?solver_wall_s:float ->
     ?peak_workers:int ->
+    ?root_lp_iters:int ->
+    ?bound_flips:int ->
+    ?warm_reused:int ->
+    ?warm_repaired:int ->
     solves:int ->
     fast_path_hits:int ->
     seeded_incumbents:int ->

@@ -161,6 +161,55 @@ let test_telemetry_busy_vs_wall () =
   Alcotest.(check bool) "wall >= busy in a serial sweep" true
     (t.Sweep.wall_s +. 1e-6 >= t.Sweep.busy_s)
 
+(* Warm-starting a RULEk root LP from the RULE1 optimal basis (remapped
+   by name) is a speed device only: verdicts and proved-optimal costs
+   must match the cold solves across the Figure-10 rule variants. No
+   [?seed] is passed, so every solve runs the full ILP — the warm basis
+   is exercised rather than bypassed by the DRC fast path. *)
+let test_warm_basis_matches_cold () =
+  let r1 =
+    Optrouter.route ~config:fast_config ~tech:Tech.n28_12t
+      ~rules:(Rules.rule 1) eol_clip
+  in
+  match r1.Optrouter.verdict with
+  | Optrouter.Routed _ -> (
+    Alcotest.(check bool) "baseline reports root-LP iterations" true
+      (r1.Optrouter.stats.Optrouter.root_lp_iters > 0);
+    match r1.Optrouter.stats.Optrouter.root_basis with
+    | None -> Alcotest.fail "baseline solve exposes no root basis"
+    | Some _ as basis ->
+      List.iter
+        (fun n ->
+          let rules = Rules.rule n in
+          let label = rules.Rules.name in
+          let cold =
+            Optrouter.route ~config:fast_config ~tech:Tech.n28_12t ~rules
+              eol_clip
+          in
+          let warm =
+            Optrouter.route ~config:fast_config ?warm_basis:basis
+              ~tech:Tech.n28_12t ~rules eol_clip
+          in
+          (match (cold.Optrouter.verdict, warm.Optrouter.verdict) with
+          | Optrouter.Routed c, Optrouter.Routed w ->
+            Alcotest.(check int)
+              (label ^ " same optimal cost")
+              c.Optrouter_grid.Route.metrics.cost
+              w.Optrouter_grid.Route.metrics.cost
+          | Optrouter.Unroutable, Optrouter.Unroutable -> ()
+          | _, _ -> Alcotest.fail (label ^ " warm/cold verdicts differ"));
+          Alcotest.(check bool)
+            (label ^ " warm basis used") true
+            (match warm.Optrouter.stats.Optrouter.warm_start with
+            | `Reused | `Repaired -> true
+            | `Cold -> false);
+          Alcotest.(check bool)
+            (label ^ " cold solve stays cold") true
+            (cold.Optrouter.stats.Optrouter.warm_start = `Cold))
+        [ 3; 4; 5 ])
+  | Optrouter.Unroutable | Optrouter.Limit _ ->
+    Alcotest.fail "baseline solve failed"
+
 let test_sweep_drops_unroutable_baseline () =
   (* Unroutable even under RULE1: the clip must be dropped entirely. *)
   let clip = Clip.make ~cols:3 ~rows:2 ~layers:1 [ two_pin "a" (0, 0) (2, 1) ] in
@@ -393,6 +442,35 @@ let test_csv () =
   let s = Report.Csv.to_string ~header:[ "a"; "b" ] [ [ "1"; "x,y" ] ] in
   Alcotest.(check string) "escaped" "a,b\n1,\"x,y\"\n" s
 
+let contains_substring hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let test_telemetry_root_lp_line () =
+  let render ?root_lp_iters ?warm_reused () =
+    Report.Telemetry.render ?root_lp_iters ~bound_flips:3 ?warm_reused
+      ~warm_repaired:1 ~solves:4 ~fast_path_hits:0 ~seeded_incumbents:0
+      ~nodes:4 ~simplex_iterations:20 ~busy_s:0.1 ~wall_s:0.1 ~limits:0
+      ~infeasible:0 ~failures:0 ()
+  in
+  let s = render ~root_lp_iters:12 ~warm_reused:2 () in
+  Alcotest.(check bool) "root-LP line present" true
+    (contains_substring s
+       "root LP: 12 iterations, 3 bound flips, warm basis 2 reused / 1 \
+        repaired");
+  (* warm_repaired alone still earns the line; zero root activity does not
+     (bound_flips defaulted to 3 above is only reported alongside). *)
+  Alcotest.(check bool) "repaired-only earns the line" true
+    (contains_substring (render ()) "repaired");
+  let quiet =
+    Report.Telemetry.render ~solves:1 ~fast_path_hits:1 ~seeded_incumbents:0
+      ~nodes:0 ~simplex_iterations:0 ~busy_s:0.0 ~wall_s:0.0 ~limits:0
+      ~infeasible:0 ~failures:0 ()
+  in
+  Alcotest.(check bool) "fast-path-only run keeps the historical form" false
+    (contains_substring quiet "root LP")
+
 (* ------------------------------------------------------------------ *)
 (* Render                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -430,6 +508,8 @@ let () =
             test_baseline_config_default_budget;
           Alcotest.test_case "busy vs wall telemetry" `Quick
             test_telemetry_busy_vs_wall;
+          Alcotest.test_case "warm basis matches cold across rules" `Quick
+            test_warm_basis_matches_cold;
           Alcotest.test_case "series sorted" `Quick test_sweep_series_sorted;
           Alcotest.test_case "infeasible counts" `Quick test_sweep_infeasible_counts;
         ] );
@@ -459,6 +539,8 @@ let () =
           Alcotest.test_case "table" `Quick test_table_render;
           Alcotest.test_case "series plot" `Quick test_series_plot;
           Alcotest.test_case "csv" `Quick test_csv;
+          Alcotest.test_case "telemetry root-LP line" `Quick
+            test_telemetry_root_lp_line;
         ] );
       ("render", [ Alcotest.test_case "solution ascii" `Quick test_render_solution ]);
     ]

@@ -211,12 +211,19 @@ let test_simplex_warm_start () =
   in
   let inst = Simplex.Instance.create lp in
   let r1 = Simplex.Instance.solve inst in
-  let r2 = Simplex.Instance.solve ~basis:r1.basis inst in
+  let r2 =
+    Simplex.Instance.solve
+      ~params:(Simplex.make_params ~basis:r1.basis ())
+      inst
+  in
   Alcotest.(check bool) "optimal again" true (r2.status = Simplex.Optimal);
   check_float "same objective" r1.objective r2.objective;
   Alcotest.(check bool)
     "warm start converges fast" true
-    (r2.iterations <= r1.iterations)
+    (r2.iterations <= r1.iterations);
+  Alcotest.(check bool)
+    "warm start reported" true
+    (match r2.warm with `Reused | `Repaired -> true | `Cold -> false)
 
 let test_simplex_warm_start_changed_bounds () =
   let lp =
@@ -229,8 +236,11 @@ let test_simplex_warm_start_changed_bounds () =
   check_float "both at 1" (-2.0) r1.objective;
   (* Fix x to 0 and restart from the old basis. *)
   let r2 =
-    Simplex.Instance.solve ~basis:r1.basis ~lower:[| 0.0; 0.0 |]
-      ~upper:[| 0.0; 1.0 |] inst
+    Simplex.Instance.solve
+      ~params:
+        (Simplex.make_params ~basis:r1.basis ~lower:[| 0.0; 0.0 |]
+           ~upper:[| 0.0; 1.0 |] ())
+      inst
   in
   Alcotest.(check bool) "optimal" true (r2.status = Simplex.Optimal);
   check_float "objective" (-1.0) r2.objective;
@@ -960,7 +970,11 @@ let test_simplex_deadline () =
       [ ("cap", [ (0, 1.0); (1, 1.0) ], Lp.Le, 50.0) ]
   in
   let inst = Simplex.Instance.create lp in
-  match Simplex.Instance.solve ~deadline_s:(Sys.time () -. 1.0) inst with
+  match
+    Simplex.Instance.solve
+      ~params:(Simplex.make_params ~deadline_s:(Sys.time () -. 1.0) ())
+      inst
+  with
   | _ -> Alcotest.fail "expected Numerical_failure"
   | exception Simplex.Numerical_failure _ -> ()
 
@@ -1029,7 +1043,7 @@ let test_simplex_refactor_policies () =
   let reference = Simplex.solve lp in
   List.iter
     (fun (label, refactor) ->
-      let r = Simplex.solve ~refactor lp in
+      let r = Simplex.solve ~params:(Simplex.make_params ~refactor ()) lp in
       Alcotest.(check bool) (label ^ " optimal") true (r.status = Simplex.Optimal);
       check_float (label ^ " objective") reference.objective r.objective)
     [
@@ -1053,13 +1067,161 @@ let test_simplex_warm_dual_btran_saved () =
   check_float "cold optimum" (-7.0) r1.objective;
   (* x is basic at 1; capping it at 0.5 forces a dual pivot *)
   let r2 =
-    Simplex.Instance.solve ~basis:r1.basis ~lower:[| 0.0; 0.0 |]
-      ~upper:[| 0.5; 3.0 |] inst
+    Simplex.Instance.solve
+      ~params:
+        (Simplex.make_params ~basis:r1.basis ~lower:[| 0.0; 0.0 |]
+           ~upper:[| 0.5; 3.0 |] ())
+      inst
   in
   Alcotest.(check bool) "optimal" true (r2.status = Simplex.Optimal);
   check_float "warm optimum" (-6.5) r2.objective;
   Alcotest.(check bool)
     "dual pivots saved a BTRAN each" true (r2.btran_saved >= 1)
+
+(* ------------------------------------------------------------------ *)
+(* Pricing modes, bound flips and name-keyed basis warm starts         *)
+(* ------------------------------------------------------------------ *)
+
+let solve_pricing pricing lp =
+  Simplex.solve ~params:(Simplex.make_params ~pricing ()) lp
+
+(* Devex/partial pricing changes the pivot order, never the answer: both
+   modes must agree on status, prove the same objective, and devex optima
+   must pass the independent certificate check. *)
+let check_pricing_identity label lp =
+  let full = solve_pricing Simplex.Dantzig lp in
+  let devex = solve_pricing Simplex.Devex lp in
+  Alcotest.(check bool)
+    (label ^ " same status") true (full.Simplex.status = devex.Simplex.status);
+  match full.Simplex.status with
+  | Simplex.Optimal ->
+    check_float (label ^ " same objective") full.Simplex.objective
+      devex.Simplex.objective;
+    Alcotest.(check bool)
+      (label ^ " devex certificate") true
+      (Result.is_ok (Simplex.verify_optimal lp devex))
+  | Simplex.Infeasible | Simplex.Unbounded -> ()
+
+let test_pricing_identity_corpus () =
+  List.iter
+    (fun (path, _) ->
+      match Lp_file.read_file (fixture path) with
+      | Error m -> Alcotest.fail (path ^ ": " ^ m)
+      | Ok lp -> check_pricing_identity path lp)
+    corpus
+
+let prop_pricing_identity =
+  QCheck.Test.make ~name:"devex pricing proves the dantzig objective"
+    ~count:500 arbitrary_lp (fun lp ->
+      let full = solve_pricing Simplex.Dantzig lp in
+      let devex = solve_pricing Simplex.Devex lp in
+      full.Simplex.status = devex.Simplex.status
+      && (full.Simplex.status <> Simplex.Optimal
+          || Float.abs (full.Simplex.objective -. devex.Simplex.objective)
+             <= 1e-5
+             && Result.is_ok (Simplex.verify_optimal lp devex)))
+
+let prop_pricing_identity_feasible =
+  QCheck.Test.make
+    ~name:"devex solves constructed-feasible LPs to the dantzig optimum"
+    ~count:500
+    (QCheck.make ~print:(Format.asprintf "%a" Lp.pp) feasible_lp_gen)
+    (fun lp ->
+      let full = solve_pricing Simplex.Dantzig lp in
+      let devex = solve_pricing Simplex.Devex lp in
+      devex.Simplex.status = Simplex.Optimal
+      && Float.abs (full.Simplex.objective -. devex.Simplex.objective) <= 1e-5
+      && Result.is_ok (Simplex.verify_optimal lp devex))
+
+let test_simplex_bound_flip () =
+  (* min -x1 - x2 s.t. x1 + x2 <= 10, x in [0,1]^2: the ratio test is
+     bound-limited on every entering variable, so each step flips it to
+     its opposite bound without touching the basis (no eta, no FTRAN). *)
+  let lp =
+    build
+      [ cont "x1" 0.0 1.0 (-1.0); cont "x2" 0.0 1.0 (-1.0) ]
+      [ ("cap", [ (0, 1.0); (1, 1.0) ], Lp.Le, 10.0) ]
+  in
+  let r = Simplex.solve lp in
+  Alcotest.(check bool) "optimal" true (r.Simplex.status = Simplex.Optimal);
+  check_float "objective" (-2.0) r.Simplex.objective;
+  Alcotest.(check bool) "bound flips taken" true (r.Simplex.bound_flips >= 1);
+  Alcotest.(check bool)
+    "certificate" true
+    (Result.is_ok (Simplex.verify_optimal lp r))
+
+let test_basis_assoc_roundtrip () =
+  let lp = transportation_lp () in
+  let r = Simplex.solve lp in
+  let assoc = Simplex.Basis.to_assoc lp r.Simplex.basis in
+  let b, fixup = Simplex.Basis.of_assoc lp assoc in
+  Alcotest.(check bool) "exact remap" true (fixup = `Exact);
+  let r2 =
+    Simplex.Instance.solve
+      ~params:(Simplex.make_params ~basis:b ())
+      (Simplex.Instance.create lp)
+  in
+  check_float "same objective" r.Simplex.objective r2.Simplex.objective;
+  Alcotest.(check bool)
+    "warm start reported" true
+    (match r2.Simplex.warm with `Reused | `Repaired -> true | `Cold -> false)
+
+let test_basis_text_roundtrip () =
+  let lp = transportation_lp () in
+  let r = Simplex.solve lp in
+  let text = Simplex.Basis.to_string lp r.Simplex.basis in
+  match Simplex.Basis.of_string lp text with
+  | Error m -> Alcotest.fail m
+  | Ok (b, fixup) ->
+    Alcotest.(check bool) "exact round trip" true (fixup = `Exact);
+    Alcotest.(check bool)
+      "statuses preserved" true
+      (Simplex.Basis.to_assoc lp r.Simplex.basis = Simplex.Basis.to_assoc lp b)
+
+let test_basis_of_string_rejects_garbage () =
+  let lp = transportation_lp () in
+  match Simplex.Basis.of_string lp "# optrouter basis v1\nv nope\n" with
+  | Ok _ -> Alcotest.fail "accepted malformed basis line"
+  | Error _ -> ()
+
+let test_basis_cross_lp_remap () =
+  (* The RULE1-to-RULEk scenario in miniature: warm-start a structurally
+     different LP that shares names with the solved one but adds a
+     variable and a row. The remap must report Patched, and the warm
+     solve must still land on the new LP's own certified optimum. *)
+  let lp1 =
+    build
+      [ cont "x" 0.0 3.0 (-1.0); cont "y" 0.0 3.0 (-2.0) ]
+      [ ("cap", [ (0, 1.0); (1, 1.0) ], Lp.Le, 4.0) ]
+  in
+  let r1 = Simplex.solve lp1 in
+  let assoc = Simplex.Basis.to_assoc lp1 r1.Simplex.basis in
+  let lp2 =
+    build
+      [
+        cont "x" 0.0 3.0 (-1.0);
+        cont "y" 0.0 3.0 (-2.0);
+        cont "z" 0.0 2.0 (-4.0);
+      ]
+      [
+        ("cap", [ (0, 1.0); (1, 1.0); (2, 1.0) ], Lp.Le, 4.0);
+        ("zcap", [ (2, 1.0) ], Lp.Le, 1.0);
+      ]
+  in
+  let b, fixup = Simplex.Basis.of_assoc lp2 assoc in
+  Alcotest.(check bool) "patched remap" true (fixup = `Patched);
+  let warm =
+    Simplex.Instance.solve
+      ~params:(Simplex.make_params ~basis:b ())
+      (Simplex.Instance.create lp2)
+  in
+  let cold = Simplex.solve lp2 in
+  Alcotest.(check bool) "optimal" true (warm.Simplex.status = Simplex.Optimal);
+  check_float "matches cold solve" cold.Simplex.objective
+    warm.Simplex.objective;
+  Alcotest.(check bool)
+    "certificate" true
+    (Result.is_ok (Simplex.verify_optimal lp2 warm))
 
 let qtest = QCheck_alcotest.to_alcotest
 
@@ -1117,6 +1279,23 @@ let () =
           qtest prop_simplex_matches_dense;
           qtest prop_simplex_certificate;
           qtest prop_feasible_lp_solved;
+          qtest prop_pricing_identity;
+          qtest prop_pricing_identity_feasible;
+        ] );
+      ( "simplex-pricing",
+        [
+          Alcotest.test_case "pricing identity on the fixture corpus" `Quick
+            test_pricing_identity_corpus;
+          Alcotest.test_case "bound-flip ratio test" `Quick
+            test_simplex_bound_flip;
+          Alcotest.test_case "basis assoc round trip" `Quick
+            test_basis_assoc_roundtrip;
+          Alcotest.test_case "basis textual round trip" `Quick
+            test_basis_text_roundtrip;
+          Alcotest.test_case "basis parser rejects garbage" `Quick
+            test_basis_of_string_rejects_garbage;
+          Alcotest.test_case "cross-LP basis remap warm start" `Quick
+            test_basis_cross_lp_remap;
         ] );
       ( "milp",
         [
