@@ -50,6 +50,8 @@ module Simplex = Optrouter_ilp.Simplex
 module Milp = Optrouter_ilp.Milp
 module Pool = Optrouter_exec.Pool
 module Lp_audit = Optrouter_analysis.Lp_audit
+module Clipfile = Optrouter_clipfile.Clipfile
+module Serve = Optrouter_serve.Serve
 
 let env_int name default =
   match Sys.getenv_opt name with
@@ -81,6 +83,11 @@ let reuse = ref true
    trajectory (solves, fast-path hits, nodes, busy vs wall seconds). *)
 let sweep_telemetry = ref Sweep.empty_telemetry
 let sweep_sections_run = ref 0
+
+(* [Sweep.merge_telemetry] merges wall fields with [max] (shards are
+   assumed concurrent), but bench sections run back to back — their
+   elapsed times add. Keep the sequential total separately. *)
+let sweep_sections_wall_s = ref 0.0
 
 let jobs_used = ref 1
 
@@ -115,34 +122,31 @@ let write_sweep_json () =
   ensure_results_dir ();
   let t = !sweep_telemetry in
   let path = Filename.concat results_dir "BENCH_sweep.json" in
-  let oc = open_out path in
-  Printf.fprintf oc
-    "{\n\
-    \  \"sections\": %d,\n\
-    \  \"jobs\": %d,\n\
-    \  \"solver_jobs\": %d,\n\
-    \  \"reuse\": %b,\n\
-    \  \"solves\": %d,\n\
-    \  \"fast_path_hits\": %d,\n\
-    \  \"seeded_incumbents\": %d,\n\
-    \  \"nodes\": %d,\n\
-    \  \"simplex_iterations\": %d,\n\
-    \  \"busy_s\": %.3f,\n\
-    \  \"wall_s\": %.3f,\n\
-    \  \"limits\": %d,\n\
-    \  \"infeasible\": %d,\n\
-    \  \"failures\": %d,\n\
-    \  \"steals\": %d,\n\
-    \  \"solver_busy_s\": %.3f,\n\
-    \  \"solver_wall_s\": %.3f,\n\
-    \  \"peak_workers\": %d\n\
-     }\n"
-    !sweep_sections_run !jobs_used !solver_jobs !reuse t.Sweep.solves
-    t.Sweep.fast_path_hits t.Sweep.seeded_incumbents t.Sweep.nodes
-    t.Sweep.simplex_iterations t.Sweep.busy_s t.Sweep.wall_s t.Sweep.limits
-    t.Sweep.infeasible t.Sweep.failures t.Sweep.steals t.Sweep.solver_busy_s
-    t.Sweep.solver_wall_s t.Sweep.peak_workers;
-  close_out oc;
+  Report.Json.write_file path
+    (Report.Json.Obj
+       [
+         ("sections", Report.Json.Int !sweep_sections_run);
+         ("jobs", Report.Json.Int !jobs_used);
+         ("solver_jobs", Report.Json.Int !solver_jobs);
+         ("reuse", Report.Json.Bool !reuse);
+         ("solves", Report.Json.Int t.Sweep.solves);
+         ("fast_path_hits", Report.Json.Int t.Sweep.fast_path_hits);
+         ("seeded_incumbents", Report.Json.Int t.Sweep.seeded_incumbents);
+         ("nodes", Report.Json.Int t.Sweep.nodes);
+         ("simplex_iterations", Report.Json.Int t.Sweep.simplex_iterations);
+         ("busy_s", Report.Json.Float t.Sweep.busy_s);
+         (* wall_s: widest single section (merge is by max); the
+            sequential total elapsed across sections is separate. *)
+         ("wall_s", Report.Json.Float t.Sweep.wall_s);
+         ("sections_wall_s", Report.Json.Float !sweep_sections_wall_s);
+         ("limits", Report.Json.Int t.Sweep.limits);
+         ("infeasible", Report.Json.Int t.Sweep.infeasible);
+         ("failures", Report.Json.Int t.Sweep.failures);
+         ("steals", Report.Json.Int t.Sweep.steals);
+         ("solver_busy_s", Report.Json.Float t.Sweep.solver_busy_s);
+         ("solver_wall_s", Report.Json.Float t.Sweep.solver_wall_s);
+         ("peak_workers", Report.Json.Int t.Sweep.peak_workers);
+       ]);
   Printf.printf "[sweep telemetry written to %s]\n%!" path
 
 let banner title =
@@ -256,6 +260,7 @@ let fig10_for name tech =
   in
   incr sweep_sections_run;
   sweep_telemetry := Sweep.merge_telemetry !sweep_telemetry !telemetry;
+  sweep_sections_wall_s := !sweep_sections_wall_s +. !telemetry.Sweep.wall_s;
   if entries = [] then print_endline "(no routable clips at this scale)"
   else begin
     let series = Sweep.series entries in
@@ -946,6 +951,162 @@ let section_audit () =
   Printf.printf "[audit report written to %s]\n%!" path;
   if !errors > 0 then exit 1
 
+(* ------------------------------------------------------------------ *)
+(* serve: routing-as-a-service load generator                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Drives a real daemon over a temp Unix socket: difficult N28-12T clips
+   across several rule configurations, requested for several passes.
+   Pass 1 is all cold solves; later passes must be answered from the
+   cache, byte-identically — any proven-payload divergence fails the
+   bench. Latencies are measured client-side (connect + frame + parse
+   included, i.e. what a caller actually waits), split cold vs hit, and
+   summarised as nearest-rank p50/p99 in results/BENCH_serve.json.
+
+     OPTROUTER_BENCH_SERVE_CLIPS   clips requested      (default 2)
+     OPTROUTER_BENCH_SERVE_RULES   rule configurations  (default 4)
+     OPTROUTER_BENCH_SERVE_PASSES  passes over the set  (default 3) *)
+let section_serve () =
+  banner "serve: routing-as-a-service daemon + result cache";
+  let tech = Tech.n28_12t in
+  let passes = max 2 (env_int "OPTROUTER_BENCH_SERVE_PASSES" 3) in
+  let nclips = env_int "OPTROUTER_BENCH_SERVE_CLIPS" 2 in
+  let time_limit = env_float "OPTROUTER_BENCH_TIME" 15.0 in
+  let clips =
+    Experiments.difficult_clips
+      ~params:{ bench_params with Experiments.top_clips = nclips }
+      tech
+  in
+  let rule_ids =
+    let applicable =
+      List.filter
+        (fun n -> Rules.applicable ~tech_name:tech.Tech.name (Rules.rule n))
+        (List.init 11 (fun i -> i + 1))
+    in
+    let cap = env_int "OPTROUTER_BENCH_SERVE_RULES" 4 in
+    List.filteri (fun i _ -> i < cap) applicable
+  in
+  let dir = Filename.temp_file "optrouter-serve-bench" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  let sock = Filename.concat dir "bench.sock" in
+  let config =
+    Optrouter.make_config
+      ~milp:(Milp.make_params ~max_nodes:500_000 ~time_limit_s:time_limit ())
+      ()
+  in
+  let engine =
+    Serve.create
+      (Serve.make_params
+         ~cache_dir:(Filename.concat dir "cache")
+         ~time_limit_s:time_limit ~config ())
+  in
+  let daemon =
+    Domain.spawn (fun () -> Serve.run engine [ Serve.Unix_socket sock ])
+  in
+  let fd = Serve.connect (Serve.Unix_socket sock) in
+  let baseline = Hashtbl.create 16 in
+  let cold = ref [] in
+  let hit = ref [] in
+  let hit_count = ref 0 in
+  let cold_count = ref 0 in
+  let limits = ref 0 in
+  let mismatches = ref 0 in
+  let proven payload =
+    String.length payload >= 9
+    && (String.sub payload 0 14 = "verdict routed"
+       || String.sub payload 0 9 = "verdict u")
+  in
+  for pass = 1 to passes do
+    List.iteri
+      (fun ci clip ->
+        List.iter
+          (fun rn ->
+            let msg = Serve.text_request ~rule:rn (Clipfile.to_string clip) in
+            let t0 = Unix.gettimeofday () in
+            let frame = Serve.roundtrip fd msg in
+            let latency = Unix.gettimeofday () -. t0 in
+            match Serve.parse_response frame with
+            | Ok (status, payload) ->
+              (* Limit payloads are wall-clock artefacts: the cache never
+                 serves them, and repeat solves may legitimately differ —
+                 byte-identity is asserted for proven results only. *)
+              if proven payload then begin
+                match Hashtbl.find_opt baseline (ci, rn) with
+                | None -> Hashtbl.replace baseline (ci, rn) payload
+                | Some first ->
+                  if first <> payload then begin
+                    incr mismatches;
+                    Printf.printf
+                      "PAYLOAD MISMATCH: clip %d rule %d pass %d\n" ci rn pass
+                  end
+              end
+              else incr limits;
+              (match status with
+              | Some (Serve.Hit_memory | Serve.Hit_disk) ->
+                incr hit_count;
+                hit := latency :: !hit
+              | Some (Serve.Miss | Serve.Bypass) | None ->
+                incr cold_count;
+                cold := latency :: !cold)
+            | Error e ->
+              incr mismatches;
+              Printf.printf "request failed (clip %d rule %d): %s\n" ci rn e)
+          rule_ids)
+      clips
+  done;
+  print_string (Serve.roundtrip fd (Serve.stats_line ^ "\n"));
+  ignore (Serve.roundtrip fd (Serve.shutdown_line ^ "\n"));
+  Domain.join daemon;
+  Serve.destroy engine;
+  (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
+  let requests = !hit_count + !cold_count in
+  let hit_rate =
+    if requests = 0 then 0.0 else float_of_int !hit_count /. float_of_int requests
+  in
+  let pct p values = Report.Stats.percentile p (Array.of_list values) in
+  let summary name values =
+    match values with
+    | [] ->
+      Printf.printf "%s: no samples\n" name;
+      Report.Json.Obj [ ("n", Report.Json.Int 0) ]
+    | _ ->
+      let p50 = pct 50.0 values and p99 = pct 99.0 values in
+      Printf.printf "%s: n=%d p50=%.3f ms p99=%.3f ms\n" name
+        (List.length values) (p50 *. 1e3) (p99 *. 1e3);
+      Report.Json.Obj
+        [
+          ("n", Report.Json.Int (List.length values));
+          ("p50_s", Report.Json.Float p50);
+          ("p99_s", Report.Json.Float p99);
+        ]
+  in
+  let cold_json = summary "cold (miss)" !cold in
+  let hit_json = summary "cache hit" !hit in
+  Printf.printf "requests=%d hits=%d misses=%d limits=%d hit rate=%.0f%%\n"
+    requests !hit_count !cold_count !limits (100.0 *. hit_rate);
+  ensure_results_dir ();
+  let path = Filename.concat results_dir "BENCH_serve.json" in
+  Report.Json.write_file path
+    (Report.Json.Obj
+       [
+         ("tech", Report.Json.String tech.Tech.name);
+         ("clips", Report.Json.Int (List.length clips));
+         ( "rules",
+           Report.Json.List (List.map (fun n -> Report.Json.Int n) rule_ids) );
+         ("passes", Report.Json.Int passes);
+         ("requests", Report.Json.Int requests);
+         ("hits", Report.Json.Int !hit_count);
+         ("misses", Report.Json.Int !cold_count);
+         ("limits", Report.Json.Int !limits);
+         ("hit_rate", Report.Json.Float hit_rate);
+         ("cold", cold_json);
+         ("hit", hit_json);
+         ("mismatches", Report.Json.Int !mismatches);
+       ]);
+  Printf.printf "[serve bench written to %s]\n%!" path;
+  if !mismatches > 0 then exit 1
+
 let sections =
   [
     ("table2", section_table2);
@@ -963,6 +1124,7 @@ let sections =
     ("ablation", section_ablation);
     ("micro", section_micro);
     ("solver", section_solver);
+    ("serve", section_serve);
   ]
 
 let parse_args argv =

@@ -28,6 +28,7 @@ module Milp = Optrouter_ilp.Milp
 module Simplex = Optrouter_ilp.Simplex
 module Lp_file = Optrouter_ilp.Lp_file
 module Lp_audit = Optrouter_analysis.Lp_audit
+module Serve = Optrouter_serve.Serve
 
 open Cmdliner
 
@@ -627,9 +628,7 @@ let do_solve_lp time_limit solver_jobs pricing warm_basis basis_out path () =
       match basis_out with
       | None -> ()
       | Some file ->
-        let oc = open_out file in
-        output_string oc (Simplex.Basis.to_string lp b);
-        close_out oc;
+        Report.write_atomic file (Simplex.Basis.to_string lp b);
         Printf.printf "wrote %s\n" file
     in
     if has_integers then begin
@@ -694,13 +693,229 @@ let solve_lp_cmd =
       const do_solve_lp $ time_limit_arg $ solver_jobs_arg $ pricing_arg
       $ warm_basis $ basis_out $ lp_file $ logs_term)
 
+(* ---- serve / request ---- *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket path to serve on / connect to.")
+
+let port_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "port" ] ~docv:"PORT"
+        ~doc:"TCP port on 127.0.0.1 to serve on / connect to.")
+
+let do_serve socket port cache_dir cache_capacity jobs solver_jobs batch queue
+    time_limit pricing () =
+  let listeners =
+    (match socket with Some p -> [ Serve.Unix_socket p ] | None -> [])
+    @ (match port with Some p -> [ Serve.Tcp p ] | None -> [])
+  in
+  if listeners = [] then begin
+    Printf.eprintf "error: give --socket PATH and/or --port PORT\n";
+    exit 2
+  end;
+  let config = config_of ~solver_jobs ?pricing ~time_limit () in
+  let params =
+    Serve.make_params ?cache_dir ~cache_capacity ~jobs ~solver_jobs
+      ~batch_size:batch ~queue_capacity:queue ~time_limit_s:time_limit ~config
+      ()
+  in
+  let t = Serve.create params in
+  Fun.protect
+    ~finally:(fun () -> Serve.destroy t)
+    (fun () -> Serve.run t listeners)
+
+let cache_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~doc:
+          "Directory for the on-disk result-cache tier (created if missing). \
+           Without it the cache is memory-only.")
+
+let cache_capacity_arg =
+  Arg.(
+    value
+    & opt int 512
+    & info [ "cache-capacity" ] ~docv:"N"
+        ~doc:"In-memory result-cache capacity (LRU entries).")
+
+let batch_arg =
+  Arg.(
+    value
+    & opt int 8
+    & info [ "batch" ] ~docv:"N"
+        ~doc:"Max requests handed to the worker pool at once.")
+
+let queue_arg =
+  Arg.(
+    value
+    & opt int 64
+    & info [ "queue" ] ~docv:"N"
+        ~doc:
+          "Pending-request bound. When full, the daemon stops reading from \
+           connections until solves drain (backpressure).")
+
+let serve_time_limit_arg =
+  Arg.(
+    value
+    & opt float 60.0
+    & info [ "time-limit" ] ~docv:"SECONDS"
+        ~doc:
+          "Server-side cap (and default) for per-request deadlines; a \
+           request's $(b,deadline) header can only shorten it.")
+
+let serve_cmd =
+  let doc = "Run the routing daemon (routing as a service)." in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Accepts clip-route requests over a Unix-domain socket and/or a \
+         loopback TCP port, batches them onto the two-level worker-pool \
+         engine, and answers repeated traffic from a content-addressed \
+         result cache (in-memory LRU plus an optional on-disk tier). \
+         Cache-hit answers are byte-identical to a fresh solve; only \
+         proven results are cached.";
+      `P
+        "Send $(b,optrouter-shutdown) on a connection (or use $(b,optrouter \
+         request --shutdown)) to drain and stop the daemon.";
+    ]
+  in
+  Cmd.v (Cmd.info "serve" ~doc ~man)
+    Term.(
+      const do_serve $ socket_arg $ port_arg $ cache_dir_arg
+      $ cache_capacity_arg $ jobs_arg $ solver_jobs_arg $ batch_arg
+      $ queue_arg $ serve_time_limit_arg $ pricing_arg $ logs_term)
+
+let do_request socket port rule tech deadline no_cache stats shutdown path () =
+  let listener =
+    match (socket, port) with
+    | Some p, None -> Serve.Unix_socket p
+    | None, Some p -> Serve.Tcp p
+    | Some _, Some _ ->
+      Printf.eprintf "error: give either --socket or --port, not both\n";
+      exit 2
+    | None, None ->
+      Printf.eprintf "error: give --socket PATH or --port PORT\n";
+      exit 2
+  in
+  if path = None && not (stats || shutdown) then begin
+    Printf.eprintf
+      "error: nothing to do: give a clip file, --stats or --shutdown\n";
+    exit 2
+  end;
+  let fd = Serve.connect listener in
+  let failed = ref false in
+  (* Per-request status and timing go to stderr; stdout carries only the
+     result payloads, so two runs of the same request can be compared
+     byte-for-byte (the CI smoke test does exactly that). *)
+  (match path with
+  | None -> ()
+  | Some path ->
+    let clips = load_clips path in
+    List.iter
+      (fun clip ->
+        let msg =
+          Serve.text_request ?tech ?deadline_s:deadline ~no_cache ~rule
+            (Clipfile.to_string clip)
+        in
+        match Serve.parse_response (Serve.roundtrip fd msg) with
+        | Ok (status, payload) ->
+          (match status with
+          | Some s -> Printf.eprintf "%s\n" (Serve.status_line s)
+          | None -> ());
+          print_string payload
+        | Error e ->
+          Printf.eprintf "error: %s\n" e;
+          failed := true)
+      clips);
+  if stats then print_string (Serve.roundtrip fd (Serve.stats_line ^ "\n"));
+  if shutdown then
+    print_string (Serve.roundtrip fd (Serve.shutdown_line ^ "\n"));
+  (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
+  if !failed then exit 1
+
+let rule_num_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "rule" ] ~docv:"N"
+        ~doc:"BEOL rule configuration RULEn (1..11) to request.")
+
+let req_tech_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "tech" ] ~docv:"NAME"
+        ~doc:
+          "Technology preset to request (defaults to each clip's own tech \
+           line).")
+
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline" ] ~docv:"SECONDS"
+        ~doc:
+          "Per-request deadline; the server caps it at its own \
+           $(b,--time-limit).")
+
+let no_cache_flag =
+  Arg.(
+    value & flag
+    & info [ "no-cache" ]
+        ~doc:"Ask the server to solve even when the result is cached.")
+
+let stats_flag =
+  Arg.(
+    value & flag
+    & info [ "stats" ] ~doc:"Print the server's cache/serve counters.")
+
+let shutdown_flag =
+  Arg.(
+    value & flag
+    & info [ "shutdown" ] ~doc:"Ask the daemon to drain and stop.")
+
+let req_clips_arg =
+  Arg.(
+    value
+    & pos 0 (some file) None
+    & info [] ~docv:"CLIPS"
+        ~doc:"Clip file; each clip becomes one request.")
+
+let request_cmd =
+  let doc = "Send routing requests to a running daemon." in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Connects to an $(b,optrouter serve) daemon, sends one request per \
+         clip in the file, and prints each result payload on stdout (the \
+         cache-status line of every reply goes to stderr, so payloads of \
+         repeated runs can be compared byte-for-byte).";
+    ]
+  in
+  Cmd.v (Cmd.info "request" ~doc ~man)
+    Term.(
+      const do_request $ socket_arg $ port_arg $ rule_num_arg $ req_tech_arg
+      $ deadline_arg $ no_cache_flag $ stats_flag $ shutdown_flag
+      $ req_clips_arg $ logs_term)
+
 let main_cmd =
   let doc = "optimal ILP-based detailed router for BEOL design-rule evaluation" in
   Cmd.group
     (Cmd.info "optrouter" ~version:"1.0.0" ~doc)
     [
       route_cmd; sweep_cmd; audit_cmd; gen_cmd; pincost_cmd; show_cmd;
-      cells_cmd; baseline_cmd; solve_lp_cmd; global_cmd;
+      cells_cmd; baseline_cmd; solve_lp_cmd; global_cmd; serve_cmd;
+      request_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

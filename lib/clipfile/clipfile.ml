@@ -165,12 +165,17 @@ let of_string s =
   in
   go 0 lines
 
+let one_of_string s =
+  match of_string s with
+  | Error _ as e -> e
+  | Ok [ clip ] -> Ok clip
+  | Ok [] -> Error "no clip in input"
+  | Ok clips ->
+    Error (Printf.sprintf "expected exactly one clip, got %d" (List.length clips))
+
 let write_file path clips =
-  let oc = open_out path in
-  let ppf = Format.formatter_of_out_channel oc in
-  List.iter (fun c -> pp ppf c) clips;
-  Format.pp_print_flush ppf ();
-  close_out oc
+  Optrouter_report.Report.write_atomic path
+    (String.concat "" (List.map to_string clips))
 
 let read_file path =
   let ic = open_in path in

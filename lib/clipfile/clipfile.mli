@@ -25,5 +25,10 @@ val to_string : Optrouter_grid.Clip.t -> string
 (** [of_string s] parses every clip in [s]. *)
 val of_string : string -> (Optrouter_grid.Clip.t list, string) Result.t
 
+(** [one_of_string s] parses [s] and requires exactly one clip — the
+    shape of a serve request body. *)
+val one_of_string : string -> (Optrouter_grid.Clip.t, string) Result.t
+
+(** Atomic (see {!Optrouter_report.Report.write_atomic}). *)
 val write_file : string -> Optrouter_grid.Clip.t list -> unit
 val read_file : string -> (Optrouter_grid.Clip.t list, string) Result.t

@@ -56,8 +56,4 @@ let pp (g : Graph.t) ppf (sol : Route.solution) =
 let to_string g sol = Format.asprintf "%a" (pp g) sol
 
 let write_file path g sol =
-  let oc = open_out path in
-  let ppf = Format.formatter_of_out_channel oc in
-  pp g ppf sol;
-  Format.pp_print_flush ppf ();
-  close_out oc
+  Optrouter_report.Report.write_atomic path (to_string g sol)

@@ -82,6 +82,38 @@ let make_config ?(options = default_config.options)
     audit;
   }
 
+(* Canonical text of the result-relevant configuration subset, for
+   content-addressed cache keys. Includes exactly the fields that change
+   which routings are feasible or what they cost: formulation options,
+   the via-shape menu, single_vias, bidirectional, and the MILP
+   integrality tolerance. Deliberately excludes effort-only knobs —
+   time/node limits, solver_jobs, pricing/refactorisation, drc_check,
+   heuristic_incumbent, seed_reuse, audit — which change how fast a
+   proven answer arrives, never the answer itself (only *proven* results
+   may be cached under a key built from this). Fixed order and spelling:
+   part of the serve cache's key format, versioned there. *)
+let config_fingerprint c =
+  let b = Buffer.create 128 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "options:vertex_exclusivity=%b;sadp_aux_vars=%b;aggregated_flows=%b\n"
+       c.options.Formulate.vertex_exclusivity
+       c.options.Formulate.sadp_aux_vars c.options.Formulate.aggregated_flows);
+  List.iter
+    (fun (v : Via_shape.t) ->
+      Buffer.add_string b
+        (Printf.sprintf "via_shape:name=%s;width=%d;height=%d;cost=%d\n"
+           v.Via_shape.name v.Via_shape.width v.Via_shape.height
+           v.Via_shape.cost))
+    c.via_shapes;
+  Buffer.add_string b
+    (Printf.sprintf "single_vias=%b;bidirectional=%b\n" c.single_vias
+       c.bidirectional);
+  Buffer.add_string b
+    (Printf.sprintf "milp:integrality_tol=%.17g\n"
+       c.milp.Milp.integrality_tol);
+  Buffer.contents b
+
 exception Drc_failure of string
 
 let src = Logs.Src.create "optrouter.core" ~doc:"optimal router"

@@ -104,6 +104,18 @@ val make_config :
   unit ->
   config
 
+(** Canonical text of the configuration subset that determines routing
+    {e results} (formulation options, via-shape menu, [single_vias],
+    [bidirectional], the MILP integrality tolerance) — the params
+    component of content-addressed cache keys. Effort-only knobs
+    (limits, parallel widths, pricing, [drc_check],
+    [heuristic_incumbent], [seed_reuse], [audit]) are deliberately
+    excluded: they change how fast a proven answer arrives, never the
+    answer, so configs differing only in effort share cache entries.
+    Stable by contract; format changes require a cache-key version bump
+    (see [Optrouter_serve.Cache]). *)
+val config_fingerprint : config -> string
+
 exception Drc_failure of string
 
 (** Route a clip under a rule configuration.

@@ -79,7 +79,12 @@ let pick_weighted rng weights =
 
 let generate ?(seed = 42) profile ~util tech =
   if util <= 0.0 || util > 1.0 then invalid_arg "Design.generate: bad utilisation";
-  let rng = Random.State.make [| seed; Hashtbl.hash profile.pr_name |] in
+  (* The profile-name component must be a stable digest: Hashtbl.hash is
+     not reproducible across OCaml versions or platforms, and generated
+     designs feed content-addressed caches keyed on their clips. *)
+  let rng =
+    Random.State.make [| seed; Optrouter_hash.Stable.seed profile.pr_name |]
+  in
   let lib = Cells.library tech in
   (* Draw the instance population. *)
   let instances_spec =

@@ -84,13 +84,17 @@ let merge_telemetry a b =
     warm_reused = a.warm_reused + b.warm_reused;
     warm_repaired = a.warm_repaired + b.warm_repaired;
     busy_s = a.busy_s +. b.busy_s;
-    wall_s = a.wall_s +. b.wall_s;
+    (* Wall fields are spans, not work: shards merged here ran
+       concurrently (or the caller wants an elapsed bound, not a total),
+       so summing them over-reports elapsed time under -j N. Busy fields
+       stay summed — aggregate work is additive; elapsed time is not. *)
+    wall_s = Float.max a.wall_s b.wall_s;
     limits = a.limits + b.limits;
     infeasible = a.infeasible + b.infeasible;
     failures = a.failures + b.failures;
     steals = a.steals + b.steals;
     solver_busy_s = a.solver_busy_s +. b.solver_busy_s;
-    solver_wall_s = a.solver_wall_s +. b.solver_wall_s;
+    solver_wall_s = Float.max a.solver_wall_s b.solver_wall_s;
     peak_workers = max a.peak_workers b.peak_workers;
   }
 
@@ -219,15 +223,9 @@ let with_budget budget config f =
   | Some b ->
     let c = Option.value config ~default:Optrouter.default_config in
     let want = c.Optrouter.milp.Optrouter_ilp.Milp.solver_jobs in
-    let base = Pool.Budget.acquire b 1 in
-    let extra =
-      if base = 1 && want > 1 then Pool.Budget.acquire b (want - 1) else 0
-    in
-    Fun.protect
-      ~finally:(fun () -> Pool.Budget.release b (base + extra))
-      (fun () ->
+    Pool.Budget.with_width b ~want (fun width ->
         let milp =
-          { c.Optrouter.milp with Optrouter_ilp.Milp.solver_jobs = 1 + extra }
+          { c.Optrouter.milp with Optrouter_ilp.Milp.solver_jobs = width }
         in
         f (Some { c with Optrouter.milp }))
 

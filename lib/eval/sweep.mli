@@ -80,7 +80,10 @@ type telemetry = {
       (** cross-worker frontier steals inside parallel solver searches *)
   solver_busy_s : float;
       (** summed per-worker branch-and-bound busy time across solves *)
-  solver_wall_s : float;  (** summed MILP-solve wall time across solves *)
+  solver_wall_s : float;
+      (** summed MILP-solve wall time across the solves of one sweep
+          (spans merge by [max] across merged records — see
+          {!merge_telemetry}) *)
   peak_workers : int;
       (** widest branch-and-bound search of the sweep; 0 when every solve
           was answered by the fast path *)
@@ -88,8 +91,15 @@ type telemetry = {
 
 val empty_telemetry : telemetry
 
-(** Field-wise sum of two telemetry records (e.g. to total several
-    sweeps); [peak_workers] merges by [max]. *)
+(** Merge two telemetry records. Work fields (solves, nodes, iterations,
+    [busy_s], [solver_busy_s], ...) are additive and sum; wall fields
+    ([wall_s], [solver_wall_s]) are elapsed spans and merge by [max] —
+    shards merged here are assumed concurrent, so summing spans would
+    report more wall-clock time than actually elapsed under [-j N] (the
+    merged value is an elapsed bound, and [busy_s >= wall_s] no longer
+    holds by construction for a merged record). [peak_workers] merges by
+    [max]. Callers totalling {e sequential} runs should accumulate their
+    own span sum alongside (the bench keeps [sections_wall_s]). *)
 val merge_telemetry : telemetry -> telemetry -> telemetry
 
 (** Render with {!Optrouter_report.Report.Telemetry}. *)

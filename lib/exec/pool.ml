@@ -184,4 +184,17 @@ module Budget = struct
 
   let release b k =
     if k > 0 then ignore (Atomic.fetch_and_add b.slots k)
+
+  (* The two-level scheduling idiom shared by the sweep engine and the
+     serve daemon: claim one base slot for the task's own worker, widen
+     by up to [want - 1] extra slots only if the base slot was granted
+     (a task that could not even claim its own slot must not fan out),
+     and release everything when [f] returns or raises. [f] receives the
+     granted width (>= 1): the task always runs, at worst single-wide. *)
+  let with_width b ~want f =
+    let base = acquire b 1 in
+    let extra = if base = 1 && want > 1 then acquire b (want - 1) else 0 in
+    Fun.protect
+      ~finally:(fun () -> release b (base + extra))
+      (fun () -> f (1 + extra))
 end

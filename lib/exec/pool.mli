@@ -97,4 +97,13 @@ module Budget : sig
   (** [release b k] returns [k] slots ([k <= 0] is a no-op). Callers must
       release exactly what they acquired. *)
   val release : b -> int -> unit
+
+  (** [with_width b ~want f] runs [f width] where [width >= 1] is the
+      solver width granted by the budget: one base slot plus up to
+      [want - 1] extra slots, widened only when the base slot itself was
+      granted. All grants are released when [f] returns or raises. This
+      is the two-level scheduling step shared by the sweep engine and the
+      serve daemon: while every slot is held tasks run single-wide; idle
+      slots turn into extra solver workers. *)
+  val with_width : b -> want:int -> (int -> 'a) -> 'a
 end

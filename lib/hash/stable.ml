@@ -1,0 +1,6 @@
+let digest_hex s = Digest.to_hex (Digest.string s)
+
+let seed s =
+  let d = Digest.string s in
+  let b i = Char.code d.[i] in
+  (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3

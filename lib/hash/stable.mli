@@ -1,0 +1,17 @@
+(** Stable, cross-platform content digests.
+
+    [Hashtbl.hash] is documented to be neither stable across OCaml
+    versions nor across platforms, so anything persisted or compared
+    between hosts must not be keyed on it.  This module wraps the
+    stdlib [Digest] (MD5) — whose output is defined by the algorithm,
+    not the runtime — into the two shapes the rest of the codebase
+    needs: a printable key and a small RNG seed. *)
+
+val digest_hex : string -> string
+(** [digest_hex s] is the 32-character lowercase hex MD5 digest of
+    [s].  Stable across OCaml versions, platforms and word sizes. *)
+
+val seed : string -> int
+(** [seed s] is a non-negative int derived from the first four bytes
+    of [digest_hex s].  Stable wherever [digest_hex] is; suitable for
+    [Random.State.make]. *)

@@ -65,12 +65,7 @@ let pp ppf (lp : Lp.t) =
 
 let to_string lp = Format.asprintf "%a" pp lp
 
-let write_file path lp =
-  let oc = open_out path in
-  let ppf = Format.formatter_of_out_channel oc in
-  pp ppf lp;
-  Format.pp_print_flush ppf ();
-  close_out oc
+let write_file path lp = Optrouter_report.Report.write_atomic path (to_string lp)
 
 (* ------------------------------------------------------------------ *)
 (* Parser for the subset of the LP format the printer emits.            *)
@@ -96,6 +91,30 @@ let tokenize line =
   |> List.concat_map (fun t -> String.split_on_char '\t' t)
   |> List.filter (fun t -> t <> "")
 
+(* Numeric tokens must be finite decimal literals. [float_of_string_opt]
+   alone also accepts [nan], [inf] and hex floats ([0x1p3]) — values that
+   would flow silently into bounds or coefficients and only surface much
+   later as Lp_audit A0xx errors or a simplex [Numerical_failure]. Reject
+   them at parse time instead. Tokens that are not numbers at all (no
+   leading digit/sign/dot) classify as identifiers. *)
+type token_class = Num of float | Ident | Bad_num of string
+
+let classify tok =
+  match float_of_string_opt tok with
+  | None -> Ident
+  | Some f ->
+    if String.exists (fun c -> c = 'x' || c = 'X') tok then
+      Bad_num "hex float literal"
+    else if Float.is_nan f then Bad_num "nan is not a number literal"
+    else if not (Float.is_finite f) then Bad_num "non-finite literal"
+    else Num f
+
+let finite_of_string tok =
+  match classify tok with
+  | Num f -> Ok f
+  | Ident -> Error (Printf.sprintf "expected a number, got %S" tok)
+  | Bad_num why -> Error (Printf.sprintf "bad number %S: %s" tok why)
+
 let var_index st name =
   match Hashtbl.find_opt st.vars name with
   | Some i -> i
@@ -116,17 +135,18 @@ let parse_linear st tokens =
     | "+" :: rest -> go 1.0 rest
     | "-" :: rest -> go (-1.0) rest
     | tok :: rest -> (
-      match float_of_string_opt tok with
-      | Some c -> (
+      match classify tok with
+      | Bad_num why -> Error (Printf.sprintf "bad number %S: %s" tok why)
+      | Num c -> (
         match rest with
-        | v :: rest' when float_of_string_opt v = None ->
+        | v :: rest' when classify v = Ident ->
           terms := (var_index st v, sign *. c) :: !terms;
           go 1.0 rest'
         | _ ->
           (* bare constant (e.g. the "0" an empty objective prints):
              a harmless offset, ignore it *)
           go 1.0 rest)
-      | None ->
+      | Ident ->
         (* implicit coefficient 1 *)
         terms := (var_index st tok, sign) :: !terms;
         go 1.0 rest)
@@ -213,23 +233,28 @@ let of_string text =
             let* terms = parse_linear st lhs in
             match rhs with
             | [ r ] -> (
-              match float_of_string_opt r with
-              | Some rhs ->
+              match finite_of_string r with
+              | Ok rhs ->
                 let name =
                   if label = "" then Printf.sprintf "r%d" (List.length st.rows)
                   else label
                 in
                 st.rows <- (name, terms, sense, rhs) :: st.rows;
                 Ok ()
-              | None -> Error (Printf.sprintf "bad rhs %S" r))
+              | Error why -> Error (Printf.sprintf "bad rhs: %s" why))
             | _ -> Error (Printf.sprintf "row %S: malformed rhs" trimmed)))
         | In_bounds -> (
-          (* forms: "x free" | "l <= x <= u" | "x >= l" | "x <= u" *)
+          (* forms: "x free" | "l <= x <= u" | "x >= l" | "x <= u".
+             The named infinity tokens are deliberate LP-format syntax for
+             one-sided bounds; anything else must be a finite decimal —
+             a [nan] bound (which float_of_string would happily accept)
+             is rejected here rather than poisoning the model. *)
           let num tok =
             match String.lowercase_ascii tok with
             | "-inf" | "-infinity" -> Some neg_infinity
             | "+inf" | "inf" | "+infinity" | "infinity" -> Some infinity
-            | _ -> float_of_string_opt tok
+            | _ -> (
+              match classify tok with Num f -> Some f | Ident | Bad_num _ -> None)
           in
           match tokens with
           | [ v; f ] when String.lowercase_ascii f = "free" ->
@@ -270,12 +295,17 @@ let of_string text =
         | Done -> Error (Printf.sprintf "content outside sections: %S" trimmed))
   in
   let* () =
+    (* Errors are prefixed with the 1-based source line so a bad literal
+       in a large generated file is findable. *)
+    let lines = String.split_on_char '\n' text in
     List.fold_left
-      (fun acc line ->
+      (fun acc (lineno, line) ->
         let* () = acc in
-        parse_line line)
+        Result.map_error
+          (fun msg -> Printf.sprintf "line %d: %s" lineno msg)
+          (parse_line line))
       (Ok ())
-      (String.split_on_char '\n' text)
+      (List.mapi (fun i line -> (i + 1, line)) lines)
   in
   let b = Lp.Builder.create () in
   let names = Array.of_list (List.rev st.order) in

@@ -6,13 +6,20 @@
 
 val pp : Format.formatter -> Lp.t -> unit
 val to_string : Lp.t -> string
+
+(** Atomic (see {!Optrouter_report.Report.write_atomic}). *)
 val write_file : string -> Lp.t -> unit
 
 (** [of_string s] parses the same LP-format subset the printer emits:
     [Minimize]/[Maximize] with one objective line, [Subject To], [Bounds],
     [General]/[Binary] and [End]. Maximisation is converted to
     minimisation by negating the objective. Unknown variables appearing
-    only in the objective or rows get default bounds [0, +inf). *)
+    only in the objective or rows get default bounds [0, +inf).
+
+    Numeric literals must be finite decimals: [nan], [inf]/[infinity]
+    outside the named-bound forms, and hex floats are rejected with a
+    line-numbered error instead of flowing into the model as non-finite
+    coefficients or bounds. *)
 val of_string : string -> (Lp.t, string) Result.t
 
 val read_file : string -> (Lp.t, string) Result.t

@@ -4,6 +4,15 @@
     by the benchmark harness, so results are readable in a terminal and
     machine-readable from the CSV mirror. *)
 
+(** [write_atomic path contents] writes [contents] to [path] atomically:
+    the bytes land in a temporary file in [path]'s directory, which is
+    then renamed into place. Readers never observe a torn or partial
+    file — they see either the previous contents or the new ones. The
+    temporary is removed on failure and the exception re-raised. Every
+    output file the tools produce (JSON reports, CSVs, bases, cache
+    entries) goes through this helper. *)
+val write_atomic : string -> string -> unit
+
 module Table : sig
   (** [render ~header rows] renders an aligned table with a separator under
       the header. Cells are padded to the widest entry per column. *)
@@ -66,6 +75,28 @@ module Telemetry : sig
     failures:int ->
     unit ->
     string
+
+  (** Renders the serve daemon's cache counters: requests handled, cache
+      hits split memory/disk, misses, the derived hit rate, and the
+      store/eviction/recovered-disk-error churn. *)
+  val render_serve :
+    requests:int ->
+    mem_hits:int ->
+    disk_hits:int ->
+    misses:int ->
+    evictions:int ->
+    stores:int ->
+    disk_errors:int ->
+    unit ->
+    string
+end
+
+module Stats : sig
+  (** [percentile p values] is the nearest-rank [p]th percentile (the
+      smallest sample value with at least [p]% of the sample at or below
+      it) of the unsorted array [values]. [p] is in [0, 100]. Raises
+      [Invalid_argument] on an empty sample or out-of-range [p]. *)
+  val percentile : float -> float array -> float
 end
 
 module Json : sig
@@ -84,7 +115,19 @@ module Json : sig
     | Obj of (string * t) list
 
   val to_string : t -> string
+
+  (** Atomic (see {!Report.write_atomic}). *)
   val write_file : string -> t -> unit
+
+  (** Strict parser for the subset {!to_string} emits (all of JSON minus
+      surrogate-pair [\u] escapes). Integer tokens parse as [Int], other
+      numbers as [Float]; non-finite numbers do not exist in JSON and are
+      rejected. Errors carry a byte offset. *)
+  val of_string : string -> (t, string) result
+
+  (** [member key json] is the value of field [key] when [json] is an
+      [Obj] containing one, else [None]. *)
+  val member : string -> t -> t option
 end
 
 module Log : sig
@@ -135,5 +178,7 @@ end
 
 module Csv : sig
   val to_string : header:string list -> string list list -> string
+
+  (** Atomic (see {!Report.write_atomic}). *)
   val write_file : string -> header:string list -> string list list -> unit
 end

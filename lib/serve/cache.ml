@@ -1,0 +1,194 @@
+module Report = Optrouter_report.Report
+
+let log_src = "serve.cache"
+
+(* Disk entry layout (all line-terminated, then raw payload bytes):
+
+     # optrouter cache v1
+     key <32 hex chars>
+     bytes <payload length>
+     <payload>
+
+   The header mirrors Simplex.Basis's versioned format. [key] is
+   repeated inside the file so a misplaced or stale file (e.g. after a
+   key-format change that kept the same digest names) self-invalidates;
+   [bytes] makes truncation detectable without trusting the filesystem
+   length alone. *)
+let disk_header = "# optrouter cache v1"
+
+type stats = {
+  mem_hits : int;
+  disk_hits : int;
+  misses : int;
+  stores : int;
+  evictions : int;
+  disk_errors : int;
+}
+
+type slot = { payload : string; mutable tick : int }
+
+type t = {
+  capacity : int;
+  dir : string option;
+  table : (string, slot) Hashtbl.t;
+  mutable clock : int;
+  mutable mem_hits : int;
+  mutable disk_hits : int;
+  mutable misses : int;
+  mutable stores : int;
+  mutable evictions : int;
+  mutable disk_errors : int;
+}
+
+let create ?dir ~capacity () =
+  if capacity < 1 then invalid_arg "Cache.create: capacity must be >= 1";
+  (match dir with
+  | Some d when not (Sys.file_exists d) -> Sys.mkdir d 0o755
+  | Some _ | None -> ());
+  {
+    capacity;
+    dir;
+    table = Hashtbl.create (2 * capacity);
+    clock = 0;
+    mem_hits = 0;
+    disk_hits = 0;
+    misses = 0;
+    stores = 0;
+    evictions = 0;
+    disk_errors = 0;
+  }
+
+let stats t =
+  {
+    mem_hits = t.mem_hits;
+    disk_hits = t.disk_hits;
+    misses = t.misses;
+    stores = t.stores;
+    evictions = t.evictions;
+    disk_errors = t.disk_errors;
+  }
+
+let mem_size t = Hashtbl.length t.table
+
+let touch t slot =
+  t.clock <- t.clock + 1;
+  slot.tick <- t.clock
+
+(* Exact LRU by minimum-tick scan: capacities are small (hundreds), so
+   the O(n) eviction scan is noise next to even a cache-hit request. *)
+let evict_if_full t =
+  if Hashtbl.length t.table >= t.capacity then begin
+    let victim = ref None in
+    Hashtbl.iter
+      (fun key slot ->
+        match !victim with
+        | Some (_, best) when best <= slot.tick -> ()
+        | _ -> victim := Some (key, slot.tick))
+      t.table;
+    match !victim with
+    | Some (key, _) ->
+      Hashtbl.remove t.table key;
+      t.evictions <- t.evictions + 1
+    | None -> ()
+  end
+
+let insert_mem t key payload =
+  match Hashtbl.find_opt t.table key with
+  | Some slot -> touch t slot
+  | None ->
+    evict_if_full t;
+    let slot = { payload; tick = 0 } in
+    touch t slot;
+    Hashtbl.replace t.table key slot
+
+let path_of dir key = Filename.concat dir (key ^ ".cache")
+
+(* Read and validate one disk entry. Any deviation — missing file, bad
+   header, key mismatch, short read — yields [None]; corrupt files are
+   additionally removed (best-effort) so they are not re-parsed on every
+   miss. *)
+let disk_find t dir key =
+  let path = path_of dir key in
+  if not (Sys.file_exists path) then None
+  else begin
+    let invalid why =
+      t.disk_errors <- t.disk_errors + 1;
+      Report.Log.warn ~src:log_src (fun () ->
+          Printf.sprintf "dropping invalid cache entry %s: %s" path why);
+      (try Sys.remove path with Sys_error _ -> ());
+      None
+    in
+    match open_in_bin path with
+    | exception Sys_error why -> invalid why
+    | ic -> (
+      let line () = try Some (input_line ic) with End_of_file -> None in
+      let result =
+        match line () with
+        | Some h when h = disk_header -> (
+          match line () with
+          | Some k when k = "key " ^ key -> (
+            match line () with
+            | Some b -> (
+              match
+                if String.length b > 6 && String.sub b 0 6 = "bytes " then
+                  int_of_string_opt (String.sub b 6 (String.length b - 6))
+                else None
+              with
+              | Some n when n >= 0 -> (
+                match really_input_string ic n with
+                | exception End_of_file -> Error "truncated payload"
+                | payload ->
+                  (* exact length: trailing bytes mean a torn rewrite *)
+                  if pos_in ic <> in_channel_length ic then
+                    Error "trailing bytes after payload"
+                  else Ok payload)
+              | Some _ | None -> Error (Printf.sprintf "bad bytes line %S" b))
+            | None -> Error "missing bytes line")
+          | Some k -> Error (Printf.sprintf "key mismatch %S" k)
+          | None -> Error "missing key line")
+        | Some h -> Error (Printf.sprintf "bad header %S" h)
+        | None -> Error "empty file"
+      in
+      close_in_noerr ic;
+      match result with Ok payload -> Some payload | Error why -> invalid why)
+  end
+
+let disk_store t dir key payload =
+  let contents =
+    Printf.sprintf "%s\nkey %s\nbytes %d\n%s" disk_header key
+      (String.length payload) payload
+  in
+  match Report.write_atomic (path_of dir key) contents with
+  | () -> ()
+  | exception Sys_error why ->
+    t.disk_errors <- t.disk_errors + 1;
+    Report.Log.warn ~src:log_src (fun () ->
+        Printf.sprintf "cache store of %s failed: %s" key why)
+
+type tier = Memory | Disk
+
+let find t key =
+  match Hashtbl.find_opt t.table key with
+  | Some slot ->
+    touch t slot;
+    t.mem_hits <- t.mem_hits + 1;
+    Some (slot.payload, Memory)
+  | None -> (
+    match t.dir with
+    | None ->
+      t.misses <- t.misses + 1;
+      None
+    | Some dir -> (
+      match disk_find t dir key with
+      | Some payload ->
+        t.disk_hits <- t.disk_hits + 1;
+        insert_mem t key payload;
+        Some (payload, Disk)
+      | None ->
+        t.misses <- t.misses + 1;
+        None))
+
+let store t key payload =
+  insert_mem t key payload;
+  t.stores <- t.stores + 1;
+  match t.dir with None -> () | Some dir -> disk_store t dir key payload

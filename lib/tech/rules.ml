@@ -54,6 +54,18 @@ let patterning_of t ~metal =
   | Some m when metal >= m -> Layer.Sadp
   | Some _ | None -> Layer.Lele
 
+(* Canonical text for content-addressed keys: every field that changes
+   the feasible set, in a fixed order and spelling. Unlike [pp] (display
+   output, free to evolve), this string is part of the serve cache's key
+   format and must only change together with the key version. *)
+let canonical t =
+  Printf.sprintf "rule=%s;sadp_from=%s;via_restriction=%s" t.name
+    (match t.sadp_from with None -> "none" | Some m -> string_of_int m)
+    (match t.via_restriction with
+    | No_blocking -> "none"
+    | Orthogonal -> "orthogonal"
+    | Orthogonal_diagonal -> "orthogonal+diagonal")
+
 let pp ppf t =
   let sadp =
     match t.sadp_from with

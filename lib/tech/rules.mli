@@ -40,4 +40,10 @@ val blocked_neighbour_offsets : via_restriction -> (int * int) list
 (** [patterning_of rules ~metal] resolves a layer's patterning. *)
 val patterning_of : t -> metal:int -> Layer.patterning
 
+(** Canonical single-line text of every result-relevant field, in a fixed
+    order — the [Rules.t] component of content-addressed cache keys.
+    Stable by contract: changing its format requires bumping the cache-key
+    version (see [Optrouter_serve.Cache]). *)
+val canonical : t -> string
+
 val pp : Format.formatter -> t -> unit

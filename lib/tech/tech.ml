@@ -72,6 +72,15 @@ let row_height t = t.cell_height_tracks * t.hpitch
 
 let clip_tracks_1um t = (1000 / t.vpitch, 1000 / t.hpitch)
 
+(* Canonical text for content-addressed keys: every field, fixed order.
+   Part of the serve cache's key format — changes require a key-version
+   bump (unlike [pp], which is free-form display output). *)
+let canonical t =
+  Printf.sprintf
+    "tech=%s;cell_height_tracks=%d;hpitch=%d;vpitch=%d;num_layers=%d;via_weight=%d;pin_width=%d;access_points_per_pin=%d"
+    t.name t.cell_height_tracks t.hpitch t.vpitch t.num_layers t.via_weight
+    t.pin_width t.access_points_per_pin
+
 let pp ppf t =
   Format.fprintf ppf "%s (%dT, hpitch %dnm, vpitch %dnm, %d layers)" t.name
     t.cell_height_tracks t.hpitch t.vpitch t.num_layers

@@ -38,4 +38,10 @@ val row_height : t -> int
     technology: (columns of vertical tracks, rows of horizontal tracks). *)
 val clip_tracks_1um : t -> int * int
 
+(** Canonical single-line text of every field, in a fixed order — the
+    [Tech.t] component of content-addressed cache keys. Stable by
+    contract: changing its format requires bumping the cache-key version
+    (see [Optrouter_serve.Cache]). *)
+val canonical : t -> string
+
 val pp : Format.formatter -> t -> unit

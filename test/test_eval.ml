@@ -161,6 +161,42 @@ let test_telemetry_busy_vs_wall () =
   Alcotest.(check bool) "wall >= busy in a serial sweep" true
     (t.Sweep.wall_s +. 1e-6 >= t.Sweep.busy_s)
 
+(* Regression: merging per-worker telemetry must treat the span fields
+   (wall_s, solver_wall_s) as overlapping intervals — max, not sum — while
+   the work fields (busy_s, counts) still add. Summing spans once inflated
+   a 2-worker sweep's "wall" far past the time that actually passed. *)
+let test_merge_telemetry_spans_max () =
+  let a =
+    {
+      Sweep.empty_telemetry with
+      Sweep.solves = 3;
+      busy_s = 2.0;
+      wall_s = 2.5;
+      solver_busy_s = 1.5;
+      solver_wall_s = 2.0;
+    }
+  and b =
+    {
+      Sweep.empty_telemetry with
+      Sweep.solves = 2;
+      busy_s = 1.0;
+      wall_s = 1.5;
+      solver_busy_s = 0.5;
+      solver_wall_s = 1.0;
+    }
+  in
+  let m = Sweep.merge_telemetry a b in
+  Alcotest.(check int) "solves summed" 5 m.Sweep.solves;
+  Alcotest.(check (float 1e-9)) "busy summed" 3.0 m.Sweep.busy_s;
+  Alcotest.(check (float 1e-9)) "solver busy summed" 2.0 m.Sweep.solver_busy_s;
+  Alcotest.(check (float 1e-9)) "wall is max of spans" 2.5 m.Sweep.wall_s;
+  Alcotest.(check (float 1e-9)) "solver wall is max of spans" 2.0
+    m.Sweep.solver_wall_s;
+  (* merge is commutative on these fields *)
+  let m' = Sweep.merge_telemetry b a in
+  Alcotest.(check (float 1e-9)) "commutative wall" m.Sweep.wall_s m'.Sweep.wall_s;
+  Alcotest.(check int) "commutative solves" m.Sweep.solves m'.Sweep.solves
+
 (* Warm-starting a RULEk root LP from the RULE1 optimal basis (remapped
    by name) is a speed device only: verdicts and proved-optimal costs
    must match the cold solves across the Figure-10 rule variants. No
@@ -508,6 +544,8 @@ let () =
             test_baseline_config_default_budget;
           Alcotest.test_case "busy vs wall telemetry" `Quick
             test_telemetry_busy_vs_wall;
+          Alcotest.test_case "merge sums work, maxes spans" `Quick
+            test_merge_telemetry_spans_max;
           Alcotest.test_case "warm basis matches cold across rules" `Quick
             test_warm_basis_matches_cold;
           Alcotest.test_case "series sorted" `Quick test_sweep_series_sorted;

@@ -81,6 +81,35 @@ let test_cells_render () =
 
 let small_profile = { Design.aes with Design.instance_count = 300 }
 
+(* The generator's RNG seed is derived from the profile name through the
+   stable digest, not [Hashtbl.hash] (whose value is unspecified and
+   changed across OCaml releases — a silent reshuffle of every generated
+   design). Pin the exact values so any change to the helper is loud.
+   [""]'s digest is MD5's canonical empty-input vector, cross-checking
+   that the helper is plain MD5 and not something homegrown. *)
+let test_stable_digest_pinned () =
+  Alcotest.(check string)
+    "md5(\"\") canonical vector" "d41d8cd98f00b204e9800998ecf8427e"
+    (Optrouter_hash.Stable.digest_hex "");
+  Alcotest.(check string)
+    "digest of AES profile name" "76b7593457e2ab50befe2dcd63cf388f"
+    (Optrouter_hash.Stable.digest_hex "AES");
+  Alcotest.(check int) "seed of AES profile name" 1991727412
+    (Optrouter_hash.Stable.seed "AES");
+  Alcotest.(check int) "seed of M0 profile name" 2216815828
+    (Optrouter_hash.Stable.seed "M0")
+
+(* With the seed pinned above, the generated design itself is pinned:
+   record a few coarse facts so a digest change (or any other placement
+   reshuffle) fails here rather than only in downstream clip harvests. *)
+let test_design_pinned_shape () =
+  let d = Design.generate ~seed:5 small_profile ~util:0.9 Tech.n28_12t in
+  let first = d.Design.instances.(0) in
+  Alcotest.(check int) "instance count" 300 (Array.length d.Design.instances);
+  Alcotest.(check int) "net count" 205 (Array.length d.Design.nets);
+  Alcotest.(check int) "first instance col" 57 first.Design.col;
+  Alcotest.(check int) "first instance band" 5 first.Design.band
+
 let test_design_deterministic () =
   let d1 = Design.generate ~seed:5 small_profile ~util:0.9 Tech.n28_12t in
   let d2 = Design.generate ~seed:5 small_profile ~util:0.9 Tech.n28_12t in
@@ -655,6 +684,10 @@ let () =
         [
           Alcotest.test_case "deterministic generation" `Quick
             test_design_deterministic;
+          Alcotest.test_case "stable digest pinned values" `Quick
+            test_stable_digest_pinned;
+          Alcotest.test_case "pinned generated shape" `Quick
+            test_design_pinned_shape;
           Alcotest.test_case "utilisation targeting" `Quick test_design_utilization;
           Alcotest.test_case "no placement overlaps" `Quick test_design_no_overlaps;
           Alcotest.test_case "well-formed netlist" `Quick

@@ -944,6 +944,42 @@ let test_lp_file_parse_errors () =
       ("bad bounds", "Minimize\n obj: x\nBounds\n x banana 3\nEnd\n");
     ]
 
+(* float_of_string would happily accept all of these; the parser must
+   not, and must say which line is at fault. *)
+let test_lp_file_rejects_non_finite () =
+  let expect_error_with label ~substring text =
+    match Lp_file.of_string text with
+    | Ok _ -> Alcotest.failf "%s: parsed a non-finite literal" label
+    | Error msg ->
+      let has sub =
+        let ls = String.length msg and l = String.length sub in
+        let rec go i = i + l <= ls && (String.sub msg i l = sub || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: error %S mentions %S" label msg substring)
+        true (has substring)
+  in
+  expect_error_with "nan objective coefficient" ~substring:"line 2"
+    "Minimize\n obj: nan x\nSubject To\n c: x >= 1\nEnd\n";
+  expect_error_with "nan rhs" ~substring:"line 4"
+    "Minimize\n obj: x\nSubject To\n c: x >= nan\nEnd\n";
+  expect_error_with "inf rhs" ~substring:"line 4"
+    "Minimize\n obj: x\nSubject To\n c: x >= inf\nEnd\n";
+  expect_error_with "hex float coefficient" ~substring:"hex"
+    "Minimize\n obj: 0x1p4 x\nSubject To\n c: x >= 1\nEnd\n";
+  expect_error_with "nan bound" ~substring:"line 6"
+    "Minimize\n obj: x + y\nSubject To\n c1: x + y >= 1\nBounds\n 0 <= x <= nan\nEnd\n"
+
+let test_lp_file_nan_bound_fixture () =
+  match Lp_file.read_file (fixture "fixtures/nan_bound.lp") with
+  | Ok _ -> Alcotest.fail "nan_bound.lp must be rejected"
+  | Error msg ->
+    Alcotest.(check bool)
+      (Printf.sprintf "error %S names line 6" msg)
+      true
+      (String.length msg >= 6 && String.sub msg 0 6 = "line 6")
+
 let test_lp_file_output () =
   let lp =
     build
@@ -1359,5 +1395,9 @@ let () =
             test_lp_file_preserves_names;
           Alcotest.test_case "maximize parsed" `Quick test_lp_file_parse_maximize;
           Alcotest.test_case "parse errors" `Quick test_lp_file_parse_errors;
+          Alcotest.test_case "rejects nan/inf/hex literals with line numbers"
+            `Quick test_lp_file_rejects_non_finite;
+          Alcotest.test_case "nan-bound fixture rejected" `Quick
+            test_lp_file_nan_bound_fixture;
         ] );
     ]
