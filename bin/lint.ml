@@ -1,28 +1,39 @@
-(* Project source lint (see Optrouter_analysis.Source_lint for the rules).
+(* Project source lints (see Optrouter_analysis.Source_lint for the
+   L-rules and Optrouter_analysis.Par_lint for the P-rules).
 
-   Usage: lint [--expect-dirty] PATH...
+   Usage: lint [--par] [--json] [--expect-dirty] PATH...
 
-   Lints every .ml file under the given files/directories. Exits 0 when
-   clean and 1 when any finding is reported — or, with [--expect-dirty],
-   the reverse, which lets CI assert that the known-bad fixture is still
-   detected without hand-maintaining expected output. *)
+   Lints every .ml file under the given files/directories. By default
+   the L-rules (source lint) run; with [--par] the P-rules
+   (domain-safety lint) run instead. Exits 0 when clean and 1 when any
+   finding is reported — or, with [--expect-dirty], the reverse, which
+   lets CI assert that the known-bad fixtures are still detected
+   without hand-maintaining expected output. *)
 
 module Source_lint = Optrouter_analysis.Source_lint
+module Par_lint = Optrouter_analysis.Par_lint
 
 let () =
   let expect_dirty = ref false in
+  let par = ref false in
+  let json = ref false in
   let paths = ref [] in
   let args = List.tl (Array.to_list Sys.argv) in
   List.iter
     (fun arg ->
       match arg with
       | "--expect-dirty" -> expect_dirty := true
+      | "--par" -> par := true
+      | "--json" -> json := true
       | "--help" | "-h" ->
-        print_endline "usage: lint [--expect-dirty] PATH...";
+        print_endline "usage: lint [--par] [--json] [--expect-dirty] PATH...";
         print_endline "lints every .ml file under PATH...; codes:";
         List.iter
           (fun (code, doc) -> Printf.printf "  %s  %s\n" code doc)
           Source_lint.codes;
+        List.iter
+          (fun (code, doc) -> Printf.printf "  %s  %s\n" code doc)
+          Par_lint.codes;
         exit 0
       | _ -> paths := arg :: !paths)
     args;
@@ -30,18 +41,30 @@ let () =
     prerr_endline "lint: no paths given (try --help)";
     exit 2
   end;
-  let findings = Source_lint.lint_paths (List.rev !paths) in
-  print_string (Source_lint.render findings);
+  let paths = List.rev !paths in
+  let count, output =
+    if !par then begin
+      let findings = Par_lint.lint_paths paths in
+      ( List.length findings,
+        if !json then Par_lint.to_json findings ^ "\n"
+        else Par_lint.render findings )
+    end
+    else begin
+      let findings = Source_lint.lint_paths paths in
+      (List.length findings, Source_lint.render findings)
+    end
+  in
+  print_string output;
   if !expect_dirty then
-    if findings = [] then begin
+    if count = 0 then begin
       prerr_endline "lint: expected findings, found none";
       exit 1
     end
     else begin
-      Printf.printf "%d finding(s), as expected\n" (List.length findings);
+      Printf.printf "%d finding(s), as expected\n" count;
       exit 0
     end
-  else if findings <> [] then begin
-    Printf.eprintf "lint: %d finding(s)\n" (List.length findings);
+  else if count > 0 then begin
+    Printf.eprintf "lint: %d finding(s)\n" count;
     exit 1
   end

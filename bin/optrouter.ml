@@ -28,6 +28,8 @@ module Milp = Optrouter_ilp.Milp
 module Simplex = Optrouter_ilp.Simplex
 module Lp_file = Optrouter_ilp.Lp_file
 module Lp_audit = Optrouter_analysis.Lp_audit
+module Source_lint = Optrouter_analysis.Source_lint
+module Par_lint = Optrouter_analysis.Par_lint
 module Serve = Optrouter_serve.Serve
 
 open Cmdliner
@@ -577,6 +579,72 @@ let audit_cmd =
   Cmd.v (Cmd.info "audit" ~doc)
     Term.(const do_audit $ tech_arg $ json_out $ verbose $ clips_file_arg $ logs_term)
 
+(* ---- lint: source lints over the project tree ---- *)
+
+let do_lint par json_out expect_dirty paths () =
+  let count, output =
+    if par then begin
+      let findings = Par_lint.lint_paths paths in
+      ( List.length findings,
+        if json_out then Par_lint.to_json findings ^ "\n"
+        else Par_lint.render findings )
+    end
+    else begin
+      let findings = Source_lint.lint_paths paths in
+      (List.length findings, Source_lint.render findings)
+    end
+  in
+  print_string output;
+  if expect_dirty then begin
+    if count = 0 then begin
+      prerr_endline "lint: expected findings, found none";
+      exit 1
+    end;
+    Printf.printf "%d finding(s), as expected\n" count
+  end
+  else if count > 0 then begin
+    Printf.eprintf "lint: %d finding(s)\n" count;
+    exit 1
+  end
+
+let lint_cmd =
+  let doc =
+    "Lint every .ml file under the given paths: by default the source \
+     lints (L-rules: float conversions, float equality, catch-all \
+     handlers, toplevel mutable state, determinism hazards); with \
+     $(b,--par) the domain-safety lints (P-rules: unguarded cross-domain \
+     mutation, atomic read-test-set windows, loopless condition waits, \
+     blocking under a mutex, mixed lock discipline). Exits 1 when any \
+     finding is reported, or — with $(b,--expect-dirty) — when none is."
+  in
+  let par =
+    Arg.(
+      value & flag
+      & info [ "par" ] ~doc:"Run the domain-safety P-rules instead of the L-rules.")
+  in
+  let json_out =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Print the report as JSON (domain-safety lint only).")
+  in
+  let expect_dirty =
+    Arg.(
+      value & flag
+      & info [ "expect-dirty" ]
+          ~doc:
+            "Reverse the exit convention: succeed only when findings are \
+             reported. Lets CI assert known-bad fixtures stay detected.")
+  in
+  let paths =
+    Arg.(
+      non_empty & pos_all string []
+      & info [] ~docv:"PATH" ~doc:"Files or directories to lint.")
+  in
+  Cmd.v (Cmd.info "lint" ~doc)
+    Term.(
+      const do_lint $ par $ json_out $ expect_dirty $ paths $ logs_term)
+
 (* ---- solve-lp: the MILP solver as a standalone utility ---- *)
 
 let read_text_file path =
@@ -913,9 +981,9 @@ let main_cmd =
   Cmd.group
     (Cmd.info "optrouter" ~version:"1.0.0" ~doc)
     [
-      route_cmd; sweep_cmd; audit_cmd; gen_cmd; pincost_cmd; show_cmd;
-      cells_cmd; baseline_cmd; solve_lp_cmd; global_cmd; serve_cmd;
-      request_cmd;
+      route_cmd; sweep_cmd; audit_cmd; lint_cmd; gen_cmd; pincost_cmd;
+      show_cmd; cells_cmd; baseline_cmd; solve_lp_cmd; global_cmd;
+      serve_cmd; request_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

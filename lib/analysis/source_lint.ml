@@ -15,6 +15,7 @@ let codes =
     ("L002", "= / <> against a nonzero float literal");
     ("L003", "catch-all exception handler; bind a name instead");
     ("L004", "mutable state at module toplevel (Atomic.make is allowed)");
+    ("L005", "Hashtbl.hash / Random.self_init: nondeterministic across runs");
   ]
 
 let rec longident = function
@@ -29,6 +30,11 @@ let strip_stdlib s =
   | _ -> s
 
 let unsafe_conversions = [ "int_of_float"; "Float.to_int" ]
+
+(* Results depend on the runtime (hash seed, word size) or the wall
+   clock, so any output derived from them breaks the byte-identity
+   contracts the sweeps and the serve cache rely on. *)
+let determinism_hazards = [ "Hashtbl.hash"; "Random.self_init" ]
 
 let mutable_creators =
   [
@@ -69,6 +75,14 @@ let lint_structure ~filename str =
         (Printf.sprintf
            "%s truncates unbounded floats (undefined beyond 2^62); use \
             Optrouter_geom.Round.floor/ceil/nearest/trunc"
+           (longident txt))
+    | Pexp_ident { txt; _ }
+      when List.mem (strip_stdlib (longident txt)) determinism_hazards ->
+      add e.pexp_loc "L005"
+        (Printf.sprintf
+           "%s is nondeterministic across runs/architectures and breaks \
+            the byte-identity contract; use Optrouter_hash.Stable (or a \
+            fixed Random seed)"
            (longident txt))
     | Pexp_apply
         ( { pexp_desc = Pexp_ident { txt = Longident.Lident (("=" | "<>") as op); _ }; _ },
@@ -167,15 +181,28 @@ let lint_file file =
   in
   List.filter (fun f -> not (exempt file f)) (lint_string ~filename:file src)
 
-let lint_paths paths =
+(* Build trees ([_build]), opam switches ([_opam]) and dot-directories
+   ([.git], editor state) contain generated or vendored .ml files that
+   are not ours to lint. Paths given explicitly are always taken. *)
+let skip_dir name =
+  name = "_build" || name = "_opam"
+  || (String.length name > 0 && name.[0] = '.')
+
+let ml_files_under paths =
   let files = ref [] in
-  let rec walk p =
-    if Sys.is_directory p then
-      Array.iter (fun entry -> walk (Filename.concat p entry)) (Sys.readdir p)
+  let rec walk ~explicit p =
+    if Sys.is_directory p then begin
+      if explicit || not (skip_dir (Filename.basename p)) then
+        Array.iter
+          (fun entry -> walk ~explicit:false (Filename.concat p entry))
+          (Sys.readdir p)
+    end
     else if Filename.check_suffix p ".ml" then files := p :: !files
   in
-  List.iter walk paths;
-  List.concat_map lint_file (List.sort compare !files)
+  List.iter (walk ~explicit:true) paths;
+  List.sort compare !files
+
+let lint_paths paths = List.concat_map lint_file (ml_files_under paths)
 
 let render fs =
   let buf = Buffer.create 256 in

@@ -25,6 +25,11 @@
       freely across domains by {!Optrouter_exec.Pool}, this is a data
       race waiting to happen. [Atomic.make] is allowed — it is the
       domain-safe primitive the rest should be built on.
+    - [L005] — [Hashtbl.hash] or [Random.self_init]: both are
+      nondeterministic across runs and architectures (polymorphic-hash
+      implementation details, the wall clock), the exact bug class
+      [Design.generate] shipped once. Derive seeds and digests from
+      [Optrouter_hash.Stable] instead.
 
     Parse failures surface as code [L000] rather than an exception, so a
     lint run over a tree never dies half way. *)
@@ -48,8 +53,14 @@ val lint_string : filename:string -> string -> finding list
     [Sys_error] if the file cannot be read. *)
 val lint_file : string -> finding list
 
-(** All [.ml] files under the given files/directories (recursively),
-    sorted by path, linted with {!lint_file}. *)
+(** All [.ml] files under the given files/directories, recursively,
+    sorted by path. Directories named [_build] or [_opam] and
+    dot-directories are skipped during traversal (explicitly given
+    paths are always entered), so linting a built tree never touches
+    generated or vendored code. *)
+val ml_files_under : string list -> string list
+
+(** {!ml_files_under}, each file linted with {!lint_file}. *)
 val lint_paths : string list -> finding list
 
 (** One [file:line:col: code message] line per finding. *)

@@ -30,6 +30,7 @@ type slot = { payload : string; mutable tick : int }
 type t = {
   capacity : int;
   dir : string option;
+  lock : Mutex.t;  (* guards table, slot ticks, clock and the counters *)
   table : (string, slot) Hashtbl.t;
   mutable clock : int;
   mutable mem_hits : int;
@@ -48,6 +49,7 @@ let create ?dir ~capacity () =
   {
     capacity;
     dir;
+    lock = Mutex.create ();
     table = Hashtbl.create (2 * capacity);
     clock = 0;
     mem_hits = 0;
@@ -59,16 +61,20 @@ let create ?dir ~capacity () =
   }
 
 let stats t =
-  {
-    mem_hits = t.mem_hits;
-    disk_hits = t.disk_hits;
-    misses = t.misses;
-    stores = t.stores;
-    evictions = t.evictions;
-    disk_errors = t.disk_errors;
-  }
+  Mutex.protect t.lock (fun () ->
+      {
+        mem_hits = t.mem_hits;
+        disk_hits = t.disk_hits;
+        misses = t.misses;
+        stores = t.stores;
+        evictions = t.evictions;
+        disk_errors = t.disk_errors;
+      })
 
-let mem_size t = Hashtbl.length t.table
+let mem_size t = Mutex.protect t.lock (fun () -> Hashtbl.length t.table)
+
+(* The helpers below touch the in-memory tier directly: callers hold
+   [t.lock]. *)
 
 let touch t slot =
   t.clock <- t.clock + 1;
@@ -107,16 +113,17 @@ let path_of dir key = Filename.concat dir (key ^ ".cache")
    header, key mismatch, short read — yields [None]; corrupt files are
    additionally removed (best-effort) so they are not re-parsed on every
    miss. *)
-let disk_find t dir key =
+(* Runs outside [t.lock]; reports validation failures in the returned
+   error count so the caller can bump the counter under the lock. *)
+let disk_find dir key =
   let path = path_of dir key in
-  if not (Sys.file_exists path) then None
+  if not (Sys.file_exists path) then (None, 0)
   else begin
     let invalid why =
-      t.disk_errors <- t.disk_errors + 1;
       Report.Log.warn ~src:log_src (fun () ->
           Printf.sprintf "dropping invalid cache entry %s: %s" path why);
       (try Sys.remove path with Sys_error _ -> ());
-      None
+      (None, 1)
     in
     match open_in_bin path with
     | exception Sys_error why -> invalid why
@@ -150,45 +157,67 @@ let disk_find t dir key =
         | None -> Error "empty file"
       in
       close_in_noerr ic;
-      match result with Ok payload -> Some payload | Error why -> invalid why)
+      match result with
+      | Ok payload -> (Some payload, 0)
+      | Error why -> invalid why)
   end
 
-let disk_store t dir key payload =
+let disk_store dir key payload =
   let contents =
     Printf.sprintf "%s\nkey %s\nbytes %d\n%s" disk_header key
       (String.length payload) payload
   in
   match Report.write_atomic (path_of dir key) contents with
-  | () -> ()
+  | () -> 0
   | exception Sys_error why ->
-    t.disk_errors <- t.disk_errors + 1;
     Report.Log.warn ~src:log_src (fun () ->
-        Printf.sprintf "cache store of %s failed: %s" key why)
+        Printf.sprintf "cache store of %s failed: %s" key why);
+    1
 
 type tier = Memory | Disk
 
 let find t key =
-  match Hashtbl.find_opt t.table key with
-  | Some slot ->
-    touch t slot;
-    t.mem_hits <- t.mem_hits + 1;
-    Some (slot.payload, Memory)
+  let mem =
+    Mutex.protect t.lock (fun () ->
+        match Hashtbl.find_opt t.table key with
+        | Some slot ->
+          touch t slot;
+          t.mem_hits <- t.mem_hits + 1;
+          Some slot.payload
+        | None -> None)
+  in
+  match mem with
+  | Some payload -> Some (payload, Memory)
   | None -> (
     match t.dir with
     | None ->
-      t.misses <- t.misses + 1;
+      Mutex.protect t.lock (fun () -> t.misses <- t.misses + 1);
       None
     | Some dir -> (
-      match disk_find t dir key with
-      | Some payload ->
-        t.disk_hits <- t.disk_hits + 1;
-        insert_mem t key payload;
+      (* disk I/O stays outside the lock: per-key atomic writes and
+         validated reads make concurrent access to one key idempotent,
+         and a slow read must not serialize unrelated lookups *)
+      match disk_find dir key with
+      | Some payload, errors ->
+        Mutex.protect t.lock (fun () ->
+            t.disk_errors <- t.disk_errors + errors;
+            t.disk_hits <- t.disk_hits + 1;
+            insert_mem t key payload);
         Some (payload, Disk)
-      | None ->
-        t.misses <- t.misses + 1;
+      | None, errors ->
+        Mutex.protect t.lock (fun () ->
+            t.disk_errors <- t.disk_errors + errors;
+            t.misses <- t.misses + 1);
         None))
 
 let store t key payload =
-  insert_mem t key payload;
-  t.stores <- t.stores + 1;
-  match t.dir with None -> () | Some dir -> disk_store t dir key payload
+  Mutex.protect t.lock (fun () ->
+      insert_mem t key payload;
+      t.stores <- t.stores + 1);
+  match t.dir with
+  | None -> ()
+  | Some dir ->
+    let errors = disk_store dir key payload in
+    if errors > 0 then
+      Mutex.protect t.lock (fun () ->
+          t.disk_errors <- t.disk_errors + errors)

@@ -8,9 +8,13 @@
     or stale entry is treated as a miss (and removed best-effort), never
     returned as an answer.
 
-    Not thread-safe: confine a cache to one domain (the daemon does all
-    cache work on its collector domain; solves fan out, lookups do
-    not). *)
+    Thread-safe: the in-memory tier (LRU table, clock, counters) is
+    guarded by an internal mutex, so [find]/[store]/[stats]/[mem_size]
+    may be called from any domain concurrently. Disk I/O happens
+    outside the lock — per-key atomic writes and validated reads make
+    concurrent disk access safe without serializing solves behind a
+    file read — so two domains missing on the same key may both read
+    (or both write) that key's file; both outcomes are idempotent. *)
 
 type t
 

@@ -188,10 +188,11 @@ let timed_solve t req =
   (result, Unix.gettimeofday () -. t0)
 
 (* Answer a batch. Cache lookups and stores stay in the calling domain
-   (the cache is single-domain by design); only the miss solves fan out
-   over the pool. Duplicate keys within a batch are solved once and the
-   payload shared — with the bounded queue in front, this is what turns
-   a thundering herd on one clip into a single solve. *)
+   (the cache itself is mutex-guarded, but keeping them here preserves
+   the batch's dedup window); only the miss solves fan out over the
+   pool. Duplicate keys within a batch are solved once and the payload
+   shared — with the bounded queue in front, this is what turns a
+   thundering herd on one clip into a single solve. *)
 let handle_batch t reqs =
   t.served <- t.served + List.length reqs;
   let lookup req =

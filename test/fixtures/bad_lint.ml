@@ -39,3 +39,12 @@ let () =
   Hashtbl.replace cache "calls" !call_count;
   ignore (bad_round 1.5, bad_round2 2.5, is_unit_cost 1.0, not_half 0.25);
   ignore (is_zero 0.0, swallow ignore, swallow2 (fun x -> x) 3, deliberate ignore)
+
+(* L005: polymorphic hash is unstable across runs and architectures *)
+let unstable_seed shape = Hashtbl.hash shape land 0xFFFF
+
+(* L005: wall-clock seeding makes every run different *)
+let scramble () = Random.self_init ()
+
+(* NOT flagged: a fixed seed is deterministic *)
+let fixed () = Random.init 42

@@ -1,0 +1,60 @@
+(* Known-bad fixture for Par_lint: every P-rule must keep firing here.
+   The exact line numbers below are asserted by test_analysis.ml, so new
+   seeds go at the END of the file.
+
+   Seeded findings:
+     P001 line 15 (incr under Domain.spawn, counter also read outside)
+     P002 line 22 (Hashtbl.replace of a captured table, no lock)
+     P003 line 27 (Atomic.get -> test -> Atomic.set on the same atomic)
+     P004 line 31 (Condition.wait with no predicate loop)
+     P005 line 38 (input_line while holding a mutex)
+     P006 line 56 (unguarded parallel read of a field others lock) *)
+let counter = ref 0
+
+let race_counter () =
+  let d = Domain.spawn (fun () -> incr counter) in
+  Domain.join d;
+  !counter
+
+let lose_updates keys =
+  let tbl = Hashtbl.create 16 in
+  let ds =
+    List.map (fun k -> Domain.spawn (fun () -> Hashtbl.replace tbl k ())) keys
+  in
+  List.iter Domain.join ds
+
+let flag = Atomic.make 0
+let set_once () = if Atomic.get flag = 0 then Atomic.set flag 1
+
+let wait_no_loop q mutex cond =
+  Mutex.lock mutex;
+  (if Queue.is_empty q then Condition.wait cond mutex);
+  let job = Queue.pop q in
+  Mutex.unlock mutex;
+  job
+
+let read_under_lock mutex ic =
+  Mutex.lock mutex;
+  let line = input_line ic in
+  Mutex.unlock mutex;
+  line
+
+type progress = { lock : Mutex.t; mutable done_count : int }
+
+let mixed_discipline jobs run =
+  let p = { lock = Mutex.create (); done_count = 0 } in
+  let ds =
+    List.map
+      (fun j ->
+        Domain.spawn (fun () ->
+            run j;
+            Mutex.lock p.lock;
+            p.done_count <- p.done_count + 1;
+            Mutex.unlock p.lock))
+      jobs
+  in
+  let watcher = Domain.spawn (fun () -> p.done_count = List.length jobs) in
+  let finished = Domain.join watcher in
+  List.iter Domain.join ds;
+  ignore finished;
+  p.done_count

@@ -369,6 +369,20 @@ let test_lint_toplevel_state () =
     "local mutable state is fine" []
     (lint_codes "let f () = let c = ref 0 in incr c; !c")
 
+let test_lint_determinism () =
+  Alcotest.(check (list string))
+    "Hashtbl.hash" [ "L005" ]
+    (lint_codes "let f x = Hashtbl.hash x");
+  Alcotest.(check (list string))
+    "Random.self_init" [ "L005" ]
+    (lint_codes "let f () = Random.self_init ()");
+  Alcotest.(check (list string))
+    "fixed seed is deterministic" []
+    (lint_codes "let f () = Random.init 42");
+  Alcotest.(check (list string))
+    "Hashtbl.create is not Hashtbl.hash" []
+    (lint_codes "let f () = let t = Hashtbl.create 4 in Hashtbl.length t")
+
 let test_lint_parse_failure () =
   Alcotest.(check (list string))
     "unparseable source reports L000" [ "L000" ]
@@ -389,7 +403,260 @@ let test_lint_fixture () =
   Alcotest.(check (list int)) "L001 lines" [ 13; 16 ] (hits "L001");
   Alcotest.(check (list int)) "L002 lines" [ 19; 22 ] (hits "L002");
   Alcotest.(check (list int)) "L003 lines" [ 29; 32 ] (hits "L003");
-  Alcotest.(check (list int)) "L004 lines" [ 7; 10 ] (hits "L004")
+  Alcotest.(check (list int)) "L004 lines" [ 7; 10 ] (hits "L004");
+  Alcotest.(check (list int)) "L005 lines" [ 44; 47 ] (hits "L005")
+
+let test_ml_files_under () =
+  let root = Filename.temp_file "lintwalk" "" in
+  Sys.remove root;
+  Sys.mkdir root 0o755;
+  let mk dir name =
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    let path = Filename.concat dir name in
+    let oc = open_out path in
+    output_string oc "let x = 1\n";
+    close_out oc;
+    path
+  in
+  let kept = mk root "keep.ml" in
+  let _skipped_build = mk (Filename.concat root "_build") "gen.ml" in
+  let _skipped_opam = mk (Filename.concat root "_opam") "pkg.ml" in
+  let _skipped_dot = mk (Filename.concat root ".git") "hook.ml" in
+  let _not_ml = mk root "notes.mli" in
+  Alcotest.(check (list string))
+    "only the real source file survives the walk" [ kept ]
+    (Source_lint.ml_files_under [ root ]);
+  (* explicitly named paths are always entered, even under a skip dir *)
+  Alcotest.(check (list string))
+    "explicit path wins over skip rules"
+    [ Filename.concat (Filename.concat root "_build") "gen.ml" ]
+    (Source_lint.ml_files_under [ Filename.concat root "_build" ])
+
+(* ------------------------------------------------------------------ *)
+(* Par lint                                                            *)
+(* ------------------------------------------------------------------ *)
+
+module Par_lint = Optrouter_analysis.Par_lint
+
+let par_codes src =
+  List.sort_uniq compare
+    (List.map
+       (fun f -> f.Par_lint.code)
+       (Par_lint.lint_string ~filename:"test.ml" src))
+
+let test_par_unguarded_mutation () =
+  Alcotest.(check (list string))
+    "incr in a spawned closure, read outside" [ "P001" ]
+    (par_codes
+       {|let c = ref 0
+         let f () =
+           let d = Domain.spawn (fun () -> incr c) in
+           Domain.join d; !c|});
+  Alcotest.(check (list string))
+    "mutation under the lock is clean" []
+    (par_codes
+       {|let c = ref 0
+         let m = Mutex.create ()
+         let f () =
+           let d =
+             Domain.spawn (fun () ->
+                 Mutex.lock m; incr c; Mutex.unlock m)
+           in
+           Domain.join d;
+           Mutex.lock m; let v = !c in Mutex.unlock m; v|});
+  Alcotest.(check (list string))
+    "Mutex.protect body is guarded" []
+    (par_codes
+       {|let c = ref 0
+         let m = Mutex.create ()
+         let f () =
+           let d =
+             Domain.spawn (fun () -> Mutex.protect m (fun () -> incr c))
+           in
+           Domain.join d;
+           Mutex.protect m (fun () -> !c)|});
+  Alcotest.(check (list string))
+    "single-owner driver mutation is not flagged" []
+    (par_codes
+       {|let f () =
+           let c = ref 0 in
+           incr c;
+           let d = Domain.spawn (fun () -> ()) in
+           Domain.join d; !c|})
+
+let test_par_captured_mutation () =
+  Alcotest.(check (list string))
+    "captured table mutated in Pool.map closure" [ "P002" ]
+    (par_codes
+       {|let f pool keys =
+           let t = Hashtbl.create 8 in
+           Pool.map pool (fun k -> Hashtbl.replace t k ()) keys|});
+  Alcotest.(check (list string))
+    "atomics are the sanctioned primitive" []
+    (par_codes
+       {|let n = Atomic.make 0
+         let f () =
+           let d = Domain.spawn (fun () -> Atomic.incr n) in
+           Domain.join d; Atomic.get n|})
+
+let test_par_atomic_window () =
+  Alcotest.(check (list string))
+    "get -> test -> set window" [ "P003" ]
+    (par_codes
+       {|let a = Atomic.make 0
+         let f () = if Atomic.get a = 0 then Atomic.set a 1|});
+  Alcotest.(check (list string))
+    "compare_and_set in the same conditional exempts" []
+    (par_codes
+       {|let a = Atomic.make 0
+         let f () =
+           if Atomic.get a = 0 then ignore (Atomic.compare_and_set a 0 1)|})
+
+let test_par_wait_loop () =
+  Alcotest.(check (list string))
+    "wait outside any loop" [ "P004" ]
+    (par_codes
+       {|let f m c p =
+           Mutex.lock m;
+           (if not (p ()) then Condition.wait c m);
+           Mutex.unlock m|});
+  Alcotest.(check (list string))
+    "while loop re-tests the predicate" []
+    (par_codes
+       {|let f m c p =
+           Mutex.lock m;
+           while not (p ()) do Condition.wait c m done;
+           Mutex.unlock m|});
+  Alcotest.(check (list string))
+    "let rec wait loop is the codebase idiom" []
+    (par_codes
+       {|let f m c p =
+           Mutex.lock m;
+           let rec wait () = if not (p ()) then begin Condition.wait c m; wait () end in
+           wait ();
+           Mutex.unlock m|})
+
+let test_par_blocking_under_lock () =
+  Alcotest.(check (list string))
+    "channel read while holding a mutex" [ "P005" ]
+    (par_codes
+       {|let f m ic =
+           Mutex.lock m;
+           let l = input_line ic in
+           Mutex.unlock m; l|});
+  Alcotest.(check (list string))
+    "Condition.wait releases the mutex: exempt" []
+    (par_codes
+       {|let f m c p =
+           Mutex.lock m;
+           while not (p ()) do Condition.wait c m done;
+           Mutex.unlock m|})
+
+let test_par_mixed_discipline () =
+  Alcotest.(check (list string))
+    "parallel read without the lock writers hold" [ "P006" ]
+    (par_codes
+       {|type s = { lock : Mutex.t; mutable n : int }
+         let f jobs =
+           let s = { lock = Mutex.create (); n = 0 } in
+           let ds =
+             List.map
+               (fun _ ->
+                 Domain.spawn (fun () ->
+                     Mutex.lock s.lock;
+                     s.n <- s.n + 1;
+                     Mutex.unlock s.lock))
+               jobs
+           in
+           let w = Domain.spawn (fun () -> s.n) in
+           ignore (Domain.join w);
+           List.iter Domain.join ds|})
+
+let test_par_inlined_lock_inheritance () =
+  (* a same-file helper called only under the lock inherits protection
+     through call-site inlining *)
+  Alcotest.(check (list string))
+    "helper called under the lock is guarded" []
+    (par_codes
+       {|let c = ref 0
+         let m = Mutex.create ()
+         let bump () = incr c
+         let f () =
+           let d =
+             Domain.spawn (fun () ->
+                 Mutex.lock m; bump (); Mutex.unlock m)
+           in
+           Domain.join d;
+           Mutex.protect m (fun () -> !c)|})
+
+let test_par_labelled_callback_not_parallel () =
+  (* only positional Func arguments to parallel entry points run in
+     another domain; labelled callbacks like ~on_done stay synchronous *)
+  Alcotest.(check (list string))
+    "labelled on_done is synchronous" []
+    (par_codes
+       {|let f run x =
+           let c = ref 0 in
+           run ~on_done:(fun () -> incr c) x;
+           !c|})
+
+let test_par_parse_failure () =
+  Alcotest.(check (list string))
+    "unparseable source reports P000" [ "P000" ]
+    (par_codes "let = =")
+
+let test_par_inventory () =
+  let inv =
+    Par_lint.inventory ~filename:"test.ml"
+      {|let a = ref 0
+let t = Hashtbl.create 16
+let n = Atomic.make 0|}
+  in
+  Alcotest.(check (list string))
+    "kinds inventoried"
+    [ "Atomic.make"; "Hashtbl.create"; "ref" ]
+    (List.sort_uniq compare (List.map (fun (_, _, k) -> k) inv));
+  Alcotest.(check (list string))
+    "names inventoried" [ "a"; "n"; "t" ]
+    (List.sort_uniq compare (List.map (fun (_, n, _) -> n) inv))
+
+let test_par_json () =
+  let findings =
+    Par_lint.lint_string ~filename:"test.ml"
+      {|let c = ref 0
+        let f () =
+          let d = Domain.spawn (fun () -> incr c) in
+          Domain.join d; !c|}
+  in
+  let json = Par_lint.to_json findings in
+  let contains ~affix s =
+    let n = String.length affix and m = String.length s in
+    let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun affix ->
+      Alcotest.(check bool)
+        (Printf.sprintf "json mentions %s" affix)
+        true (contains ~affix json))
+    [ {|"findings": 1|}; {|"code": "P001"|}; {|"file": "test.ml"|} ]
+
+let test_par_fixture () =
+  let fixture =
+    List.find Sys.file_exists
+      [ "fixtures/bad_par.ml"; "test/fixtures/bad_par.ml" ]
+  in
+  let fs = Par_lint.lint_file fixture in
+  let hits code =
+    List.filter (fun f -> f.Par_lint.code = code) fs
+    |> List.map (fun f -> f.Par_lint.line)
+  in
+  Alcotest.(check (list int)) "P001 lines" [ 15 ] (hits "P001");
+  Alcotest.(check (list int)) "P002 lines" [ 22 ] (hits "P002");
+  Alcotest.(check (list int)) "P003 lines" [ 27 ] (hits "P003");
+  Alcotest.(check (list int)) "P004 lines" [ 31 ] (hits "P004");
+  Alcotest.(check (list int)) "P005 lines" [ 38 ] (hits "P005");
+  Alcotest.(check (list int)) "P006 lines" [ 56 ] (hits "P006")
 
 let () =
   Alcotest.run "analysis"
@@ -433,7 +700,33 @@ let () =
           Alcotest.test_case "catch-all handlers" `Quick test_lint_catch_all;
           Alcotest.test_case "toplevel mutable state" `Quick
             test_lint_toplevel_state;
+          Alcotest.test_case "determinism hazards" `Quick
+            test_lint_determinism;
           Alcotest.test_case "parse failure" `Quick test_lint_parse_failure;
           Alcotest.test_case "bad fixture detected" `Quick test_lint_fixture;
+          Alcotest.test_case "file walk skips build dirs" `Quick
+            test_ml_files_under;
+        ] );
+      ( "par_lint",
+        [
+          Alcotest.test_case "unguarded mutation (P001)" `Quick
+            test_par_unguarded_mutation;
+          Alcotest.test_case "captured mutation (P002)" `Quick
+            test_par_captured_mutation;
+          Alcotest.test_case "atomic window (P003)" `Quick
+            test_par_atomic_window;
+          Alcotest.test_case "wait loop (P004)" `Quick test_par_wait_loop;
+          Alcotest.test_case "blocking under lock (P005)" `Quick
+            test_par_blocking_under_lock;
+          Alcotest.test_case "mixed discipline (P006)" `Quick
+            test_par_mixed_discipline;
+          Alcotest.test_case "inlined lock inheritance" `Quick
+            test_par_inlined_lock_inheritance;
+          Alcotest.test_case "labelled callbacks stay synchronous" `Quick
+            test_par_labelled_callback_not_parallel;
+          Alcotest.test_case "parse failure" `Quick test_par_parse_failure;
+          Alcotest.test_case "inventory" `Quick test_par_inventory;
+          Alcotest.test_case "json report" `Quick test_par_json;
+          Alcotest.test_case "bad fixture detected" `Quick test_par_fixture;
         ] );
     ]

@@ -368,6 +368,71 @@ let random_clip (cols, rows, seed) =
     ~cols ~rows ~layers:2
     (List.init nets net)
 
+(* ------------------------------------------------------------------ *)
+(* Stress: width-4 solves + shared budget + cache traffic              *)
+(* ------------------------------------------------------------------ *)
+
+module Serve = Optrouter_serve.Serve
+module Cache = Optrouter_serve.Cache
+
+(* Four domains race width-governed [Milp] solves through one shared
+   [Pool.Budget] while finding/storing the payloads in one shared
+   [Cache] (capacity 2 over 3 keys, so evictions and disk promotions
+   happen under contention). The determinism contract makes this
+   checkable: whatever width the budget grants and whichever tier
+   answers, every payload must be byte-identical to a serial solve. *)
+let qcheck_width4_cache_stress =
+  QCheck.Test.make ~count:2
+    ~name:"width-4 solves under a shared budget keep cache byte-identity"
+    QCheck.(pair (int_range 3 4) (int_range 0 10_000))
+    (fun (cols, seed) ->
+      let clip = random_clip (cols, 2, seed) in
+      let reference rules =
+        Serve.payload_of_result
+          (Optrouter.route ~config:fast_config ~tech:Tech.n28_12t ~rules clip)
+      in
+      let references = List.map reference sweep_rules in
+      let dir = Filename.temp_file "optrouter-stress" "" in
+      Sys.remove dir;
+      Sys.mkdir dir 0o755;
+      let cache = Cache.create ~dir ~capacity:2 () in
+      let budget = Pool.Budget.create ~slots:4 in
+      let key rules =
+        Serve.cache_key ~config:fast_config ~tech:Tech.n28_12t ~rules clip
+      in
+      let solve_widened rules =
+        Pool.Budget.with_width budget ~want:4 (fun width ->
+            let config =
+              Optrouter.make_config
+                ~milp:
+                  (Milp.make_params ~max_nodes:5_000 ~time_limit_s:20.0
+                     ~solver_jobs:width ())
+                ()
+            in
+            Serve.payload_of_result
+              (Optrouter.route ~config ~tech:Tech.n28_12t ~rules clip))
+      in
+      let worker () =
+        List.concat_map
+          (fun _ ->
+            List.map
+              (fun rules ->
+                match Cache.find cache (key rules) with
+                | Some (payload, _) -> payload
+                | None ->
+                  let payload = solve_widened rules in
+                  Cache.store cache (key rules) payload;
+                  payload)
+              sweep_rules)
+          [ 1; 2 ]
+      in
+      let domains = List.init 4 (fun _ -> Domain.spawn worker) in
+      let rounds = List.map Domain.join domains in
+      let expected = references @ references in
+      Pool.Budget.available budget = Pool.Budget.total budget
+      && (Cache.stats cache).Cache.disk_errors = 0
+      && List.for_all (fun payloads -> payloads = expected) rounds)
+
 let qcheck_reuse_identity =
   QCheck.Test.make ~count:6
     ~name:"sweep entries identical with reuse on/off (serial and -j 2)"
@@ -426,5 +491,6 @@ let () =
           Alcotest.test_case "reuse on/off identical entries" `Quick
             test_sweep_reuse_identity;
           QCheck_alcotest.to_alcotest qcheck_reuse_identity;
+          QCheck_alcotest.to_alcotest qcheck_width4_cache_stress;
         ] );
     ]

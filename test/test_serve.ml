@@ -136,6 +136,62 @@ let test_cache_disk_corruption_recovery () =
   | Some (p, Cache.Disk) -> Alcotest.(check string) "t3 payload intact" payload p
   | Some (_, Cache.Memory) | None -> Alcotest.fail "t3 should load from disk")
 
+let test_cache_hammer () =
+  (* 4 domains hammer an 8-entry cache with overlapping keys: the mutex
+     must keep the LRU table, clock and counters coherent under real
+     contention, with the disk tier adding promotion traffic. Payloads
+     are derived from the key, so any cross-key corruption shows up as a
+     wrong payload, not just a crash. *)
+  let dir = fresh_dir "optrouter-cache" in
+  let c = Cache.create ~dir ~capacity:8 () in
+  let keys = Array.init 24 (fun i -> Printf.sprintf "h%02d" i) in
+  let payload key = "payload-of-" ^ key in
+  let rounds = 200 in
+  let finds_per_domain = ref 0 in
+  (* precompute one domain's schedule length so the partition check
+     below can count total [find] calls exactly *)
+  let worker seed () =
+    let finds = ref 0 in
+    for round = 0 to rounds - 1 do
+      let key = keys.((seed + (round * 7)) mod Array.length keys) in
+      (match Cache.find c key with
+      | Some (p, _) ->
+        if p <> payload key then failwith ("corrupt payload for " ^ key)
+      | None -> Cache.store c key (payload key));
+      incr finds;
+      (* second, always-resident key keeps the hit path hot *)
+      let hot = keys.(seed mod 4) in
+      (match Cache.find c hot with
+      | Some (p, _) ->
+        if p <> payload hot then failwith ("corrupt payload for " ^ hot)
+      | None -> Cache.store c hot (payload hot));
+      incr finds
+    done;
+    !finds
+  in
+  finds_per_domain := 2 * rounds;
+  let domains = List.init 4 (fun seed -> Domain.spawn (worker seed)) in
+  let find_calls = List.fold_left (fun a d -> a + Domain.join d) 0 domains in
+  Alcotest.(check int) "every find call ran" (4 * !finds_per_domain) find_calls;
+  let s = Cache.stats c in
+  Alcotest.(check int)
+    "hits + misses partition the find calls" find_calls
+    (s.Cache.mem_hits + s.Cache.disk_hits + s.Cache.misses);
+  Alcotest.(check int) "every miss was answered by a store" s.Cache.misses
+    s.Cache.stores;
+  Alcotest.(check int) "no disk errors" 0 s.Cache.disk_errors;
+  Alcotest.(check bool)
+    (Printf.sprintf "memory tier within capacity (%d)" (Cache.mem_size c))
+    true
+    (Cache.mem_size c <= 8);
+  (* quiescent: every key answers with its own payload *)
+  Array.iter
+    (fun key ->
+      match Cache.find c key with
+      | Some (p, _) -> Alcotest.(check string) ("payload " ^ key) (payload key) p
+      | None -> Alcotest.fail ("key lost after hammer: " ^ key))
+    keys
+
 (* ------------------------------------------------------------------ *)
 (* Cache key                                                           *)
 (* ------------------------------------------------------------------ *)
@@ -432,6 +488,7 @@ let () =
             test_cache_disk_roundtrip;
           Alcotest.test_case "corrupted entries recover as misses" `Quick
             test_cache_disk_corruption_recovery;
+          Alcotest.test_case "4-domain hammer" `Slow test_cache_hammer;
         ] );
       ( "key",
         [
