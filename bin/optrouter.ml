@@ -108,6 +108,38 @@ let pricing_arg =
            Every rule proves the same optimum; only iteration counts and \
            speed change.")
 
+let solve_mode_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "exact" -> Ok Optrouter_drv.Exact
+    | "lagrangian" -> Ok Optrouter_drv.Lagrangian
+    | other ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown solve mode %S (exact or lagrangian)" other))
+  in
+  Arg.conv
+    ( parse,
+      fun ppf m ->
+        Format.pp_print_string ppf
+          (match m with
+          | Optrouter_drv.Exact -> "exact"
+          | Optrouter_drv.Lagrangian -> "lagrangian") )
+
+let solve_mode_arg =
+  Arg.(
+    value
+    & opt solve_mode_conv Optrouter_drv.Exact
+    & info [ "solve-mode" ] ~docv:"MODE"
+        ~env:(Cmd.Env.info "OPTROUTER_SOLVE_MODE")
+        ~doc:
+          "Solve engine: $(b,exact) (build the full ILP and prove the \
+           optimum, the default) or $(b,lagrangian) (sub-gradient \
+           decomposition: per-net subproblems priced in parallel, a valid \
+           dual bound, and a DRC-certified near-optimal routing with a \
+           reported optimality gap — for clips beyond the exact solver's \
+           reach).")
+
 let solver_jobs_arg =
   Arg.(
     value
@@ -134,7 +166,7 @@ let load_clips path =
     exit 1
 
 let config_of ?(reuse = true) ?(audit = false) ?(solver_jobs = 1) ?pricing
-    ~time_limit () =
+    ?(solve_mode = Optrouter_drv.Exact) ~time_limit () =
   let simplex =
     match pricing with
     | None -> Simplex.make_params ()
@@ -145,9 +177,9 @@ let config_of ?(reuse = true) ?(audit = false) ?(solver_jobs = 1) ?pricing
       ~simplex ()
   in
   if audit then
-    Optrouter_drv.make_config ~milp ~seed_reuse:reuse
+    Optrouter_drv.make_config ~milp ~solve_mode ~seed_reuse:reuse
       ~audit:(Lp_audit.hook ()) ()
-  else Optrouter_drv.make_config ~milp ~seed_reuse:reuse ()
+  else Optrouter_drv.make_config ~milp ~solve_mode ~seed_reuse:reuse ()
 
 let audit_flag =
   Arg.(
@@ -170,10 +202,12 @@ let no_reuse_arg =
 
 (* ---- route ---- *)
 
-let do_route tech rules time_limit solver_jobs pricing audit lp_out route_out
-    path () =
+let do_route tech rules time_limit solver_jobs pricing solve_mode audit lp_out
+    route_out path () =
   let clips = load_clips path in
-  let config = config_of ~audit ~solver_jobs ?pricing ~time_limit () in
+  let config =
+    config_of ~audit ~solver_jobs ?pricing ~solve_mode ~time_limit ()
+  in
   List.iteri
     (fun i clip ->
       (match lp_out with
@@ -186,7 +220,10 @@ let do_route tech rules time_limit solver_jobs pricing audit lp_out route_out
       | None -> ());
       let result = Optrouter_drv.route ~config ~tech ~rules clip in
       (match (route_out, result.Optrouter_drv.verdict) with
-      | Some base, (Optrouter_drv.Routed sol | Optrouter_drv.Limit (Some sol)) ->
+      | ( Some base,
+          ( Optrouter_drv.Routed sol
+          | Optrouter_drv.Limit (Some sol)
+          | Optrouter_drv.Near_optimal sol ) ) ->
         let g = Graph.build ~tech ~rules clip in
         let file = Printf.sprintf "%s.%d.route" base i in
         Optrouter_clipfile.Routefile.write_file file g sol;
@@ -209,7 +246,23 @@ let do_route tech rules time_limit solver_jobs pricing audit lp_out route_out
       | Optrouter_drv.Limit _ ->
         Printf.printf "%s under %s: LIMIT after %.2fs (%d nodes)\n"
           clip.Clip.c_name rules.Rules.name stats.Optrouter_drv.elapsed_s
-          stats.Optrouter_drv.nodes)
+          stats.Optrouter_drv.nodes
+      | Optrouter_drv.Near_optimal sol ->
+        let gap_txt, dual_txt =
+          match stats.Optrouter_drv.lagrangian with
+          | Some ls ->
+            ( (match ls.Optrouter_drv.lag_gap with
+              | Some gp -> Printf.sprintf " gap<=%.2f%%" (100.0 *. gp)
+              | None -> ""),
+              Printf.sprintf " dual>=%.0f" ls.Optrouter_drv.dual_bound )
+          | None -> ("", "")
+        in
+        Printf.printf
+          "%s under %s: NEAR-OPTIMAL cost=%d wirelength=%d vias=%d%s%s \
+           (%.2fs)\n"
+          clip.Clip.c_name rules.Rules.name sol.Route.metrics.cost
+          sol.Route.metrics.wirelength sol.Route.metrics.vias gap_txt dual_txt
+          stats.Optrouter_drv.elapsed_s)
     clips
 
 let lp_out_arg =
@@ -230,16 +283,17 @@ let route_cmd =
   Cmd.v (Cmd.info "route" ~doc)
     Term.(
       const do_route $ tech_arg $ rule_arg $ time_limit_arg $ solver_jobs_arg
-      $ pricing_arg $ audit_flag $ lp_out_arg $ route_out_arg $ clips_file_arg
-      $ logs_term)
+      $ pricing_arg $ solve_mode_arg $ audit_flag $ lp_out_arg $ route_out_arg
+      $ clips_file_arg $ logs_term)
 
 (* ---- sweep ---- *)
 
-let do_sweep tech time_limit jobs solver_jobs pricing no_reuse audit csv_out
-    path () =
+let do_sweep tech time_limit jobs solver_jobs pricing solve_mode no_reuse audit
+    csv_out path () =
   let clips = load_clips path in
   let config =
-    config_of ~reuse:(not no_reuse) ~audit ~solver_jobs ?pricing ~time_limit ()
+    config_of ~reuse:(not no_reuse) ~audit ~solver_jobs ?pricing ~solve_mode
+      ~time_limit ()
   in
   let rules = Experiments.rules_for tech in
   let telemetry = ref Sweep.empty_telemetry in
@@ -309,8 +363,8 @@ let sweep_cmd =
   Cmd.v (Cmd.info "sweep" ~doc)
     Term.(
       const do_sweep $ tech_arg $ time_limit_arg $ jobs_arg $ solver_jobs_arg
-      $ pricing_arg $ no_reuse_arg $ audit_flag $ csv_out $ clips_file_arg
-      $ logs_term)
+      $ pricing_arg $ solve_mode_arg $ no_reuse_arg $ audit_flag $ csv_out
+      $ clips_file_arg $ logs_term)
 
 (* ---- gen ---- *)
 

@@ -79,7 +79,9 @@ let () =
       let optimal =
         match (Optrouter.route_graph ~config ~rules g).Optrouter.verdict with
         | Optrouter.Routed sol -> Some sol.Route.metrics.cost
-        | Optrouter.Unroutable | Optrouter.Limit _ -> None
+        | Optrouter.Unroutable | Optrouter.Limit _ | Optrouter.Near_optimal _
+          ->
+          None
       in
       let cell = function Some c -> string_of_int c | None -> "fail" in
       Printf.printf "%-8s %12s %10s %10s\n" clip.Clip.c_name (cell single)

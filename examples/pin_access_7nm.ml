@@ -50,6 +50,8 @@ let try_rules tech =
           Printf.sprintf "cost %d" sol.Route.metrics.cost
         | Optrouter.Unroutable -> "UNROUTABLE"
         | Optrouter.Limit _ -> "limit"
+        | Optrouter.Near_optimal sol ->
+          Printf.sprintf "cost %d (near-optimal)" sol.Route.metrics.cost
       in
       Printf.printf "  %-7s %-12s %s\n" rules.Rules.name verdict
         (if applicable then "" else "(paper skips this rule for N7)"))

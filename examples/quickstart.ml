@@ -44,6 +44,9 @@ let route_and_show rules =
       result.Optrouter.stats.Optrouter.nodes
   | Optrouter.Unroutable -> print_endline "unroutable under these rules\n"
   | Optrouter.Limit _ -> print_endline "solver limit reached\n"
+  | Optrouter.Near_optimal _ ->
+    (* only the Lagrangian solve mode emits this; the default is exact *)
+    print_endline "unexpected near-optimal verdict\n"
 
 let () =
   print_endline "OptRouter quickstart: optimal switchbox routing";

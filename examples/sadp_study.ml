@@ -31,7 +31,8 @@ let clip =
 let solve rules =
   match (Optrouter.route ~tech:Tech.n28_12t ~rules clip).Optrouter.verdict with
   | Optrouter.Routed sol -> sol
-  | Optrouter.Unroutable | Optrouter.Limit _ -> failwith "expected a routing"
+  | Optrouter.Unroutable | Optrouter.Limit _ | Optrouter.Near_optimal _ ->
+    failwith "expected a proven routing"
 
 let () =
   let lele = Rules.rule 1 and sadp = Rules.rule 2 in

@@ -36,7 +36,8 @@ let solve ~via_shapes clip =
   let result = Optrouter.route ~config ~tech:Tech.n28_12t ~rules clip in
   match result.Optrouter.verdict with
   | Optrouter.Routed sol -> sol
-  | Optrouter.Unroutable | Optrouter.Limit _ -> failwith "expected a routing"
+  | Optrouter.Unroutable | Optrouter.Limit _ | Optrouter.Near_optimal _ ->
+    failwith "expected a proven routing"
 
 let describe label clip via_shapes =
   let sol = solve ~via_shapes clip in

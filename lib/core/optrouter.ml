@@ -7,12 +7,28 @@ module Tech = Optrouter_tech.Tech
 module Via_shape = Optrouter_tech.Via_shape
 module Milp = Optrouter_ilp.Milp
 module Simplex = Optrouter_ilp.Simplex
+module Lagrangian = Optrouter_lagrangian.Lagrangian
 
 type seed_use =
   | Seed_unused
   | Seed_fast_path
   | Seed_incumbent
   | Seed_rejected
+
+type solve_mode = Exact | Lagrangian
+
+type lagrangian_stats = {
+  lag_iterations : int;
+  dual_bound : float;
+  primal_cost : int option;
+  lag_gap : float option;
+  multiplier_norm : float;
+  lag_busy_s : float;
+  lag_wall_s : float;
+  lag_rounds : int;
+  lag_rip_ups : int;
+  lag_exact_pricing : bool;
+}
 
 type stats = {
   sizes : Formulate.sizes;
@@ -29,12 +45,14 @@ type stats = {
   solver_busy_s : float;
   solver_wall_s : float;
   dual_btran_saved : int;
+  lagrangian : lagrangian_stats option;
 }
 
 type verdict =
   | Routed of Route.solution
   | Unroutable
   | Limit of Route.solution option
+  | Near_optimal of Route.solution
 
 type result = { verdict : verdict; stats : stats }
 
@@ -44,6 +62,8 @@ type config = {
   single_vias : bool;
   bidirectional : bool;
   milp : Milp.params;
+  solve_mode : solve_mode;
+  lagrangian_params : Lagrangian.params;
   drc_check : bool;
   heuristic_incumbent : bool;
   seed_reuse : bool;
@@ -57,6 +77,8 @@ let default_config =
     single_vias = true;
     bidirectional = false;
     milp = Milp.make_params ~max_nodes:20_000 ~time_limit_s:60.0 ();
+    solve_mode = Exact;
+    lagrangian_params = Lagrangian.default_params;
     drc_check = true;
     heuristic_incumbent = true;
     seed_reuse = true;
@@ -67,7 +89,9 @@ let make_config ?(options = default_config.options)
     ?(via_shapes = default_config.via_shapes)
     ?(single_vias = default_config.single_vias)
     ?(bidirectional = default_config.bidirectional)
-    ?(milp = default_config.milp) ?(drc_check = default_config.drc_check)
+    ?(milp = default_config.milp) ?(solve_mode = default_config.solve_mode)
+    ?(lagrangian_params = default_config.lagrangian_params)
+    ?(drc_check = default_config.drc_check)
     ?(heuristic_incumbent = default_config.heuristic_incumbent)
     ?(seed_reuse = default_config.seed_reuse) ?audit () =
   {
@@ -76,6 +100,8 @@ let make_config ?(options = default_config.options)
     single_vias;
     bidirectional;
     milp;
+    solve_mode;
+    lagrangian_params;
     drc_check;
     heuristic_incumbent;
     seed_reuse;
@@ -90,7 +116,9 @@ let make_config ?(options = default_config.options)
    time/node limits, solver_jobs, pricing/refactorisation, drc_check,
    heuristic_incumbent, seed_reuse, audit — which change how fast a
    proven answer arrives, never the answer itself (only *proven* results
-   may be cached under a key built from this). Fixed order and spelling:
+   may be cached under a key built from this). [solve_mode] IS included:
+   Lagrangian results are near-optimal rather than proven, so the two
+   modes must never share a cache entry. Fixed order and spelling:
    part of the serve cache's key format, versioned there. *)
 let config_fingerprint c =
   let b = Buffer.create 128 in
@@ -112,6 +140,9 @@ let config_fingerprint c =
   Buffer.add_string b
     (Printf.sprintf "milp:integrality_tol=%.17g\n"
        c.milp.Milp.integrality_tol);
+  Buffer.add_string b
+    (Printf.sprintf "solve_mode=%s\n"
+       (match c.solve_mode with Exact -> "exact" | Lagrangian -> "lagrangian"));
   Buffer.contents b
 
 exception Drc_failure of string
@@ -152,11 +183,76 @@ let fast_path ~rules g (sol : Route.solution) =
      (L003) insists it stays greppable. *)
   | exception _foreign_seed_exn -> None
 
+(* The decomposition path. The exact fast path is unsound here: a seed
+   is a baseline that may itself be near-optimal rather than optimal, so
+   it only ever serves as the initial incumbent (upper bound). The only
+   proven verdict this mode emits is [Unroutable] by plain graph
+   reachability; a feasible routing comes back as [Near_optimal] with
+   the dual bound and gap in [stats.lagrangian]. *)
+let route_lagrangian ~config ?seed ~rules (g : Graph.t) ~start =
+  let params =
+    {
+      config.lagrangian_params with
+      Lagrangian.jobs = config.milp.Milp.solver_jobs;
+      time_limit_s = config.milp.Milp.time_limit_s;
+    }
+  in
+  let r = Lagrangian.solve ~params ?seed ~rules g in
+  let verdict =
+    if r.Lagrangian.unreachable then Unroutable
+    else
+      match r.Lagrangian.solution with
+      | Some sol -> Near_optimal sol
+      | None -> Limit None
+  in
+  let seed_use =
+    match seed with None -> Seed_unused | Some _ -> Seed_incumbent
+  in
+  let stats =
+    {
+      sizes = no_sizes;
+      nodes = 0;
+      simplex_iterations = 0;
+      root_lp_iters = 0;
+      bound_flips = 0;
+      warm_start = `Cold;
+      root_basis = None;
+      elapsed_s = Unix.gettimeofday () -. start;
+      seed_use;
+      solver_workers = r.Lagrangian.workers;
+      solver_steals = 0;
+      solver_busy_s = r.Lagrangian.busy_s;
+      solver_wall_s = r.Lagrangian.wall_s;
+      dual_btran_saved = 0;
+      lagrangian =
+        Some
+          {
+            lag_iterations = r.Lagrangian.iterations;
+            dual_bound = r.Lagrangian.dual_bound;
+            primal_cost =
+              Option.map
+                (fun (s : Route.solution) -> s.Route.metrics.cost)
+                r.Lagrangian.solution;
+            lag_gap = r.Lagrangian.gap;
+            multiplier_norm = r.Lagrangian.multiplier_norm;
+            lag_busy_s = r.Lagrangian.busy_s;
+            lag_wall_s = r.Lagrangian.wall_s;
+            lag_rounds = r.Lagrangian.rounding_attempts;
+            lag_rip_ups = r.Lagrangian.rip_ups;
+            lag_exact_pricing = r.Lagrangian.exact_pricing;
+          };
+    }
+  in
+  { verdict; stats }
+
 let route_graph ?(config = default_config) ?seed ?warm_basis ~rules
     (g : Graph.t) =
   let start = Unix.gettimeofday () in
   let seed = if config.seed_reuse then seed else None in
   let warm_basis = if config.seed_reuse then warm_basis else None in
+  match config.solve_mode with
+  | Lagrangian -> route_lagrangian ~config ?seed ~rules g ~start
+  | Exact -> (
   match Option.bind seed (fast_path ~rules g) with
   | Some sol ->
     Log.debug (fun m ->
@@ -178,6 +274,7 @@ let route_graph ?(config = default_config) ?seed ?warm_basis ~rules
         solver_busy_s = 0.0;
         solver_wall_s = 0.0;
         dual_btran_saved = 0;
+        lagrangian = None;
       }
     in
     { verdict = Routed sol; stats }
@@ -252,6 +349,7 @@ let route_graph ?(config = default_config) ?seed ?warm_basis ~rules
       solver_busy_s = milp_result.Milp.solver_busy_s;
       solver_wall_s = milp_result.Milp.solver_wall_s;
       dual_btran_saved = milp_result.Milp.dual_btran_saved;
+      lagrangian = None;
     }
   in
   let decode () =
@@ -274,7 +372,7 @@ let route_graph ?(config = default_config) ?seed ?warm_basis ~rules
       (* all variables are bounded, so this cannot happen *)
       assert false
   in
-  { verdict; stats }
+  { verdict; stats })
 
 let route ?(config = default_config) ?seed ?warm_basis ~tech ~rules clip =
   let g =
@@ -285,5 +383,6 @@ let route ?(config = default_config) ?seed ?warm_basis ~tech ~rules clip =
 
 let cost_of result =
   match result.verdict with
-  | Routed sol | Limit (Some sol) -> Some sol.Route.metrics.cost
+  | Routed sol | Limit (Some sol) | Near_optimal sol ->
+    Some sol.Route.metrics.cost
   | Unroutable | Limit None -> None

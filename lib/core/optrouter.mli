@@ -8,6 +8,39 @@
     Routing cost is [wirelength + via_weight * #vias] (the paper uses
     via_weight = 4, carried by the technology preset). *)
 
+(** Which solve engine {!route} / {!route_graph} runs.
+
+    [Exact] is the paper's path: build the full ILP and prove the optimum
+    with branch and bound. [Lagrangian] dualises the shared capacity rows
+    and runs the sub-gradient decomposition of
+    {!Optrouter_lagrangian.Lagrangian}: per-net subproblems priced in
+    parallel, a valid dual (lower) bound, and a DRC-certified feasible
+    routing obtained by rounding — {e near-optimal}, never proven, with
+    the bound and gap reported in [stats.lagrangian]. Use it for clips
+    beyond the exact solver's reach (the paper-size 7×10×8 regime). *)
+type solve_mode = Exact | Lagrangian
+
+(** Decomposition-mode counters, present iff the solve ran with
+    [solve_mode = Lagrangian]. *)
+type lagrangian_stats = {
+  lag_iterations : int;  (** sub-gradient iterations run *)
+  dual_bound : float;
+      (** integral-lifted lower bound on the ILP optimum (0 when no
+          iteration completed) *)
+  primal_cost : int option;  (** cost of the returned routing, if any *)
+  lag_gap : float option;
+      (** (primal - dual_bound) / primal; [None] without a feasible
+          routing *)
+  multiplier_norm : float;  (** final multiplier 2-norm *)
+  lag_busy_s : float;  (** summed per-net pricing work across domains *)
+  lag_wall_s : float;  (** wall clock of the decomposition solve alone *)
+  lag_rounds : int;  (** rounding attempts *)
+  lag_rip_ups : int;  (** nets ripped up across repair rounds *)
+  lag_exact_pricing : bool;
+      (** every per-net subproblem was priced exactly (sink counts within
+          the Steiner-DP cap) *)
+}
+
 (** How a [?seed] routing was exploited by a solve. *)
 type seed_use =
   | Seed_unused  (** no seed given, or [seed_reuse] disabled *)
@@ -49,6 +82,8 @@ type stats = {
   dual_btran_saved : int;
       (** BTRAN passes saved by the incremental dual update, summed over
           the solve's LP re-optimisations *)
+  lagrangian : lagrangian_stats option;
+      (** decomposition counters; [Some] iff [solve_mode = Lagrangian] *)
 }
 
 type verdict =
@@ -56,6 +91,9 @@ type verdict =
   | Unroutable  (** the ILP is infeasible under this rule configuration *)
   | Limit of Optrouter_grid.Route.solution option
       (** node/time limit hit; holds the incumbent if one was found *)
+  | Near_optimal of Optrouter_grid.Route.solution
+      (** Lagrangian mode: DRC-certified feasible routing with a valid
+          dual bound ([stats.lagrangian]), but {e no} optimality proof *)
 
 type result = { verdict : verdict; stats : stats }
 
@@ -65,6 +103,12 @@ type config = {
   single_vias : bool;
   bidirectional : bool;
   milp : Optrouter_ilp.Milp.params;
+  solve_mode : solve_mode;
+  lagrangian_params : Optrouter_lagrangian.Lagrangian.params;
+      (** decomposition knobs; [jobs] and [time_limit_s] are overridden
+          at solve time by [milp.solver_jobs] / [milp.time_limit_s] so
+          both modes share one effort budget (and the sweep's
+          [Pool.Budget] width grants apply unchanged) *)
   drc_check : bool;
       (** audit optimal solutions with {!Optrouter_grid.Drc} and raise on
           violation; default [true] — a violation means a formulation bug *)
@@ -97,6 +141,8 @@ val make_config :
   ?single_vias:bool ->
   ?bidirectional:bool ->
   ?milp:Optrouter_ilp.Milp.params ->
+  ?solve_mode:solve_mode ->
+  ?lagrangian_params:Optrouter_lagrangian.Lagrangian.params ->
   ?drc_check:bool ->
   ?heuristic_incumbent:bool ->
   ?seed_reuse:bool ->
@@ -112,7 +158,9 @@ val make_config :
     [heuristic_incumbent], [seed_reuse], [audit]) are deliberately
     excluded: they change how fast a proven answer arrives, never the
     answer, so configs differing only in effort share cache entries.
-    Stable by contract; format changes require a cache-key version bump
+    [solve_mode] {e is} included — Lagrangian answers are near-optimal,
+    not proven, so the modes must never share an entry. Stable by
+    contract; format changes require a cache-key version bump
     (see [Optrouter_serve.Cache]). *)
 val config_fingerprint : config -> string
 

@@ -135,6 +135,7 @@ type fig10_params = {
   time_limit_s : float;
   reuse : bool;
   solver_jobs : int;
+  solve_mode : Optrouter.solve_mode;
 }
 
 let default_fig10_params =
@@ -147,6 +148,7 @@ let default_fig10_params =
     time_limit_s = 20.0;
     reuse = true;
     solver_jobs = 1;
+    solve_mode = Optrouter.Exact;
   }
 
 let scaled_profile scale (p : Design.profile) =
@@ -184,7 +186,7 @@ let solver_config params =
     ~milp:
       (Milp.make_params ~max_nodes:50_000 ~time_limit_s:params.time_limit_s
          ~solver_jobs:params.solver_jobs ())
-    ~seed_reuse:params.reuse ()
+    ~solve_mode:params.solve_mode ~seed_reuse:params.reuse ()
 
 let fig10 ?(params = default_fig10_params) ?pool ?telemetry ?on_entry tech =
   let clips = difficult_clips ~params tech in

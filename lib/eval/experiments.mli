@@ -40,6 +40,11 @@ type fig10_params = {
           Under a sweep pool this is a {e request}: solves widen only
           when pool domains are idle (see {!Sweep}). Entries are
           identical either way — proved optima do not depend on it. *)
+  solve_mode : Optrouter_core.Optrouter.solve_mode;
+      (** [Exact] (default) proves optima with the ILP; [Lagrangian]
+          trades the proof for sub-gradient decomposition — entries then
+          carry near-optimal costs with a reported gap, which unlocks
+          paper-size clips the exact solver cannot finish. *)
 }
 
 val default_fig10_params : fig10_params

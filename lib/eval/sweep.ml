@@ -48,6 +48,12 @@ type telemetry = {
   solver_busy_s : float;
   solver_wall_s : float;
   peak_workers : int;
+  lagrangian_solves : int;
+  lag_iterations : int;
+  lag_busy_s : float;
+  lag_wall_s : float;
+  lag_gap_max : float;
+  lag_unrounded : int;
 }
 
 let empty_telemetry =
@@ -70,6 +76,12 @@ let empty_telemetry =
     solver_busy_s = 0.0;
     solver_wall_s = 0.0;
     peak_workers = 0;
+    lagrangian_solves = 0;
+    lag_iterations = 0;
+    lag_busy_s = 0.0;
+    lag_wall_s = 0.0;
+    lag_gap_max = 0.0;
+    lag_unrounded = 0;
   }
 
 let merge_telemetry a b =
@@ -96,6 +108,13 @@ let merge_telemetry a b =
     solver_busy_s = a.solver_busy_s +. b.solver_busy_s;
     solver_wall_s = Float.max a.solver_wall_s b.solver_wall_s;
     peak_workers = max a.peak_workers b.peak_workers;
+    lagrangian_solves = a.lagrangian_solves + b.lagrangian_solves;
+    lag_iterations = a.lag_iterations + b.lag_iterations;
+    lag_busy_s = a.lag_busy_s +. b.lag_busy_s;
+    (* Like [solver_wall_s]: a span, so max over shards, never a sum. *)
+    lag_wall_s = Float.max a.lag_wall_s b.lag_wall_s;
+    lag_gap_max = Float.max a.lag_gap_max b.lag_gap_max;
+    lag_unrounded = a.lag_unrounded + b.lag_unrounded;
   }
 
 let add_result t (result : Optrouter.result) =
@@ -104,7 +123,7 @@ let add_result t (result : Optrouter.result) =
     match result.Optrouter.verdict with
     | Optrouter.Limit _ -> (1, 0)
     | Optrouter.Unroutable -> (0, 1)
-    | Optrouter.Routed _ -> (0, 0)
+    | Optrouter.Routed _ | Optrouter.Near_optimal _ -> (0, 0)
   in
   let fast, seeded =
     match s.Optrouter.seed_use with
@@ -136,6 +155,33 @@ let add_result t (result : Optrouter.result) =
     solver_busy_s = t.solver_busy_s +. s.Optrouter.solver_busy_s;
     solver_wall_s = t.solver_wall_s +. s.Optrouter.solver_wall_s;
     peak_workers = max t.peak_workers s.Optrouter.solver_workers;
+    lagrangian_solves =
+      (t.lagrangian_solves
+      + match s.Optrouter.lagrangian with Some _ -> 1 | None -> 0);
+    lag_iterations =
+      (t.lag_iterations
+      + match s.Optrouter.lagrangian with
+        | Some ls -> ls.Optrouter.lag_iterations
+        | None -> 0);
+    lag_busy_s =
+      (t.lag_busy_s
+      +. match s.Optrouter.lagrangian with
+         | Some ls -> ls.Optrouter.lag_busy_s
+         | None -> 0.0);
+    lag_wall_s =
+      (t.lag_wall_s
+      +. match s.Optrouter.lagrangian with
+         | Some ls -> ls.Optrouter.lag_wall_s
+         | None -> 0.0);
+    lag_gap_max =
+      (match s.Optrouter.lagrangian with
+      | Some { Optrouter.lag_gap = Some g; _ } -> Float.max t.lag_gap_max g
+      | Some { Optrouter.lag_gap = None; _ } | None -> t.lag_gap_max);
+    lag_unrounded =
+      (t.lag_unrounded
+      + match s.Optrouter.lagrangian with
+        | Some { Optrouter.primal_cost = None; _ } -> 1
+        | Some { Optrouter.primal_cost = Some _; _ } | None -> 0);
   }
 
 let add_outcome t = function
@@ -151,7 +197,10 @@ let render_telemetry t =
       ~solves:t.solves ~fast_path_hits:t.fast_path_hits
       ~seeded_incumbents:t.seeded_incumbents ~nodes:t.nodes
       ~simplex_iterations:t.simplex_iterations ~busy_s:t.busy_s ~wall_s:t.wall_s
-      ~limits:t.limits ~infeasible:t.infeasible ~failures:t.failures ()
+      ~limits:t.limits ~infeasible:t.infeasible ~failures:t.failures
+      ~lagrangian_solves:t.lagrangian_solves ~lag_iterations:t.lag_iterations
+      ~lag_busy_s:t.lag_busy_s ~lag_gap_max:t.lag_gap_max
+      ~lag_unrounded:t.lag_unrounded ()
   in
   (* Diagnostics the quiet-by-default Report.Log swallowed during the
      sweep (maze reroute chatter, simplex progress): surface the counts so
@@ -237,7 +286,7 @@ let entry_for ~clip_name ~base_cost (r : Rules.t) outcome =
     match outcome with
     | Ok result -> (
       match result.Optrouter.verdict with
-      | Optrouter.Routed sol ->
+      | Optrouter.Routed sol | Optrouter.Near_optimal sol ->
         (Delta (sol.Route.metrics.cost - base_cost), Some sol.Route.metrics.cost)
       | Optrouter.Unroutable -> (Infeasible, None)
       | Optrouter.Limit (Some sol) -> (Limit, Some sol.Route.metrics.cost)
@@ -286,7 +335,11 @@ let baseline_of clip_name = function
     match baseline.Optrouter.verdict with
     | Optrouter.Unroutable | Optrouter.Limit None -> None
     | Optrouter.Limit (Some _) -> None
-    | Optrouter.Routed base ->
+    (* A near-optimal baseline only ever occurs in Lagrangian-mode
+       sweeps, where the seed is an incumbent, never a fast-path proof —
+       so deltas are measured against the mode's own baseline and the
+       unsound exact fast path can never see it. *)
+    | Optrouter.Routed base | Optrouter.Near_optimal base ->
       Some (base, baseline.Optrouter.stats.Optrouter.root_basis))
 
 let rule_entries ?config ?pool ?budget ?telemetry ?on_entry ~tech jobs =

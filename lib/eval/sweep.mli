@@ -87,6 +87,20 @@ type telemetry = {
   peak_workers : int;
       (** widest branch-and-bound search of the sweep; 0 when every solve
           was answered by the fast path *)
+  lagrangian_solves : int;
+      (** solves that ran the decomposition path
+          ([solve_mode = Lagrangian]) *)
+  lag_iterations : int;  (** summed sub-gradient iterations *)
+  lag_busy_s : float;
+      (** summed per-net pricing work across decomposition solves *)
+  lag_wall_s : float;
+      (** summed decomposition-solve wall time (a span: merges by [max]
+          across merged records, like [solver_wall_s]) *)
+  lag_gap_max : float;
+      (** worst reported optimality gap of any decomposition solve (0
+          when none reported one) *)
+  lag_unrounded : int;
+      (** decomposition solves whose rounding found no feasible routing *)
 }
 
 val empty_telemetry : telemetry

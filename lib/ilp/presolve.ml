@@ -1,15 +1,35 @@
+(* A substituted singleton column: x_j = konst - sum_i (coeff_i * x_i),
+   with [i] in original index space. Recorded in chronological order;
+   restored in reverse, so every referenced variable is already known. *)
+type subst = { s_var : int; konst : float; terms : (int * float) list }
+
+type stats = {
+  rows_before : int;
+  rows_after : int;
+  cols_before : int;
+  cols_after : int;
+  passes : int;
+  singleton_cols : int;
+  dominated_rows : int;
+}
+
 type mapping = {
   n_original : int;
   keep : int array;  (** reduced index -> original index *)
   fixed : (int * float) list;  (** original index -> pinned value *)
+  substs : subst list;  (** chronological order *)
   offset : float;
   rows_removed : int;
+  m_stats : stats;
 }
 
 type result = Reduced of Lp.t * mapping | Infeasible of string
 
-let removed m = (List.length m.fixed, m.rows_removed)
+let removed m =
+  (List.length m.fixed + List.length m.substs, m.rows_removed)
+
 let objective_offset m = m.offset
+let stats m = m.m_stats
 
 let project m x_original =
   Array.map (fun o -> x_original.(o)) m.keep
@@ -18,15 +38,27 @@ let restore m x_reduced =
   let x = Array.make m.n_original 0.0 in
   Array.iteri (fun r o -> x.(o) <- x_reduced.(r)) m.keep;
   List.iter (fun (o, v) -> x.(o) <- v) m.fixed;
+  List.iter
+    (fun s ->
+      x.(s.s_var) <-
+        List.fold_left (fun acc (i, a) -> acc -. (a *. x.(i))) s.konst s.terms)
+    (List.rev m.substs);
   x
 
-(* Working state: mutable bounds plus an alive flag per variable/row. *)
+(* Working state: mutable bounds and objective plus an alive flag per
+   variable/row. [obj] drifts away from [lp.vars] as singleton columns
+   fold their cost into their row's other variables. *)
 type work = {
   lp : Lp.t;
   lo : float array;
   up : float array;
+  obj : float array;
   var_alive : bool array;
   row_alive : bool array;
+  mutable substs : subst list;  (** reverse chronological *)
+  mutable sub_offset : float;
+  mutable n_singleton_cols : int;
+  mutable n_dominated_rows : int;
   mutable changed : bool;
 }
 
@@ -62,6 +94,187 @@ let tighten (w : work) j lo' up' =
     w.changed <- true
   end;
   round_integer_bounds w j
+
+(* Smallest and largest possible activity of [live] under the current
+   bounds; infinite as soon as any term is unbounded the wrong way. *)
+let activity_range (w : work) live =
+  List.fold_left
+    (fun (lo, up) (j, a) ->
+      if Float.abs a <= 1e-12 then (lo, up) (* 0 * inf would poison *)
+      else if a > 0.0 then (lo +. (a *. w.lo.(j)), up +. (a *. w.up.(j)))
+      else (lo +. (a *. w.up.(j)), up +. (a *. w.lo.(j))))
+    (0.0, 0.0) live
+
+(* Number of alive rows every alive variable appears in (with a nonzero
+   coefficient) — the column counts behind singleton-column detection. *)
+let column_counts (w : work) =
+  let counts = Array.make (Lp.nvars w.lp) 0 in
+  Array.iteri
+    (fun r (row : Lp.row) ->
+      if w.row_alive.(r) then
+        Array.iter
+          (fun (j, a) ->
+            if w.var_alive.(j) && Float.abs a > 1e-12 then
+              counts.(j) <- counts.(j) + 1)
+          row.Lp.coeffs)
+    w.lp.rows;
+  counts
+
+(* Substitute a free continuous variable that appears only in equality
+   row [r]: x_j = (rhs - sum a_i x_i) / a_j. The row goes away, x_j's
+   objective folds into the remaining variables (and a constant). *)
+let substitute_singleton_columns (w : work) =
+  let counts = column_counts w in
+  Array.iteri
+    (fun r (row : Lp.row) ->
+      if w.row_alive.(r) && row.Lp.sense = Lp.Eq then begin
+        let live, rhs = live_row w row in
+        let candidate =
+          List.find_opt
+            (fun (j, a) ->
+              w.lp.vars.(j).Lp.kind = Lp.Continuous
+              && counts.(j) = 1
+              && Float.abs a > 1e-12
+              && (not (w.lo.(j) > neg_infinity))
+              && not (w.up.(j) < infinity))
+            live
+        in
+        match candidate with
+        | None -> ()
+        | Some (j, a) ->
+          let others = List.filter (fun (i, _) -> i <> j) live in
+          let terms = List.map (fun (i, ai) -> (i, ai /. a)) others in
+          let konst = rhs /. a in
+          (* fold c_j * x_j = c_j * (konst - sum terms) into the rest *)
+          let cj = w.obj.(j) in
+          if Float.abs cj > 0.0 then begin
+            w.sub_offset <- w.sub_offset +. (cj *. konst);
+            List.iter
+              (fun (i, t) -> w.obj.(i) <- w.obj.(i) -. (cj *. t))
+              terms
+          end;
+          w.substs <- { s_var = j; konst; terms } :: w.substs;
+          w.var_alive.(j) <- false;
+          w.row_alive.(r) <- false;
+          counts.(j) <- 0;
+          (* the row is gone: the other columns lost one occurrence *)
+          List.iter (fun (i, _) -> counts.(i) <- counts.(i) - 1) others;
+          w.n_singleton_cols <- w.n_singleton_cols + 1;
+          w.changed <- true
+      end)
+    w.lp.rows
+
+(* Rows that can never bind under the current bounds (their worst-case
+   activity already satisfies the sense), and duplicate rows with the
+   same normalised left-hand side where one right-hand side dominates
+   the other. Returns an error message on proven infeasibility. *)
+let drop_dominated_rows (w : work) =
+  let error = ref None in
+  let fail msg = if !error = None then error := Some msg in
+  let drop r =
+    w.row_alive.(r) <- false;
+    w.n_dominated_rows <- w.n_dominated_rows + 1;
+    w.changed <- true
+  in
+  (* redundancy by bound activity *)
+  Array.iteri
+    (fun r (row : Lp.row) ->
+      if w.row_alive.(r) && !error = None then begin
+        let live, rhs = live_row w row in
+        if live <> [] then begin
+          let min_act, max_act = activity_range w live in
+          match row.Lp.sense with
+          | Lp.Le ->
+            if max_act <= rhs +. 1e-9 then drop r
+            else if min_act > rhs +. 1e-9 then
+              fail (Printf.sprintf "row %s is unsatisfiable" row.Lp.r_name)
+          | Lp.Ge ->
+            if min_act >= rhs -. 1e-9 then drop r
+            else if max_act < rhs -. 1e-9 then
+              fail (Printf.sprintf "row %s is unsatisfiable" row.Lp.r_name)
+          | Lp.Eq ->
+            if rhs > max_act +. 1e-9 || rhs < min_act -. 1e-9 then
+              fail (Printf.sprintf "row %s is unsatisfiable" row.Lp.r_name)
+            else if feq min_act max_act && feq min_act rhs then drop r
+        end
+      end)
+    w.lp.rows;
+  (* duplicates: normalise each live lhs so its first coefficient is 1;
+     a negative scale flips Le/Ge. The printed key is stable across
+     solves — coefficients are compared at 12 significant digits. *)
+  if !error = None then begin
+    let seen : (string, (Lp.sense * int * float) list ref) Hashtbl.t =
+      Hashtbl.create 64
+    in
+    Array.iteri
+      (fun r (row : Lp.row) ->
+        if w.row_alive.(r) && !error = None then begin
+          let live, rhs = live_row w row in
+          match live with
+          | [] | [ _ ] -> () (* empty/singleton rows belong to [pass] *)
+          | (_, a0) :: _ when Float.abs a0 <= 1e-12 -> ()
+          | (_, a0) :: _ ->
+            let scale = 1.0 /. a0 in
+            let sense =
+              match row.Lp.sense with
+              | Lp.Eq -> Lp.Eq
+              | Lp.Le -> if scale > 0.0 then Lp.Le else Lp.Ge
+              | Lp.Ge -> if scale > 0.0 then Lp.Ge else Lp.Le
+            in
+            let rhs = rhs *. scale in
+            let key =
+              String.concat ";"
+                (List.map
+                   (fun (j, a) -> Printf.sprintf "%d:%.12g" j (a *. scale))
+                   live)
+            in
+            let entries =
+              match Hashtbl.find_opt seen key with
+              | Some l -> l
+              | None ->
+                let l = ref [] in
+                Hashtbl.add seen key l;
+                l
+            in
+            let dominated =
+              List.exists
+                (fun (s, r', rhs') ->
+                  if s <> sense then false
+                  else
+                    match sense with
+                    | Lp.Le ->
+                      if rhs' <= rhs +. 1e-12 then true
+                      else begin
+                        (* the stored row is looser: drop it instead *)
+                        drop r';
+                        false
+                      end
+                    | Lp.Ge ->
+                      if rhs' >= rhs -. 1e-12 then true
+                      else begin
+                        drop r';
+                        false
+                      end
+                    | Lp.Eq ->
+                      if feq rhs' rhs then true
+                      else begin
+                        fail
+                          (Printf.sprintf
+                             "rows %s and %s force different values"
+                             w.lp.rows.(r').Lp.r_name row.Lp.r_name);
+                        true
+                      end)
+                !entries
+            in
+            if dominated && !error = None then drop r
+            else
+              entries :=
+                (sense, r, rhs)
+                :: List.filter (fun (_, r', _) -> w.row_alive.(r')) !entries
+        end)
+      w.lp.rows
+  end;
+  !error
 
 let pass (w : work) =
   let error = ref None in
@@ -113,6 +326,8 @@ let pass (w : work) =
         | _ :: _ :: _ -> ()
       end)
     w.lp.rows;
+  if !error = None then substitute_singleton_columns w;
+  if !error = None then error := drop_dominated_rows w;
   !error
 
 let presolve (lp : Lp.t) =
@@ -122,8 +337,13 @@ let presolve (lp : Lp.t) =
       lp;
       lo = Array.map (fun (v : Lp.var) -> v.Lp.lower) lp.vars;
       up = Array.map (fun (v : Lp.var) -> v.Lp.upper) lp.vars;
+      obj = Array.map (fun (v : Lp.var) -> v.Lp.obj) lp.vars;
       var_alive = Array.make n true;
       row_alive = Array.make (Lp.nrows lp) true;
+      substs = [];
+      sub_offset = 0.0;
+      n_singleton_cols = 0;
+      n_dominated_rows = 0;
       changed = true;
     }
   in
@@ -143,13 +363,19 @@ let presolve (lp : Lp.t) =
     in
     let reduced_index = Array.make n (-1) in
     Array.iteri (fun r o -> reduced_index.(o) <- r) keep;
+    let substituted = Array.make n false in
+    List.iter (fun s -> substituted.(s.s_var) <- true) w.substs;
     let fixed =
       List.filter_map
-        (fun j -> if w.var_alive.(j) then None else Some (j, w.lo.(j)))
+        (fun j ->
+          if w.var_alive.(j) || substituted.(j) then None
+          else Some (j, w.lo.(j)))
         (List.init n Fun.id)
     in
     let offset =
-      List.fold_left (fun acc (j, v) -> acc +. (lp.vars.(j).Lp.obj *. v)) 0.0 fixed
+      List.fold_left
+        (fun acc (j, v) -> acc +. (w.obj.(j) *. v))
+        w.sub_offset fixed
     in
     let b = Lp.Builder.create () in
     Array.iter
@@ -160,7 +386,7 @@ let presolve (lp : Lp.t) =
         let lower = Float.min w.lo.(o) w.up.(o) in
         ignore
           (Lp.Builder.add_var b ~name:v.Lp.v_name ~lower ~upper:w.up.(o)
-             ~obj:v.Lp.obj v.Lp.kind))
+             ~obj:w.obj.(o) v.Lp.kind))
       keep;
     let rows_removed = ref 0 in
     Array.iteri
@@ -172,6 +398,25 @@ let presolve (lp : Lp.t) =
           Lp.Builder.add_row b ~name:row.Lp.r_name coeffs row.Lp.sense rhs
         end)
       lp.rows;
+    let m_stats =
+      {
+        rows_before = Lp.nrows lp;
+        rows_after = Lp.nrows lp - !rows_removed;
+        cols_before = n;
+        cols_after = Array.length keep;
+        passes = !guard;
+        singleton_cols = w.n_singleton_cols;
+        dominated_rows = w.n_dominated_rows;
+      }
+    in
     Reduced
       ( Lp.Builder.finish b,
-        { n_original = n; keep; fixed; offset; rows_removed = !rows_removed } )
+        {
+          n_original = n;
+          keep;
+          fixed;
+          substs = List.rev w.substs;
+          offset;
+          rows_removed = !rows_removed;
+          m_stats;
+        } )

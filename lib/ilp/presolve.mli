@@ -9,6 +9,15 @@
     - {e singleton rows} ([a x <= b] with one nonzero): converted into a
       bound tightening on the variable and dropped. For [Integer]
       variables the tightened bounds are rounded inward;
+    - {e singleton columns}: a free continuous variable appearing in
+      exactly one (equality) row is substituted out — its objective cost
+      folds into the row's other variables and a constant — and the row
+      is dropped;
+    - {e dominated rows}: rows whose worst-case activity under the
+      current bounds already satisfies their sense, and duplicate rows
+      with the same normalised left-hand side where one right-hand side
+      implies the other (two equalities forcing different values are
+      infeasible);
     - {e inconsistent bounds} ([lower > upper] after tightening): reported
       as infeasible.
 
@@ -24,6 +33,17 @@
 
 type mapping
 
+(** Reduction census of one presolve run. *)
+type stats = {
+  rows_before : int;
+  rows_after : int;
+  cols_before : int;
+  cols_after : int;
+  passes : int;  (** fixed-point iterations until nothing changed *)
+  singleton_cols : int;  (** variables substituted out of equality rows *)
+  dominated_rows : int;  (** redundant / duplicate rows dropped *)
+}
+
 type result =
   | Reduced of Lp.t * mapping
   | Infeasible of string  (** human-readable reason *)
@@ -32,6 +52,9 @@ val presolve : Lp.t -> result
 
 (** Number of variables / rows removed. *)
 val removed : mapping -> int * int
+
+(** Before/after problem sizes and per-reduction counts. *)
+val stats : mapping -> stats
 
 (** Constant objective contribution of the eliminated fixed variables. *)
 val objective_offset : mapping -> float

@@ -1,0 +1,840 @@
+module Graph = Optrouter_grid.Graph
+module Clip = Optrouter_grid.Clip
+module Route = Optrouter_grid.Route
+module Drc = Optrouter_grid.Drc
+module Rules = Optrouter_tech.Rules
+module Pool = Optrouter_exec.Pool
+module Pqueue = Optrouter_maze.Pqueue
+module Maze = Optrouter_maze.Maze
+module Log = Optrouter_report.Report.Log
+
+type params = {
+  max_iters : int;
+  time_limit_s : float option;
+  jobs : int;
+  round_every : int;
+  rip_up_rounds : int;
+  gap_target : float;
+  dp_sink_cap : int;
+  vertex_multipliers : bool;
+}
+
+let default_params =
+  {
+    max_iters = 150;
+    time_limit_s = Some 60.0;
+    jobs = 1;
+    round_every = 20;
+    rip_up_rounds = 6;
+    gap_target = 0.0;
+    dp_sink_cap = 8;
+    vertex_multipliers = true;
+  }
+
+let make_params ?(max_iters = default_params.max_iters)
+    ?(time_limit_s = default_params.time_limit_s) ?(jobs = default_params.jobs)
+    ?(round_every = default_params.round_every)
+    ?(rip_up_rounds = default_params.rip_up_rounds)
+    ?(gap_target = default_params.gap_target)
+    ?(dp_sink_cap = default_params.dp_sink_cap)
+    ?(vertex_multipliers = default_params.vertex_multipliers) () =
+  {
+    max_iters;
+    time_limit_s;
+    jobs;
+    round_every;
+    rip_up_rounds;
+    gap_target;
+    dp_sink_cap;
+    vertex_multipliers;
+  }
+
+type iter_stat = {
+  it : int;
+  dual : float;
+  best_dual : float;
+  primal : int option;
+  step : float;
+  mult_norm : float;
+  busy_s : float;
+}
+
+type t = {
+  solution : Route.solution option;
+  dual_bound : float;
+  unreachable : bool;
+  exact_pricing : bool;
+  iterations : int;
+  gap : float option;
+  multiplier_norm : float;
+  busy_s : float;
+  wall_s : float;
+  rounding_attempts : int;
+  rip_ups : int;
+  workers : int;
+  trace : iter_stat list;
+}
+
+let allowed_for (g : Graph.t) k gid =
+  match g.Graph.edges.(gid).Graph.net_only with
+  | None -> true
+  | Some k' -> k = k'
+
+(* ------------------------------------------------------------------ *)
+(* Reachability: the one infeasibility this mode can prove             *)
+(* ------------------------------------------------------------------ *)
+
+let reachable (g : Graph.t) =
+  let ok = ref true in
+  Array.iteri
+    (fun k (net : Graph.net_ctx) ->
+      if !ok then begin
+        let seen = Array.make g.Graph.nverts false in
+        seen.(net.Graph.source) <- true;
+        let stack = ref [ net.Graph.source ] in
+        let rec drain () =
+          match !stack with
+          | [] -> ()
+          | v :: rest ->
+            stack := rest;
+            Array.iter
+              (fun (gid, other) ->
+                if allowed_for g k gid && not seen.(other) then begin
+                  seen.(other) <- true;
+                  stack := other :: !stack
+                end)
+              g.Graph.adj.(v);
+            drain ()
+        in
+        drain ();
+        if Array.exists (fun sv -> not seen.(sv)) net.Graph.sinks then ok := false
+      end)
+    g.Graph.nets;
+  !ok
+
+(* ------------------------------------------------------------------ *)
+(* Multiplier-priced per-net subproblems                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Node-and-edge-weighted Dijkstra relaxation of [dist] in place: [dist]
+   holds the initial labels (infinity elsewhere), [pred] records the
+   arrival edge of every improved vertex. The vertex price of a label's
+   own vertex is already included in the label; relaxing u -> v pays
+   [eprice] of the edge plus [vprice.(v)]. *)
+let dijkstra (g : Graph.t) ~allowed ~eprice ~(vprice : float array) dist pred =
+  let q = Pqueue.create () in
+  Array.iteri (fun v d -> if d < infinity then Pqueue.push q d v) dist;
+  while not (Pqueue.is_empty q) do
+    let d, v = Pqueue.pop q in
+    if d <= dist.(v) then
+      Array.iter
+        (fun (gid, other) ->
+          if allowed gid then begin
+            let nd = d +. eprice.(gid) +. vprice.(other) in
+            if nd < dist.(other) then begin
+              dist.(other) <- nd;
+              pred.(other) <- gid;
+              Pqueue.push q nd other
+            end
+          end)
+        g.Graph.adj.(v)
+  done
+
+(* Exact node-weighted Steiner tree over the net's allowed edges:
+   Dreyfus-Wagner dynamic program over sink subsets. [dp.(mask).(v)] is
+   the cheapest tree spanning the sinks in [mask] plus [v], vertex
+   prices counted once per tree vertex. Arrival bookkeeping: [via] >= 0
+   means "came over that edge within the same mask", otherwise
+   [sub_of] > 0 names the merged submask (0 = a singleton root). *)
+let steiner_exact (g : Graph.t) ~allowed ~eprice ~vprice
+    (net : Graph.net_ctx) =
+  let n = g.Graph.nverts in
+  let s = Array.length net.Graph.sinks in
+  let full = (1 lsl s) - 1 in
+  let dp = Array.init (full + 1) (fun _ -> Array.make n infinity) in
+  let via = Array.init (full + 1) (fun _ -> Array.make n (-1)) in
+  let sub_of = Array.init (full + 1) (fun _ -> Array.make n 0) in
+  for i = 0 to s - 1 do
+    let m = 1 lsl i in
+    let dm = dp.(m) in
+    dm.(net.Graph.sinks.(i)) <- vprice.(net.Graph.sinks.(i));
+    dijkstra g ~allowed ~eprice ~vprice dm via.(m)
+  done;
+  for mask = 1 to full do
+    if mask land (mask - 1) <> 0 then begin
+      let d = dp.(mask) in
+      let vm = via.(mask) in
+      let sm = sub_of.(mask) in
+      (* merge each unordered pair of complementary submasks once *)
+      let sub = ref ((mask - 1) land mask) in
+      while !sub > 0 do
+        let other = mask lxor !sub in
+        if !sub <= other then
+          for v = 0 to n - 1 do
+            if dp.(!sub).(v) < infinity && dp.(other).(v) < infinity then begin
+              let cand = dp.(!sub).(v) +. dp.(other).(v) -. vprice.(v) in
+              if cand < d.(v) then begin
+                d.(v) <- cand;
+                vm.(v) <- -1;
+                sm.(v) <- !sub
+              end
+            end
+          done;
+        sub := (!sub - 1) land mask
+      done;
+      dijkstra g ~allowed ~eprice ~vprice d vm
+    end
+  done;
+  let cost = dp.(full).(net.Graph.source) in
+  if cost >= infinity then None
+  else begin
+    let edges = Hashtbl.create 32 in
+    let rec collect mask v =
+      let gid = via.(mask).(v) in
+      if gid >= 0 then begin
+        Hashtbl.replace edges gid ();
+        collect mask (Graph.other_end g g.Graph.edges.(gid) v)
+      end
+      else begin
+        let sub = sub_of.(mask).(v) in
+        if sub > 0 then begin
+          collect sub v;
+          collect (mask lxor sub) v
+        end
+      end
+    in
+    collect full net.Graph.source;
+    let tree =
+      List.sort Int.compare (Hashtbl.fold (fun gid () acc -> gid :: acc) edges [])
+    in
+    Some (cost, tree, true)
+  end
+
+(* Beyond the DP cap: a valid per-net lower bound (the costliest of the
+   source-to-sink shortest paths — every tree contains each such path)
+   plus a greedy nearest-sink tree that only steers the sub-gradient. *)
+let steiner_heuristic (g : Graph.t) ~allowed ~eprice ~vprice
+    (net : Graph.net_ctx) =
+  let n = g.Graph.nverts in
+  let dist = Array.make n infinity in
+  let pred = Array.make n (-1) in
+  dist.(net.Graph.source) <- vprice.(net.Graph.source);
+  dijkstra g ~allowed ~eprice ~vprice dist pred;
+  let lb =
+    Array.fold_left
+      (fun acc sv -> Float.max acc dist.(sv))
+      0.0 net.Graph.sinks
+  in
+  if lb >= infinity then None
+  else begin
+    let in_tree = Array.make n false in
+    in_tree.(net.Graph.source) <- true;
+    let edges = Hashtbl.create 32 in
+    let remaining = ref (Array.to_list net.Graph.sinks) in
+    let failed = ref false in
+    while (not !failed) && !remaining <> [] do
+      let d2 = Array.make n infinity in
+      let p2 = Array.make n (-1) in
+      Array.iteri (fun v t -> if t then d2.(v) <- 0.0) in_tree;
+      dijkstra g ~allowed ~eprice ~vprice d2 p2;
+      let bestv = ref (-1) in
+      let bestd = ref infinity in
+      List.iter
+        (fun sv ->
+          if d2.(sv) < !bestd then begin
+            bestd := d2.(sv);
+            bestv := sv
+          end)
+        !remaining;
+      if !bestv < 0 then failed := true
+      else begin
+        let rec back v =
+          if not in_tree.(v) then begin
+            in_tree.(v) <- true;
+            let gid = p2.(v) in
+            if gid >= 0 then begin
+              Hashtbl.replace edges gid ();
+              back (Graph.other_end g g.Graph.edges.(gid) v)
+            end
+          end
+        in
+        back !bestv;
+        remaining := List.filter (fun t -> t <> !bestv) !remaining
+      end
+    done;
+    let tree =
+      List.sort Int.compare (Hashtbl.fold (fun gid () acc -> gid :: acc) edges [])
+    in
+    Some (lb, tree, false)
+  end
+
+let price_net (g : Graph.t) ~dp_sink_cap ~eprice ~vprice k =
+  let net = g.Graph.nets.(k) in
+  let allowed = allowed_for g k in
+  if Array.length net.Graph.sinks = 0 then Some (0.0, [], true)
+  else if Array.length net.Graph.sinks <= dp_sink_cap then
+    steiner_exact g ~allowed ~eprice ~vprice net
+  else steiner_heuristic g ~allowed ~eprice ~vprice net
+
+(* ------------------------------------------------------------------ *)
+(* Primal rounding: deterministic sequential routing with rip-up       *)
+(* ------------------------------------------------------------------ *)
+
+type rstate = {
+  rg : Graph.t;
+  rrules : Rules.t;
+  edge_owner : int array;
+  vertex_owner : int array;  (* grid vertices only *)
+  pin_owner : int array;  (* per z=0 grid vertex: net owning an access point *)
+  penalty : float array;  (* per edge, from violation-repair rounds *)
+  bias_e : float array;  (* edge multipliers: congestion prices *)
+  bias_v : float array;  (* grid-vertex multipliers *)
+  rngrid : int;
+}
+
+let grid_coords st v =
+  let cols = st.rg.Graph.clip.Clip.cols in
+  let rows = st.rg.Graph.clip.Clip.rows in
+  let z = v / (cols * rows) in
+  let rem = v mod (cols * rows) in
+  (rem mod cols, rem / cols, z)
+
+(* A via may not land next to any already-placed via (own or foreign)
+   under an adjacency restriction — same policy as the maze router. *)
+let via_placement_ok st gid =
+  let offsets () =
+    Rules.blocked_neighbour_offsets st.rrules.Rules.via_restriction
+  in
+  let cols = st.rg.Graph.clip.Clip.cols in
+  let rows = st.rg.Graph.clip.Clip.rows in
+  match st.rg.Graph.edges.(gid).Graph.kind with
+  | Graph.Wire _ | Graph.Shape_lower _ | Graph.Shape_upper _ -> true
+  | Graph.Access -> (
+    let offsets = offsets () in
+    offsets = []
+    ||
+    let e = st.rg.Graph.edges.(gid) in
+    let grid_end = if e.Graph.u < st.rngrid then e.Graph.u else e.Graph.v in
+    if grid_end >= cols * rows then true
+    else
+      let x, y, _ = grid_coords st grid_end in
+      List.for_all
+        (fun (dx, dy) ->
+          let x' = x + dx and y' = y + dy in
+          if x' < 0 || x' >= cols || y' < 0 || y' >= rows then true
+          else
+            List.for_all
+              (fun other -> st.edge_owner.(other) < 0)
+              st.rg.Graph.access_sites.((y' * cols) + x'))
+        offsets)
+  | Graph.Via _ ->
+    let offsets = offsets () in
+    offsets = []
+    ||
+    let x, y, z = grid_coords st st.rg.Graph.edges.(gid).Graph.u in
+    List.for_all
+      (fun (dx, dy) ->
+        let x' = x + dx and y' = y + dy in
+        if x' < 0 || x' >= cols || y' < 0 || y' >= rows then true
+        else
+          match st.rg.Graph.via_site.(((z * rows) + y') * cols + x') with
+          | None -> true
+          | Some other -> st.edge_owner.(other) < 0)
+      offsets
+
+let edge_usable st k gid dst =
+  allowed_for st.rg k gid
+  && st.edge_owner.(gid) < 0
+  && (dst >= st.rngrid
+     || st.vertex_owner.(dst) < 0
+     || st.vertex_owner.(dst) = k)
+  && (dst >= Array.length st.pin_owner
+     || st.pin_owner.(dst) < 0
+     || st.pin_owner.(dst) = k)
+  && via_placement_ok st gid
+
+(* Multi-source Dijkstra from the net's committed tree to the nearest
+   unreached sink, priced by base cost + repair penalty + multipliers. *)
+let rsearch st k sources targets =
+  let n = st.rg.Graph.nverts in
+  let dist = Array.make n infinity in
+  let prev_edge = Array.make n (-1) in
+  let q = Pqueue.create () in
+  List.iter
+    (fun v ->
+      dist.(v) <- 0.0;
+      Pqueue.push q 0.0 v)
+    sources;
+  let target_set = Hashtbl.create 4 in
+  List.iter (fun t -> Hashtbl.replace target_set t ()) targets;
+  let found = ref None in
+  (try
+     while not (Pqueue.is_empty q) do
+       let d, v = Pqueue.pop q in
+       if d <= dist.(v) then begin
+         if Hashtbl.mem target_set v then begin
+           found := Some v;
+           raise Exit
+         end;
+         Array.iter
+           (fun (gid, other) ->
+             if edge_usable st k gid other then begin
+               let node_bias =
+                 if other < st.rngrid then st.bias_v.(other) else 0.0
+               in
+               let nd =
+                 d
+                 +. float_of_int st.rg.Graph.edges.(gid).Graph.cost
+                 +. st.penalty.(gid) +. st.bias_e.(gid) +. node_bias
+               in
+               if nd < dist.(other) then begin
+                 dist.(other) <- nd;
+                 prev_edge.(other) <- gid;
+                 Pqueue.push q nd other
+               end
+             end)
+           st.rg.Graph.adj.(v)
+       end
+     done
+   with Exit -> ());
+  match !found with
+  | None -> None
+  | Some t ->
+    let rec backtrack v acc =
+      let gid = prev_edge.(v) in
+      if gid < 0 then acc
+      else backtrack (Graph.other_end st.rg st.rg.Graph.edges.(gid) v) (gid :: acc)
+    in
+    Some (t, backtrack t [])
+
+let rcommit st k edges =
+  List.iter
+    (fun gid ->
+      st.edge_owner.(gid) <- k;
+      let e = st.rg.Graph.edges.(gid) in
+      if e.Graph.u < st.rngrid then st.vertex_owner.(e.Graph.u) <- k;
+      if e.Graph.v < st.rngrid then st.vertex_owner.(e.Graph.v) <- k)
+    edges
+
+let rrip st k =
+  Array.iteri
+    (fun gid owner -> if owner = k then st.edge_owner.(gid) <- -1)
+    st.edge_owner;
+  Array.iteri
+    (fun v owner -> if owner = k then st.vertex_owner.(v) <- -1)
+    st.vertex_owner
+
+let rroute_net st k =
+  let net = st.rg.Graph.nets.(k) in
+  let tree_vertices = ref [ net.Graph.source ] in
+  let tree_edges = ref [] in
+  let remaining = ref (Array.to_list net.Graph.sinks) in
+  let ok = ref true in
+  while !ok && !remaining <> [] do
+    match rsearch st k !tree_vertices !remaining with
+    | None -> ok := false
+    | Some (reached, path) ->
+      rcommit st k path;
+      tree_edges := path @ !tree_edges;
+      List.iter
+        (fun gid ->
+          let e = st.rg.Graph.edges.(gid) in
+          tree_vertices := e.Graph.u :: e.Graph.v :: !tree_vertices)
+        path;
+      remaining := List.filter (fun t -> t <> reached) !remaining
+  done;
+  if !ok then Some !tree_edges
+  else begin
+    rrip st k;
+    None
+  end
+
+(* Edges to penalise so a reroute avoids re-creating a violation, and
+   the nets to hold responsible — the maze router's repair policy. *)
+let involved_edges st viol =
+  let wire_edges_at v =
+    Array.to_list st.rg.Graph.adj.(v)
+    |> List.filter_map (fun (gid, _) ->
+           match st.rg.Graph.edges.(gid).Graph.kind with
+           | Graph.Wire _ -> Some gid
+           | Graph.Via _ | Graph.Shape_lower _ | Graph.Shape_upper _
+           | Graph.Access ->
+             None)
+  in
+  let all_edges_at v = Array.to_list st.rg.Graph.adj.(v) |> List.map fst in
+  match viol with
+  | Drc.Sadp_conflict { v1; v2; _ } -> wire_edges_at v1 @ wire_edges_at v2
+  | Drc.Via_adjacency { site1; site2 } -> [ site1; site2 ]
+  | Drc.Vertex_conflict { vertex; _ } -> all_edges_at vertex
+  | Drc.Shape_side { rep; _ } | Drc.Shape_blocking { rep; _ } -> all_edges_at rep
+  | Drc.Edge_conflict _ | Drc.Disconnected _ | Drc.Dangling _ -> []
+
+let nets_of_violation (sol : Route.solution) st viol =
+  let owner_of_edge gid =
+    match Route.uses_edge sol gid with Some k -> [ k ] | None -> []
+  in
+  match viol with
+  | Drc.Edge_conflict { net1; net2; _ } | Drc.Vertex_conflict { net1; net2; _ }
+    ->
+    [ net1; net2 ]
+  | Drc.Disconnected { net; _ } | Drc.Dangling { net; _ } -> [ net ]
+  | Drc.Via_adjacency { site1; site2 } ->
+    owner_of_edge site1 @ owner_of_edge site2
+  | Drc.Shape_side { net; _ } -> [ net ]
+  | Drc.Shape_blocking { net; other; _ } -> [ net; other ]
+  | Drc.Sadp_conflict { v1; v2; _ } ->
+    let owner v = if v < st.rngrid then st.vertex_owner.(v) else -1 in
+    List.filter (fun k -> k >= 0) [ owner v1; owner v2 ]
+
+(* One deterministic rounding attempt: route every net in [order] under
+   multiplier pricing, then penalise-rip-up-reroute until the DRC is
+   clean or the round budget runs out. Returns a certified solution. *)
+let try_round (g : Graph.t) ~rules ~order ~bias_e ~bias_v ~rip_up_rounds
+    rip_ups =
+  let nnets = Array.length g.Graph.nets in
+  let ngrid =
+    g.Graph.clip.Clip.cols * g.Graph.clip.Clip.rows * g.Graph.clip.Clip.layers
+  in
+  let st =
+    {
+      rg = g;
+      rrules = rules;
+      edge_owner = Array.make (Graph.num_edges g) (-1);
+      vertex_owner = Array.make ngrid (-1);
+      pin_owner =
+        (let owners =
+           Array.make (g.Graph.clip.Clip.cols * g.Graph.clip.Clip.rows) (-1)
+         in
+         Array.iteri
+           (fun v edges ->
+             List.iter
+               (fun gid ->
+                 match g.Graph.edges.(gid).Graph.net_only with
+                 | Some k -> owners.(v) <- k
+                 | None -> ())
+               edges)
+           g.Graph.access_sites;
+         owners);
+      penalty = Array.make (Graph.num_edges g) 0.0;
+      bias_e;
+      bias_v;
+      rngrid = ngrid;
+    }
+  in
+  let routes = Array.make nnets None in
+  let route_all () =
+    let all_ok = ref true in
+    Array.iter
+      (fun k ->
+        match rroute_net st k with
+        | Some edges -> routes.(k) <- Some { Route.net = k; edges }
+        | None -> all_ok := false)
+      order;
+    !all_ok
+  in
+  let solution_of () =
+    let rs =
+      Array.map
+        (function Some r -> r | None -> { Route.net = 0; edges = [] })
+        routes
+    in
+    { Route.routes = rs; metrics = Route.metrics_of g rs }
+  in
+  let all_ok = ref (route_all ()) in
+  let clean = ref None in
+  let round = ref 0 in
+  let continue_repair = ref !all_ok in
+  while !continue_repair && !round <= rip_up_rounds do
+    incr round;
+    let sol = solution_of () in
+    match Drc.check ~rules g sol with
+    | [] ->
+      clean := Some sol;
+      continue_repair := false
+    | viols ->
+      let guilty = ref [] in
+      List.iter
+        (fun viol ->
+          List.iter
+            (fun gid -> st.penalty.(gid) <- st.penalty.(gid) +. 8.0)
+            (involved_edges st viol);
+          guilty := nets_of_violation sol st viol @ !guilty)
+        viols;
+      let guilty = List.sort_uniq Int.compare !guilty in
+      if guilty = [] || !round > rip_up_rounds then continue_repair := false
+      else begin
+        (* Rip everything: innocent nets' claims usually pin the guilty
+           ones into the conflict; the penalties steer the reroute. *)
+        rip_ups := !rip_ups + List.length guilty;
+        Array.iter (fun k -> rrip st k) order;
+        if not (route_all ()) then continue_repair := false
+      end
+  done;
+  !clean
+
+(* ------------------------------------------------------------------ *)
+(* Sub-gradient loop                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let empty_result ~unreachable ~wall_s =
+  {
+    solution = None;
+    dual_bound = 0.0;
+    unreachable;
+    exact_pricing = true;
+    iterations = 0;
+    gap = None;
+    multiplier_norm = 0.0;
+    busy_s = 0.0;
+    wall_s;
+    rounding_attempts = 0;
+    rip_ups = 0;
+    workers = 1;
+    trace = [];
+  }
+
+let norm2 a = Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 a
+
+let solve ?(params = default_params) ?seed ~rules (g : Graph.t) =
+  let t0 = Unix.gettimeofday () in
+  if not (reachable g) then
+    empty_result ~unreachable:true ~wall_s:(Unix.gettimeofday () -. t0)
+  else begin
+    let nnets = Array.length g.Graph.nets in
+    let nedges = Graph.num_edges g in
+    let ngrid =
+      g.Graph.clip.Clip.cols * g.Graph.clip.Clip.rows
+      * g.Graph.clip.Clip.layers
+    in
+    let jobs = max 1 params.jobs in
+    let pool = Pool.create ~domains:jobs in
+    Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+    let cost_f =
+      Array.map (fun (e : Graph.edge) -> float_of_int e.Graph.cost) g.Graph.edges
+    in
+    let lambda = Array.make nedges 0.0 in
+    let mu = Array.make ngrid 0.0 in
+    let exact_all = ref true in
+    let have_dual = ref false in
+    let best_raw = ref 0.0 in
+    let best_sol = ref None in
+    (match seed with
+    | None -> ()
+    | Some s -> (
+      (* A clean seed is an incumbent (upper bound), never a proof. *)
+      match Drc.check ~rules g s with
+      | [] ->
+        best_sol :=
+          Some { Route.routes = s.Route.routes;
+                 metrics = Route.metrics_of g s.Route.routes }
+      | _ :: _ -> ()
+      | exception _foreign_seed_exn -> ()));
+    (* A maze-router incumbent seeds the upper bound: its solutions are
+       DRC-clean or absent, and the Polyak step wants a finite UB. *)
+    (match (Maze.route ~rules g).Maze.solution with
+    | None -> ()
+    | Some sol -> (
+      match !best_sol with
+      | Some (b : Route.solution)
+        when b.Route.metrics.cost <= sol.Route.metrics.cost ->
+        ()
+      | Some _ | None -> best_sol := Some sol));
+    let alpha = ref 2.0 in
+    let no_improve = ref 0 in
+    let busy_total = ref 0.0 in
+    let rip_ups = ref 0 in
+    let attempts = ref 0 in
+    let trace = ref [] in
+    let iters = ref 0 in
+    let last_costs = Array.make (max nnets 1) 0.0 in
+    let deadline = Option.map (fun s -> t0 +. s) params.time_limit_s in
+    let over_deadline () =
+      match deadline with
+      | None -> false
+      | Some d -> Unix.gettimeofday () > d
+    in
+    let lifted () =
+      if not !have_dual then 0.0
+      else Float.max 0.0 (Float.ceil (!best_raw -. 1e-6))
+    in
+    let primal_cost () =
+      Option.map (fun (s : Route.solution) -> s.Route.metrics.cost) !best_sol
+    in
+    let closed () =
+      match primal_cost () with
+      | None -> false
+      | Some c ->
+        let p = float_of_int c in
+        lifted () >= p -. (params.gap_target *. p) -. 1e-9
+    in
+    let attempt_round () =
+      attempts := !attempts + 1;
+      let order = Array.init nnets Fun.id in
+      Array.sort
+        (fun a b ->
+          match Float.compare last_costs.(b) last_costs.(a) with
+          | 0 -> Int.compare a b
+          | c -> c)
+        order;
+      match
+        try_round g ~rules ~order ~bias_e:lambda ~bias_v:mu
+          ~rip_up_rounds:params.rip_up_rounds rip_ups
+      with
+      | None -> ()
+      | Some sol -> (
+        match !best_sol with
+        | Some (b : Route.solution)
+          when b.Route.metrics.cost <= sol.Route.metrics.cost ->
+          ()
+        | Some _ | None ->
+          Log.debug ~src:"lagrangian" (fun () ->
+              Printf.sprintf "rounded primal: cost=%d" sol.Route.metrics.cost);
+          best_sol := Some sol)
+    in
+    let stop = ref false in
+    while (not !stop) && !iters < params.max_iters do
+      let it = !iters in
+      let eprice =
+        Array.init nedges (fun gid -> cost_f.(gid) +. lambda.(gid))
+      in
+      let vprice = Array.make g.Graph.nverts 0.0 in
+      if params.vertex_multipliers then Array.blit mu 0 vprice 0 ngrid;
+      let dp_sink_cap = params.dp_sink_cap in
+      let price k =
+        let s0 = Unix.gettimeofday () in
+        let r = price_net g ~dp_sink_cap ~eprice ~vprice k in
+        (r, Unix.gettimeofday () -. s0)
+      in
+      let results = Pool.map pool price (List.init nnets Fun.id) in
+      let iter_busy = List.fold_left (fun acc (_, b) -> acc +. b) 0.0 results in
+      busy_total := !busy_total +. iter_busy;
+      (* Deterministic reduction in net order: identical at any width. *)
+      let edge_use = Array.make nedges 0 in
+      let vert_use = Array.make ngrid 0 in
+      let vert_mark = Array.make g.Graph.nverts (-1) in
+      let sum_costs = ref 0.0 in
+      List.iteri
+        (fun k (r, _) ->
+          match r with
+          | None -> () (* impossible after the reachability pre-check *)
+          | Some (c, tree, exact) ->
+            if not exact then exact_all := false;
+            last_costs.(k) <- c;
+            sum_costs := !sum_costs +. c;
+            List.iter
+              (fun gid ->
+                edge_use.(gid) <- edge_use.(gid) + 1;
+                let e = g.Graph.edges.(gid) in
+                let touch v =
+                  if v < ngrid && vert_mark.(v) <> k then begin
+                    vert_mark.(v) <- k;
+                    vert_use.(v) <- vert_use.(v) + 1
+                  end
+                in
+                touch e.Graph.u;
+                touch e.Graph.v)
+              tree)
+        results;
+      let sum_l = Array.fold_left ( +. ) 0.0 lambda in
+      let sum_m =
+        if params.vertex_multipliers then Array.fold_left ( +. ) 0.0 mu
+        else 0.0
+      in
+      let l = !sum_costs -. sum_l -. sum_m in
+      if (not !have_dual) || l > !best_raw +. 1e-9 then begin
+        best_raw := (if !have_dual then Float.max l !best_raw else l);
+        have_dual := true;
+        no_improve := 0
+      end
+      else begin
+        incr no_improve;
+        if !no_improve >= 8 then begin
+          alpha := Float.max 1e-4 (!alpha *. 0.5);
+          no_improve := 0
+        end
+      end;
+      (* Projected sub-gradient step (Polyak): only active components —
+         violated rows or positive multipliers — enter the norm. *)
+      let gnorm2 = ref 0.0 in
+      for gid = 0 to nedges - 1 do
+        match g.Graph.edges.(gid).Graph.net_only with
+        | Some _ -> ()
+        | None ->
+          if edge_use.(gid) > 1 || lambda.(gid) > 0.0 then begin
+            let gv = float_of_int (edge_use.(gid) - 1) in
+            gnorm2 := !gnorm2 +. (gv *. gv)
+          end
+      done;
+      if params.vertex_multipliers then
+        for v = 0 to ngrid - 1 do
+          if vert_use.(v) > 1 || mu.(v) > 0.0 then begin
+            let gv = float_of_int (vert_use.(v) - 1) in
+            gnorm2 := !gnorm2 +. (gv *. gv)
+          end
+        done;
+      let ub_est =
+        match primal_cost () with
+        | Some c -> float_of_int c
+        | None -> l +. Float.max 1.0 (0.1 *. Float.abs l)
+      in
+      let step =
+        if !gnorm2 <= 0.0 then 0.0
+        else Float.max 0.0 (!alpha *. (ub_est -. l) /. !gnorm2)
+      in
+      if step > 0.0 then begin
+        for gid = 0 to nedges - 1 do
+          match g.Graph.edges.(gid).Graph.net_only with
+          | Some _ -> ()
+          | None ->
+            lambda.(gid) <-
+              Float.max 0.0
+                (lambda.(gid) +. (step *. float_of_int (edge_use.(gid) - 1)))
+        done;
+        if params.vertex_multipliers then
+          for v = 0 to ngrid - 1 do
+            mu.(v) <-
+              Float.max 0.0
+                (mu.(v) +. (step *. float_of_int (vert_use.(v) - 1)))
+          done
+      end;
+      let mult_norm = sqrt (norm2 lambda +. norm2 mu) in
+      iters := !iters + 1;
+      if it = 0 || (it + 1) mod params.round_every = 0 then attempt_round ();
+      trace :=
+        {
+          it;
+          dual = l;
+          best_dual = !best_raw;
+          primal = primal_cost ();
+          step;
+          mult_norm;
+          busy_s = iter_busy;
+        }
+        :: !trace;
+      if closed () || over_deadline () then stop := true
+    done;
+    if not (closed ()) then attempt_round ();
+    let dual_bound = lifted () in
+    let gap =
+      match primal_cost () with
+      | None -> None
+      | Some 0 -> Some 0.0
+      | Some c ->
+        Some ((float_of_int c -. dual_bound) /. float_of_int c)
+    in
+    {
+      solution = !best_sol;
+      dual_bound;
+      unreachable = false;
+      exact_pricing = !exact_all;
+      iterations = !iters;
+      gap;
+      multiplier_norm = sqrt (norm2 lambda +. norm2 mu);
+      busy_s = !busy_total;
+      wall_s = Unix.gettimeofday () -. t0;
+      rounding_attempts = !attempts;
+      rip_ups = !rip_ups;
+      workers = Pool.domains pool;
+      trace = List.rev !trace;
+    }
+  end

@@ -1,0 +1,122 @@
+(** Lagrangian decomposition of the switchbox routing ILP (the
+    sub-gradient parallel router of Agrawal et al., arXiv:1803.03885,
+    adapted to the paper's rule-aware routing graph).
+
+    The exact formulation couples nets only through shared capacity rows:
+    arc exclusivity (one net per undirected edge) and vertex exclusivity
+    (one net per grid vertex). Dualising those rows with multipliers
+    [lambda >= 0] (edges) and [mu >= 0] (grid vertices) makes the
+    relaxation separate into one independent minimum Steiner tree problem
+    per net over the multiplier-priced graph:
+
+    L(lambda, mu) = sum_k min_tree_k(cost + lambda + mu)
+                    - sum lambda - sum mu  <=  ILP optimum.
+
+    Every remaining coupling family (via adjacency, via-shape sides, SADP
+    end-of-line) is simply dropped from the relaxation, which keeps
+    L(lambda, mu) a valid lower bound — dropping rows can only enlarge
+    the feasible set.
+
+    Per-net subproblems are solved {e exactly} (node-weighted
+    Dreyfus-Wagner dynamic program over terminal subsets; plain Dijkstra
+    for two-terminal nets) whenever the sink count is within
+    [dp_sink_cap]; beyond the cap a valid per-net lower bound (longest
+    source-to-sink shortest path) substitutes, so the dual bound stays
+    valid at any fan-out. Because all edge costs are integers the ILP
+    optimum is integral, and the reported {!t.dual_bound} is lifted to
+    [ceil] of the best raw dual value.
+
+    The per-net pricing fans out over an {!Optrouter_exec.Pool} of
+    [jobs] worker domains; results are reduced in net order, so the
+    outcome is byte-identical for any [jobs] (the sweep's determinism
+    contract). Primal feasibility comes from deterministic sequential
+    rounding: nets are routed one at a time in the multiplier-priced
+    graph with committed-net blocking, repaired by penalise-rip-up
+    rounds, and certified by {!Optrouter_grid.Drc.check}; a final
+    {!Optrouter_maze.Maze} attempt backstops the rounding. Solutions are
+    feasible and DRC-certified but {e not} proven optimal — the gap
+    against {!t.dual_bound} quantifies how far off they can be. *)
+
+type params = {
+  max_iters : int;  (** sub-gradient iterations (default 150) *)
+  time_limit_s : float option;  (** wall deadline for the whole solve *)
+  jobs : int;  (** per-net pricing worker domains (default 1) *)
+  round_every : int;  (** rounding-attempt cadence in iterations *)
+  rip_up_rounds : int;  (** repair rounds per rounding attempt *)
+  gap_target : float;
+      (** stop once (primal - dual) / primal <= target (default 0: stop
+          only when the lifted dual bound meets the primal cost) *)
+  dp_sink_cap : int;
+      (** largest sink count priced exactly by the Steiner DP; larger
+          nets fall back to a valid single-path lower bound (default 8) *)
+  vertex_multipliers : bool;
+      (** dualise the vertex-exclusivity rows too (default [true]; turn
+          off when the exact model is built without them, or the bound
+          is no longer comparable) *)
+}
+
+val default_params : params
+
+val make_params :
+  ?max_iters:int ->
+  ?time_limit_s:float option ->
+  ?jobs:int ->
+  ?round_every:int ->
+  ?rip_up_rounds:int ->
+  ?gap_target:float ->
+  ?dp_sink_cap:int ->
+  ?vertex_multipliers:bool ->
+  unit ->
+  params
+
+(** One sub-gradient iteration, for per-iteration telemetry. *)
+type iter_stat = {
+  it : int;
+  dual : float;  (** raw L(lambda, mu) of this iteration *)
+  best_dual : float;  (** best raw dual value so far *)
+  primal : int option;  (** best feasible cost so far, if any *)
+  step : float;  (** sub-gradient step size used *)
+  mult_norm : float;  (** multiplier 2-norm after the update *)
+  busy_s : float;  (** summed per-net pricing time of the iteration *)
+}
+
+type t = {
+  solution : Optrouter_grid.Route.solution option;
+      (** best feasible routing, certified by [Drc.check]; [None] when
+          every rounding attempt (and the maze backstop) failed *)
+  dual_bound : float;
+      (** integral-lifted lower bound on the ILP optimum:
+          [ceil(max_it L - eps)], never negative. 0 when no iteration
+          completed. *)
+  unreachable : bool;
+      (** some net cannot reach a sink through its allowed edges at all:
+          the ILP is infeasible by plain graph reachability (the only
+          case this mode can prove) *)
+  exact_pricing : bool;
+      (** every net stayed within [dp_sink_cap], so each subproblem was
+          priced exactly *)
+  iterations : int;
+  gap : float option;
+      (** (primal - dual_bound) / primal, when a feasible routing was
+          found (0 for a zero-cost primal) *)
+  multiplier_norm : float;  (** final multiplier 2-norm *)
+  busy_s : float;  (** summed per-net pricing work across iterations *)
+  wall_s : float;
+  rounding_attempts : int;
+  rip_ups : int;  (** nets ripped up across all repair rounds *)
+  workers : int;  (** pricing pool width actually used *)
+  trace : iter_stat list;  (** per-iteration telemetry, oldest first *)
+}
+
+(** [solve ?params ?seed ~rules g] runs the sub-gradient loop on a built
+    routing graph. [seed], when given and DRC-clean under [rules], is an
+    initial feasible incumbent (an upper bound for the Polyak step and
+    the starting [solution]); unlike the exact solver's fast path it
+    carries {e no} optimality claim. Deterministic for fixed [params]
+    modulo the wall deadline: identical results for any [jobs] width. *)
+val solve :
+  ?params:params ->
+  ?seed:Optrouter_grid.Route.solution ->
+  rules:Optrouter_tech.Rules.t ->
+  Optrouter_grid.Graph.t ->
+  t

@@ -117,9 +117,10 @@ end
 module Telemetry = struct
   let render ?(steals = 0) ?(solver_busy_s = 0.0) ?(solver_wall_s = 0.0)
       ?(peak_workers = 1) ?(root_lp_iters = 0) ?(bound_flips = 0)
-      ?(warm_reused = 0) ?(warm_repaired = 0) ~solves ~fast_path_hits
-      ~seeded_incumbents ~nodes ~simplex_iterations ~busy_s ~wall_s ~limits
-      ~infeasible ~failures () =
+      ?(warm_reused = 0) ?(warm_repaired = 0) ?(lagrangian_solves = 0)
+      ?(lag_iterations = 0) ?(lag_busy_s = 0.0) ?(lag_gap_max = 0.0)
+      ?(lag_unrounded = 0) ~solves ~fast_path_hits ~seeded_incumbents ~nodes
+      ~simplex_iterations ~busy_s ~wall_s ~limits ~infeasible ~failures () =
     let buf = Buffer.create 192 in
     Buffer.add_string buf
       (Printf.sprintf
@@ -169,6 +170,21 @@ module Telemetry = struct
            (if steals = 1 then "" else "s")
            nodes_per_s efficiency)
     end;
+    (* Decomposition line only when some solve ran the Lagrangian path:
+       exact-mode runs keep their historical output byte-for-byte. *)
+    if lagrangian_solves > 0 then
+      Buffer.add_string buf
+        (Printf.sprintf
+           "                  lagrangian: %d solve%s, %d iteration%s, %.1f s \
+            pricing, max gap %.2f%%%s\n"
+           lagrangian_solves
+           (if lagrangian_solves = 1 then "" else "s")
+           lag_iterations
+           (if lag_iterations = 1 then "" else "s")
+           lag_busy_s (100.0 *. lag_gap_max)
+           (if lag_unrounded > 0 then
+              Printf.sprintf ", %d unrounded" lag_unrounded
+            else ""));
     Buffer.contents buf
 
   let render_serve ~requests ~mem_hits ~disk_hits ~misses ~evictions ~stores

@@ -53,7 +53,14 @@ module Telemetry : sig
       (defaults 0) describe the root-relaxation solves: when any root
       activity was reported, an extra line shows the root-LP iteration
       total, bound-flip count, and how many solves reused or repaired a
-      warm-start basis. *)
+      warm-start basis.
+
+      [lagrangian_solves]/[lag_iterations]/[lag_busy_s]/[lag_gap_max]/
+      [lag_unrounded] (defaults 0) describe decomposition-mode solves:
+      when any ran, an extra line shows the solve and sub-gradient
+      iteration counts, summed per-net pricing time, the worst reported
+      optimality gap (percent) and how many solves failed to round to a
+      feasible routing. *)
   val render :
     ?steals:int ->
     ?solver_busy_s:float ->
@@ -63,6 +70,11 @@ module Telemetry : sig
     ?bound_flips:int ->
     ?warm_reused:int ->
     ?warm_repaired:int ->
+    ?lagrangian_solves:int ->
+    ?lag_iterations:int ->
+    ?lag_busy_s:float ->
+    ?lag_gap_max:float ->
+    ?lag_unrounded:int ->
     solves:int ->
     fast_path_hits:int ->
     seeded_incumbents:int ->

@@ -69,7 +69,10 @@ type reply = { status : cache_status; payload : string; elapsed_s : float }
 (* Cache key                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let key_version = "optrouter serve key v1"
+(* v1 -> v2: the config fingerprint grew a solve_mode line, so every
+   pre-existing entry was keyed under a format that can no longer be
+   reproduced — bumping the version retires them wholesale. *)
+let key_version = "optrouter serve key v2"
 
 let cache_key ~config ~tech ~rules clip =
   Stable.digest_hex
@@ -114,15 +117,26 @@ let payload_of_result (r : Optrouter.result) =
   | Optrouter.Limit (Some sol) ->
     "verdict limit-incumbent\n" ^ payload_of_solution sol
   | Optrouter.Limit None -> "verdict limit\n"
+  | Optrouter.Near_optimal sol ->
+    "verdict near-optimal\n" ^ payload_of_solution sol
 
 (* Only proven results enter the cache: an optimum or an infeasibility
    proof holds under any deadline, while a Limit verdict is an artefact
    of this request's budget — caching it would let a short deadline
-   poison the answers of later, patient callers. *)
-let cacheable (r : Optrouter.result) =
-  match r.Optrouter.verdict with
-  | Optrouter.Routed _ | Optrouter.Unroutable -> true
-  | Optrouter.Limit _ -> false
+   poison the answers of later, patient callers. Near_optimal routings
+   are likewise never cached: they are feasible but unproven, and a
+   longer-running decomposition may legitimately return a better one.
+   An extra belt-and-braces guard refuses to cache ANY verdict from a
+   Lagrangian-mode solve — even its Unroutable proof rides on the mode's
+   reachability check rather than the ILP, and keeping the mode fully
+   cache-inert makes the contract easy to audit. *)
+let cacheable ~(config : Optrouter.config) (r : Optrouter.result) =
+  match config.Optrouter.solve_mode with
+  | Optrouter.Lagrangian -> false
+  | Optrouter.Exact -> (
+    match r.Optrouter.verdict with
+    | Optrouter.Routed _ | Optrouter.Unroutable -> true
+    | Optrouter.Limit _ | Optrouter.Near_optimal _ -> false)
 
 (* ------------------------------------------------------------------ *)
 (* Engine                                                              *)
@@ -254,7 +268,8 @@ let handle_batch t reqs =
          (function
            | Ok (key, result, wall) ->
              let payload = payload_of_result result in
-             if cacheable result then Cache.store t.cache key payload;
+             if cacheable ~config:t.params.config result then
+               Cache.store t.cache key payload;
              Ok (payload, wall)
            | Error exn -> Error (Printexc.to_string exn))
          outcomes)

@@ -275,7 +275,8 @@ let test_hook () =
     "routed with auditing on" true
     (match result.Optrouter.verdict with
     | Optrouter.Routed _ -> true
-    | Optrouter.Unroutable | Optrouter.Limit _ -> false)
+    | Optrouter.Unroutable | Optrouter.Limit _ | Optrouter.Near_optimal _ ->
+      false)
 
 let test_render_and_json () =
   let ds =

@@ -92,9 +92,9 @@ let test_fast_path_zero_nodes () =
       Alcotest.(check int) "same optimal cost"
         base.Optrouter_grid.Route.metrics.cost
         sol.Optrouter_grid.Route.metrics.cost
-    | Optrouter.Unroutable | Optrouter.Limit _ ->
+    | Optrouter.Unroutable | Optrouter.Limit _ | Optrouter.Near_optimal _ ->
       Alcotest.fail "fast path must report Routed")
-  | Optrouter.Unroutable | Optrouter.Limit _ ->
+  | Optrouter.Unroutable | Optrouter.Limit _ | Optrouter.Near_optimal _ ->
     Alcotest.fail "baseline solve failed"
 
 let test_seed_reuse_knob_disables_fast_path () =
@@ -116,7 +116,7 @@ let test_seed_reuse_knob_disables_fast_path () =
     Alcotest.(check bool) "seed ignored" true
       (s.Optrouter.seed_use = Optrouter.Seed_unused);
     Alcotest.(check bool) "solved the ILP" true (s.Optrouter.nodes > 0)
-  | Optrouter.Unroutable | Optrouter.Limit _ ->
+  | Optrouter.Unroutable | Optrouter.Limit _ | Optrouter.Near_optimal _ ->
     Alcotest.fail "baseline solve failed"
 
 let test_clip_deltas_fast_path_telemetry () =
@@ -197,6 +197,45 @@ let test_merge_telemetry_spans_max () =
   Alcotest.(check (float 1e-9)) "commutative wall" m.Sweep.wall_s m'.Sweep.wall_s;
   Alcotest.(check int) "commutative solves" m.Sweep.solves m'.Sweep.solves
 
+(* The decomposition counters follow the same discipline: iteration and
+   pricing-work fields sum, the per-shard solve wall is a span (max),
+   and the worst gap survives the merge. *)
+let test_merge_telemetry_lagrangian () =
+  let a =
+    {
+      Sweep.empty_telemetry with
+      Sweep.lagrangian_solves = 2;
+      lag_iterations = 40;
+      lag_busy_s = 3.0;
+      lag_wall_s = 2.0;
+      lag_gap_max = 0.01;
+      lag_unrounded = 1;
+    }
+  and b =
+    {
+      Sweep.empty_telemetry with
+      Sweep.lagrangian_solves = 1;
+      lag_iterations = 10;
+      lag_busy_s = 1.0;
+      lag_wall_s = 1.5;
+      lag_gap_max = 0.04;
+      lag_unrounded = 0;
+    }
+  in
+  let m = Sweep.merge_telemetry a b in
+  Alcotest.(check int) "lagrangian solves summed" 3 m.Sweep.lagrangian_solves;
+  Alcotest.(check int) "iterations summed" 50 m.Sweep.lag_iterations;
+  Alcotest.(check (float 1e-9)) "pricing busy summed" 4.0 m.Sweep.lag_busy_s;
+  Alcotest.(check (float 1e-9)) "lag wall is max of spans" 2.0
+    m.Sweep.lag_wall_s;
+  Alcotest.(check (float 1e-9)) "worst gap survives" 0.04 m.Sweep.lag_gap_max;
+  Alcotest.(check int) "unrounded summed" 1 m.Sweep.lag_unrounded;
+  let m' = Sweep.merge_telemetry b a in
+  Alcotest.(check (float 1e-9)) "commutative lag wall" m.Sweep.lag_wall_s
+    m'.Sweep.lag_wall_s;
+  Alcotest.(check (float 1e-9)) "commutative gap" m.Sweep.lag_gap_max
+    m'.Sweep.lag_gap_max
+
 (* Warm-starting a RULEk root LP from the RULE1 optimal basis (remapped
    by name) is a speed device only: verdicts and proved-optimal costs
    must match the cold solves across the Figure-10 rule variants. No
@@ -243,7 +282,7 @@ let test_warm_basis_matches_cold () =
             (label ^ " cold solve stays cold") true
             (cold.Optrouter.stats.Optrouter.warm_start = `Cold))
         [ 3; 4; 5 ])
-  | Optrouter.Unroutable | Optrouter.Limit _ ->
+  | Optrouter.Unroutable | Optrouter.Limit _ | Optrouter.Near_optimal _ ->
     Alcotest.fail "baseline solve failed"
 
 let test_sweep_drops_unroutable_baseline () =
@@ -523,7 +562,7 @@ let test_render_solution () =
     Alcotest.(check bool) "shows wire" true (String.contains s '-');
     Alcotest.(check bool) "shows terminals" true (String.contains s 'A');
     Alcotest.(check bool) "reports cost" true (String.contains s '=')
-  | Optrouter.Unroutable | Optrouter.Limit _ -> Alcotest.fail "route failed"
+  | Optrouter.Unroutable | Optrouter.Limit _ | Optrouter.Near_optimal _ -> Alcotest.fail "route failed"
 
 let () =
   Alcotest.run "eval"
@@ -544,6 +583,8 @@ let () =
             test_baseline_config_default_budget;
           Alcotest.test_case "busy vs wall telemetry" `Quick
             test_telemetry_busy_vs_wall;
+          Alcotest.test_case "merge maxes lagrangian spans and gap" `Quick
+            test_merge_telemetry_lagrangian;
           Alcotest.test_case "merge sums work, maxes spans" `Quick
             test_merge_telemetry_spans_max;
           Alcotest.test_case "warm basis matches cold across rules" `Quick

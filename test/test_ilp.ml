@@ -805,6 +805,71 @@ let test_presolve_detects_infeasible () =
   | Presolve.Infeasible _ -> ()
   | Presolve.Reduced _ -> Alcotest.fail "expected infeasible (row)"
 
+let test_presolve_singleton_column () =
+  (* y is free, continuous and appears only in the equality row: presolve
+     substitutes y = 3 - x, folding its cost into x and a constant. *)
+  let lp =
+    build
+      [ cont "y" neg_infinity infinity 2.0; cont "x" 0.0 10.0 (-1.0) ]
+      [ ("eq", [ (0, 1.0); (1, 1.0) ], Lp.Eq, 3.0) ]
+  in
+  match Presolve.presolve lp with
+  | Presolve.Infeasible m -> Alcotest.fail m
+  | Presolve.Reduced (lp', m) ->
+    let s = Presolve.stats m in
+    Alcotest.(check int) "cols before" 2 s.Presolve.cols_before;
+    Alcotest.(check int) "cols after" 1 s.Presolve.cols_after;
+    Alcotest.(check int) "one substitution" 1 s.Presolve.singleton_cols;
+    Alcotest.(check int) "rows before" 1 s.Presolve.rows_before;
+    Alcotest.(check int) "rows after" 0 s.Presolve.rows_after;
+    (* objective folded: 2y - x = 2(3 - x) - x = 6 - 3x *)
+    check_float "folded objective" (-3.0) lp'.Lp.vars.(0).Lp.obj;
+    check_float "constant part" 6.0 (Presolve.objective_offset m);
+    let res = Simplex.solve lp' in
+    let x = Presolve.restore m res.x in
+    check_float "x at its bound" 10.0 x.(1);
+    check_float "y recomputed from the row" (-7.0) x.(0);
+    check_float "same optimum as unreduced" (Simplex.solve lp).objective
+      (res.objective +. Presolve.objective_offset m)
+
+let test_presolve_dominated_rows () =
+  let lp =
+    build
+      [ cont "x" 0.0 1.0 1.0; cont "y" 0.0 1.0 1.0 ]
+      [
+        (* max activity 2 <= 3: can never bind *)
+        ("slack", [ (0, 1.0); (1, 1.0) ], Lp.Le, 3.0);
+        ("bind", [ (0, 1.0); (1, 1.0) ], Lp.Ge, 1.0);
+        (* same normalised lhs and rhs as [bind]: a duplicate *)
+        ("dup", [ (0, 2.0); (1, 2.0) ], Lp.Ge, 2.0);
+      ]
+  in
+  match Presolve.presolve lp with
+  | Presolve.Infeasible m -> Alcotest.fail m
+  | Presolve.Reduced (lp', m) ->
+    let s = Presolve.stats m in
+    Alcotest.(check int) "rows before" 3 s.Presolve.rows_before;
+    Alcotest.(check int) "rows after" 1 s.Presolve.rows_after;
+    Alcotest.(check int) "two dominated rows" 2 s.Presolve.dominated_rows;
+    Alcotest.(check int) "binding row survives" 1 (Lp.nrows lp');
+    check_float "same optimum as unreduced" (Simplex.solve lp).objective
+      ((Simplex.solve lp').objective +. Presolve.objective_offset m)
+
+let test_presolve_duplicate_eq_infeasible () =
+  (* Two equalities with the same normalised lhs forcing different
+     values have no solution. *)
+  let lp =
+    build
+      [ cont "x" 0.0 10.0 1.0; cont "y" 0.0 10.0 1.0 ]
+      [
+        ("eq1", [ (0, 1.0); (1, 1.0) ], Lp.Eq, 1.0);
+        ("eq2", [ (0, 2.0); (1, 2.0) ], Lp.Eq, 4.0);
+      ]
+  in
+  match Presolve.presolve lp with
+  | Presolve.Infeasible _ -> ()
+  | Presolve.Reduced _ -> Alcotest.fail "expected infeasible (duplicate eq)"
+
 let test_milp_with_presolve () =
   (* A fixed variable plus a singleton row: presolve shrinks the problem,
      and the MILP answer (including the lifted point) is unchanged. *)
@@ -1383,6 +1448,12 @@ let () =
             test_presolve_integer_rounding;
           Alcotest.test_case "detects infeasibility" `Quick
             test_presolve_detects_infeasible;
+          Alcotest.test_case "singleton columns substituted" `Quick
+            test_presolve_singleton_column;
+          Alcotest.test_case "dominated and duplicate rows dropped" `Quick
+            test_presolve_dominated_rows;
+          Alcotest.test_case "conflicting duplicate equalities" `Quick
+            test_presolve_duplicate_eq_infeasible;
           qtest prop_presolve_preserves_optimum;
           Alcotest.test_case "milp with presolve" `Quick test_milp_with_presolve;
           qtest prop_milp_presolve_agrees;

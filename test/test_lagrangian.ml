@@ -1,0 +1,269 @@
+(* Tests for the Lagrangian decomposition solve mode: dual-bound
+   soundness against the exact ILP, DRC-certified rounding, width
+   determinism and the solve-mode plumbing through the driver. *)
+
+module Clip = Optrouter_grid.Clip
+module Graph = Optrouter_grid.Graph
+module Route = Optrouter_grid.Route
+module Drc = Optrouter_grid.Drc
+module Tech = Optrouter_tech.Tech
+module Rules = Optrouter_tech.Rules
+module Optrouter = Optrouter_core.Optrouter
+module Lagrangian = Optrouter_lagrangian.Lagrangian
+module Clipfile = Optrouter_clipfile.Clipfile
+
+let tech = Tech.n28_12t
+let rule = Rules.rule
+
+let pin name access = { Clip.p_name = name; access; shape = None }
+let net name pins = { Clip.n_name = name; pins }
+
+let two_pin name (x1, y1) (x2, y2) =
+  net name [ pin (name ^ ".s") [ (x1, y1) ]; pin (name ^ ".t") [ (x2, y2) ] ]
+
+let bundled_clips () =
+  (* dune runtest runs in test/; dune exec runs at the project root *)
+  let path =
+    if Sys.file_exists "../data/samples.clips" then "../data/samples.clips"
+    else "data/samples.clips"
+  in
+  match Clipfile.read_file path with
+  | Ok clips -> clips
+  | Error e -> Alcotest.failf "samples.clips: %s" e
+
+let exact_cost clip =
+  match (Optrouter.route ~tech ~rules:(rule 1) clip).Optrouter.verdict with
+  | Optrouter.Routed sol -> sol.Route.metrics.cost
+  | Optrouter.Unroutable | Optrouter.Limit _ | Optrouter.Near_optimal _ ->
+    Alcotest.failf "clip %s: exact solve must prove under RULE1"
+      clip.Clip.c_name
+
+(* ------------------------------------------------------------------ *)
+(* Bundled clips: certified rounding with gap <= 2% vs the ILP optimum  *)
+(* ------------------------------------------------------------------ *)
+
+let test_bundled_gap () =
+  List.iter
+    (fun clip ->
+      let opt = exact_cost clip in
+      let rules = rule 1 in
+      let g = Graph.build ~tech ~rules clip in
+      let r = Lagrangian.solve ~rules g in
+      Alcotest.(check bool)
+        (clip.Clip.c_name ^ " dual bound is a lower bound")
+        true
+        (r.Lagrangian.dual_bound <= float_of_int opt +. 1e-6);
+      match r.Lagrangian.solution with
+      | None -> Alcotest.failf "%s: no rounded routing" clip.Clip.c_name
+      | Some sol ->
+        Alcotest.(check (list Alcotest.reject))
+          (clip.Clip.c_name ^ " rounding is DRC-clean")
+          [] (Drc.check ~rules g sol);
+        Alcotest.(check bool)
+          (clip.Clip.c_name ^ " primal is an upper bound")
+          true
+          (sol.Route.metrics.cost >= opt);
+        (match r.Lagrangian.gap with
+        | None -> Alcotest.failf "%s: no gap reported" clip.Clip.c_name
+        | Some gap ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s gap %.4f <= 2%%" clip.Clip.c_name gap)
+            true
+            (gap >= 0.0 && gap <= 0.02));
+        (* the reported gap is measured against the true optimum too *)
+        let true_gap =
+          float_of_int (sol.Route.metrics.cost - opt)
+          /. float_of_int (max 1 sol.Route.metrics.cost)
+        in
+        Alcotest.(check bool)
+          (clip.Clip.c_name ^ " within 2% of the ILP optimum")
+          true (true_gap <= 0.02))
+    (bundled_clips ())
+
+(* ------------------------------------------------------------------ *)
+(* Width determinism: -j 1/2/4 round to byte-identical routings         *)
+(* ------------------------------------------------------------------ *)
+
+let solution_bytes (sol : Route.solution) =
+  String.concat "|"
+    (Array.to_list
+       (Array.map
+          (fun (r : Route.net_route) ->
+            Printf.sprintf "%d:%s" r.Route.net
+              (String.concat ","
+                 (List.map string_of_int (List.sort Int.compare r.Route.edges))))
+          sol.Route.routes))
+
+let test_width_determinism () =
+  List.iter
+    (fun clip ->
+      let rules = rule 1 in
+      let g = Graph.build ~tech ~rules clip in
+      let solve jobs =
+        Lagrangian.solve ~params:(Lagrangian.make_params ~jobs ()) ~rules g
+      in
+      let r1 = solve 1 and r2 = solve 2 and r4 = solve 4 in
+      let bytes label (r : Lagrangian.t) =
+        match r.Lagrangian.solution with
+        | Some sol ->
+          Alcotest.(check (list Alcotest.reject))
+            (label ^ " DRC-clean") []
+            (Drc.check ~rules g sol);
+          solution_bytes sol
+        | None -> Alcotest.failf "%s: no rounded routing" label
+      in
+      let b1 = bytes "-j1" r1 in
+      Alcotest.(check string)
+        (clip.Clip.c_name ^ ": -j2 identical to -j1")
+        b1 (bytes "-j2" r2);
+      Alcotest.(check string)
+        (clip.Clip.c_name ^ ": -j4 identical to -j1")
+        b1 (bytes "-j4" r4);
+      Alcotest.(check (float 1e-9))
+        (clip.Clip.c_name ^ ": dual bound width-independent")
+        r1.Lagrangian.dual_bound r4.Lagrangian.dual_bound;
+      Alcotest.(check int)
+        (clip.Clip.c_name ^ ": iteration count width-independent")
+        r1.Lagrangian.iterations r4.Lagrangian.iterations)
+    (bundled_clips ())
+
+(* ------------------------------------------------------------------ *)
+(* Driver plumbing: verdict, stats, fingerprint                         *)
+(* ------------------------------------------------------------------ *)
+
+let lag_config = Optrouter.make_config ~solve_mode:Optrouter.Lagrangian ()
+
+let test_near_optimal_verdict () =
+  let clip =
+    Clip.make ~name:"plumb" ~cols:4 ~rows:3 ~layers:3
+      [ two_pin "a" (0, 0) (3, 2); two_pin "b" (0, 2) (3, 0) ]
+  in
+  let result = Optrouter.route ~config:lag_config ~tech ~rules:(rule 1) clip in
+  match result.Optrouter.verdict with
+  | Optrouter.Near_optimal sol ->
+    let opt = exact_cost clip in
+    Alcotest.(check bool) "cost bounded by dual" true
+      (sol.Route.metrics.cost >= opt);
+    let stats = result.Optrouter.stats in
+    (match stats.Optrouter.lagrangian with
+    | None -> Alcotest.fail "lagrangian stats missing"
+    | Some ls ->
+      Alcotest.(check bool) "dual <= primal" true
+        (ls.Optrouter.dual_bound <= float_of_int sol.Route.metrics.cost +. 1e-6);
+      Alcotest.(check bool) "iterations ran" true (ls.Optrouter.lag_iterations >= 1);
+      (match ls.Optrouter.primal_cost with
+      | Some c ->
+        Alcotest.(check int) "stats primal is the verdict cost"
+          sol.Route.metrics.cost c
+      | None -> Alcotest.fail "stats primal missing"))
+  | Optrouter.Routed _ | Optrouter.Unroutable | Optrouter.Limit _ ->
+    Alcotest.fail "lagrangian mode must answer Near_optimal here"
+
+let test_unroutable_detected () =
+  (* A pin fenced in by obstructions on M1 with a single layer cannot
+     reach its mate: the reachability pre-check must prove it. *)
+  let clip =
+    Clip.make ~name:"fenced" ~cols:3 ~rows:3 ~layers:1
+      ~obstructions:[ (1, 0, 0); (0, 1, 0); (1, 2, 0) ]
+      [ two_pin "a" (0, 0) (2, 2) ]
+  in
+  let result = Optrouter.route ~config:lag_config ~tech ~rules:(rule 1) clip in
+  match result.Optrouter.verdict with
+  | Optrouter.Unroutable -> ()
+  | Optrouter.Routed _ | Optrouter.Limit _ | Optrouter.Near_optimal _ ->
+    Alcotest.fail "expected Unroutable from the reachability pre-check"
+
+let test_fingerprint_distinguishes_modes () =
+  let exact = Optrouter.make_config () in
+  Alcotest.(check bool) "solve_mode changes the fingerprint" true
+    (Optrouter.config_fingerprint exact
+    <> Optrouter.config_fingerprint lag_config);
+  (* effort knobs still do not: same mode, different jobs/time budget *)
+  let lag_wide =
+    Optrouter.make_config ~solve_mode:Optrouter.Lagrangian
+      ~milp:
+        (Optrouter_ilp.Milp.make_params ~time_limit_s:1.0 ~solver_jobs:4 ())
+      ()
+  in
+  Alcotest.(check string) "effort knobs do not change the fingerprint"
+    (Optrouter.config_fingerprint lag_config)
+    (Optrouter.config_fingerprint lag_wide)
+
+(* ------------------------------------------------------------------ *)
+(* Properties: dual <= ILP optimum <= rounded primal                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Random clips with a planted non-overlapping pin layout (the routing
+   test suite's generator). *)
+let random_clip_gen =
+  let open QCheck.Gen in
+  let* cols = int_range 3 4 in
+  let* rows = int_range 2 3 in
+  let* layers = int_range 2 3 in
+  let* nnets = int_range 1 2 in
+  let* shuffled =
+    let all =
+      List.concat_map
+        (fun x -> List.init rows (fun y -> (x, y)))
+        (List.init cols Fun.id)
+    in
+    shuffle_l all
+  in
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | p :: rest -> p :: take (n - 1) rest
+  in
+  let positions = take (2 * nnets) shuffled in
+  let nets =
+    List.init nnets (fun k ->
+        match
+          (List.nth_opt positions (2 * k), List.nth_opt positions ((2 * k) + 1))
+        with
+        | Some p1, Some p2 -> two_pin (Printf.sprintf "n%d" k) p1 p2
+        | _, _ -> two_pin (Printf.sprintf "n%d" k) (0, 0) (cols - 1, rows - 1))
+  in
+  return (Clip.make ~cols ~rows ~layers nets)
+
+let arbitrary_clip =
+  QCheck.make ~print:(Format.asprintf "%a" Clip.pp) random_clip_gen
+
+let prop_sandwich =
+  QCheck.Test.make ~name:"dual bound <= ILP optimum <= rounded primal"
+    ~count:15 arbitrary_clip (fun c ->
+      let rules = rule 1 in
+      match (Optrouter.route ~tech ~rules c).Optrouter.verdict with
+      | Optrouter.Unroutable | Optrouter.Limit _ | Optrouter.Near_optimal _ ->
+        true (* only exact-proven clips pin the sandwich *)
+      | Optrouter.Routed sol ->
+        let opt = sol.Route.metrics.cost in
+        let g = Graph.build ~tech ~rules c in
+        let r = Lagrangian.solve ~rules g in
+        r.Lagrangian.dual_bound <= float_of_int opt +. 1e-6
+        && (match r.Lagrangian.solution with
+           | None -> false (* RULE1 roundings must land *)
+           | Some s ->
+             s.Route.metrics.cost >= opt && Drc.check ~rules g s = []))
+
+let qtest t = QCheck_alcotest.to_alcotest t
+
+let () =
+  Alcotest.run "lagrangian"
+    [
+      ( "bundled",
+        [
+          Alcotest.test_case "gap <= 2% vs ILP optimum" `Quick test_bundled_gap;
+          Alcotest.test_case "widths 1/2/4 byte-identical" `Quick
+            test_width_determinism;
+        ] );
+      ( "driver",
+        [
+          Alcotest.test_case "near-optimal verdict + stats" `Quick
+            test_near_optimal_verdict;
+          Alcotest.test_case "reachability proves unroutable" `Quick
+            test_unroutable_detected;
+          Alcotest.test_case "fingerprint distinguishes modes" `Quick
+            test_fingerprint_distinguishes_modes;
+        ] );
+      ("properties", [ qtest prop_sandwich ]);
+    ]

@@ -32,6 +32,7 @@ let routed_cost result =
   | Optrouter.Routed sol -> sol.Route.metrics.cost
   | Optrouter.Unroutable -> Alcotest.fail "unexpectedly unroutable"
   | Optrouter.Limit _ -> Alcotest.fail "unexpected limit"
+  | Optrouter.Near_optimal _ -> Alcotest.fail "unexpected near-optimal"
 
 (* ------------------------------------------------------------------ *)
 (* Clip validation                                                     *)
@@ -200,7 +201,7 @@ let test_route_needs_layer_change () =
   | Optrouter.Routed sol ->
     Alcotest.(check int) "vias" 2 sol.Route.metrics.vias;
     Alcotest.(check int) "wirelength" 2 sol.Route.metrics.wirelength
-  | Optrouter.Unroutable | Optrouter.Limit _ -> Alcotest.fail "not routed"
+  | Optrouter.Unroutable | Optrouter.Limit _ | Optrouter.Near_optimal _ -> Alcotest.fail "not routed"
 
 let test_route_steiner_sharing () =
   (* Three pins on one track: a Steiner route shares the middle segment,
@@ -269,7 +270,7 @@ let test_route_access_via_adjacency () =
   Alcotest.(check bool) "routable without restrictions" true
     (match free.Optrouter.verdict with
     | Optrouter.Routed _ -> true
-    | Optrouter.Unroutable | Optrouter.Limit _ -> false);
+    | Optrouter.Unroutable | Optrouter.Limit _ | Optrouter.Near_optimal _ -> false);
   let blocked = route ~rules:(rule 6) c in
   (* access vias at (0,0) and (0,1) are orthogonally adjacent *)
   Alcotest.(check bool) "unroutable under RULE6" true
@@ -282,7 +283,7 @@ let test_route_access_via_adjacency () =
       (List.exists
          (function Drc.Via_adjacency _ -> true | _ -> false)
          (Drc.check ~rules:(rule 6) g sol))
-  | Optrouter.Unroutable | Optrouter.Limit _ -> Alcotest.fail "route failed"
+  | Optrouter.Unroutable | Optrouter.Limit _ | Optrouter.Near_optimal _ -> Alcotest.fail "route failed"
 
 let test_route_sadp_eol_cost () =
   (* Two abutting wire segments on one SADP track create facing line ends;
@@ -334,7 +335,7 @@ let test_route_via_shape_preferred () =
     (* single vias would cost 4 each; bars cost 3: 3+2+3 = 8 *)
     Alcotest.(check int) "cost with bars" 8 sol.Route.metrics.cost;
     Alcotest.(check int) "two via instances" 2 sol.Route.metrics.vias
-  | Optrouter.Unroutable | Optrouter.Limit _ -> Alcotest.fail "not routed"
+  | Optrouter.Unroutable | Optrouter.Limit _ | Optrouter.Near_optimal _ -> Alcotest.fail "not routed"
 
 let test_formulation_e_var_accessor () =
   let c =
@@ -405,7 +406,7 @@ let test_route_graph_reuse () =
   match (Optrouter.route_graph ~rules g).Optrouter.verdict with
   | Optrouter.Routed sol ->
     Alcotest.(check int) "same cost" via_clip sol.Route.metrics.cost
-  | Optrouter.Unroutable | Optrouter.Limit _ -> Alcotest.fail "route_graph failed"
+  | Optrouter.Unroutable | Optrouter.Limit _ | Optrouter.Near_optimal _ -> Alcotest.fail "route_graph failed"
 
 let test_route_without_heuristic_incumbent () =
   (* Disabling the maze warm start must not change the optimum. *)
@@ -436,7 +437,7 @@ let test_route_solution_helpers () =
       (not
          (List.for_all owned
             (List.init (Graph.num_edges g) Fun.id)))
-  | Optrouter.Unroutable | Optrouter.Limit _ -> Alcotest.fail "route failed"
+  | Optrouter.Unroutable | Optrouter.Limit _ | Optrouter.Near_optimal _ -> Alcotest.fail "route failed"
 
 let test_route_limit_verdict () =
   (* An unreachable node budget forces the Limit verdict. *)
@@ -453,6 +454,7 @@ let test_route_limit_verdict () =
   | Optrouter.Limit _ -> ()
   | Optrouter.Routed _ -> Alcotest.fail "cannot be solved in zero nodes"
   | Optrouter.Unroutable -> Alcotest.fail "the clip is routable"
+  | Optrouter.Near_optimal _ -> Alcotest.fail "unexpected near-optimal"
 
 let test_graph_site_index () =
   let c = clip ~cols:3 ~rows:2 ~layers:3 [ two_pin "a" (0, 0) (2, 1) ] in
@@ -482,7 +484,7 @@ let solution_of c rules =
   let r = Optrouter.route_graph ~rules g in
   match r.Optrouter.verdict with
   | Optrouter.Routed sol -> (g, sol)
-  | Optrouter.Unroutable | Optrouter.Limit _ -> Alcotest.fail "not routed"
+  | Optrouter.Unroutable | Optrouter.Limit _ | Optrouter.Near_optimal _ -> Alcotest.fail "not routed"
 
 let test_drc_accepts_optimal () =
   let c =
@@ -568,7 +570,7 @@ let test_drc_detects_shape_blocking () =
     let viols = Drc.check ~rules g tampered in
     Alcotest.(check bool) "footprint/ownership violations found" true
       (viols <> [])
-  | Optrouter.Unroutable | Optrouter.Limit _ -> Alcotest.fail "route failed"
+  | Optrouter.Unroutable | Optrouter.Limit _ | Optrouter.Near_optimal _ -> Alcotest.fail "route failed"
 
 let test_drc_detects_dangling () =
   let c = clip ~cols:4 ~rows:1 ~layers:1 [ two_pin "a" (0, 0) (2, 0) ] in
@@ -690,7 +692,7 @@ let prop_optimal_is_drc_clean =
           match (Optrouter.route_graph ~rules g).Optrouter.verdict with
           | Optrouter.Routed sol -> Drc.check ~rules g sol = []
           | Optrouter.Unroutable -> true
-          | Optrouter.Limit _ -> true)
+          | Optrouter.Limit _ | Optrouter.Near_optimal _ -> true)
         [ rule 1; rule 3; rule 6 ])
 
 (* Tightening rules can never reduce the optimal cost. *)
@@ -701,7 +703,7 @@ let prop_rule_monotonicity =
         match (route ~rules c).Optrouter.verdict with
         | Optrouter.Routed sol -> Some sol.Route.metrics.cost
         | Optrouter.Unroutable -> None
-        | Optrouter.Limit _ -> None
+        | Optrouter.Limit _ | Optrouter.Near_optimal _ -> None
       in
       match cost (rule 1) with
       | None -> true
@@ -723,7 +725,7 @@ let prop_flow_formulations_agree =
         match (route ~config c).Optrouter.verdict with
         | Optrouter.Routed sol -> Some sol.Route.metrics.cost
         | Optrouter.Unroutable -> None
-        | Optrouter.Limit _ -> None
+        | Optrouter.Limit _ | Optrouter.Near_optimal _ -> None
       in
       match
         ( cost Formulate.default_options,
@@ -740,7 +742,7 @@ let prop_optimal_beats_heuristic =
       let rules = rule 1 in
       let g = Graph.build ~tech ~rules c in
       match (Optrouter.route_graph ~rules g).Optrouter.verdict with
-      | Optrouter.Unroutable | Optrouter.Limit _ -> true
+      | Optrouter.Unroutable | Optrouter.Limit _ | Optrouter.Near_optimal _ -> true
       | Optrouter.Routed opt -> (
         match (Optrouter_maze.Maze.route ~rules g).Optrouter_maze.Maze.solution with
         | None -> true
@@ -757,7 +759,7 @@ let prop_encode_roundtrip =
       let rules = rule 1 in
       let g = Graph.build ~tech ~rules c in
       match (Optrouter.route_graph ~rules g).Optrouter.verdict with
-      | Optrouter.Unroutable | Optrouter.Limit _ -> true
+      | Optrouter.Unroutable | Optrouter.Limit _ | Optrouter.Near_optimal _ -> true
       | Optrouter.Routed sol -> (
         let form = Formulate.build ~rules g in
         match Formulate.encode form sol with
@@ -779,7 +781,7 @@ let prop_metrics_consistent =
       | Optrouter.Routed sol ->
         let m = Route.metrics_of g sol.Route.routes in
         m = sol.Route.metrics
-      | Optrouter.Unroutable | Optrouter.Limit _ -> true)
+      | Optrouter.Unroutable | Optrouter.Limit _ | Optrouter.Near_optimal _ -> true)
 
 let qtest = QCheck_alcotest.to_alcotest
 

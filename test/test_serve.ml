@@ -307,6 +307,37 @@ let test_limit_never_cached () =
       Alcotest.(check int) "no stores" 0
         (Cache.stats (Serve.cache t)).Cache.stores)
 
+let lag_config =
+  Optrouter.make_config ~solve_mode:Optrouter.Lagrangian
+    ~milp:(Milp.make_params ~max_nodes:5_000 ~time_limit_s:20.0 ())
+    ()
+
+let test_solve_mode_changes_key () =
+  (* Same clip, same everything — except the solve mode. The two modes
+     answer with different result semantics, so they must never share a
+     cache slot. *)
+  let key config =
+    Serve.cache_key ~config ~tech:Tech.n28_12t ~rules:(Rules.rule 4) eol_clip
+  in
+  Alcotest.(check bool) "exact and lagrangian keys differ" true
+    (key fast_config <> key lag_config)
+
+let test_lagrangian_never_cached () =
+  (* Near-optimal results carry no proof: caching one would freeze a
+     heuristic answer forever. Every request must re-solve. *)
+  with_engine ~config:lag_config (fun t ->
+      let r1 = reply_exn "first" (Serve.handle t (request ~rules:(Rules.rule 1) eol_clip)) in
+      Alcotest.(check bool) "near-optimal payload" true
+        (String.length r1.Serve.payload >= 20
+        && String.sub r1.Serve.payload 0 20 = "verdict near-optimal");
+      let r2 = reply_exn "second" (Serve.handle t (request ~rules:(Rules.rule 1) eol_clip)) in
+      Alcotest.(check bool) "still a miss (nothing was cached)" true
+        (r2.Serve.status = Serve.Miss);
+      Alcotest.(check int) "no stores" 0
+        (Cache.stats (Serve.cache t)).Cache.stores;
+      Alcotest.(check string) "re-solves are byte-identical anyway"
+        r1.Serve.payload r2.Serve.payload)
+
 (* ------------------------------------------------------------------ *)
 (* qcheck: cache hits are byte-identical to fresh solves at -j 2       *)
 (* ------------------------------------------------------------------ *)
@@ -507,6 +538,10 @@ let () =
             test_deadline_hits_cached_proof;
           Alcotest.test_case "limit verdicts never cached" `Quick
             test_limit_never_cached;
+          Alcotest.test_case "solve mode changes the key" `Quick
+            test_solve_mode_changes_key;
+          Alcotest.test_case "lagrangian results never cached" `Quick
+            test_lagrangian_never_cached;
           qtest qcheck_hit_identity_j2;
         ] );
       ( "protocol",
