@@ -65,12 +65,27 @@ let env_float name default =
   | Some v -> ( match float_of_string_opt v with Some f -> f | None -> default)
   | None -> default
 
+(* Sweep objective for the fig10 sections (and their CSVs / telemetry
+   dump): the paper's combined cost unless OPTROUTER_BENCH_OBJECTIVE
+   picks a via profile. An unparseable value aborts rather than silently
+   benchmarking the wrong objective. *)
+let bench_objective =
+  match Sys.getenv_opt "OPTROUTER_BENCH_OBJECTIVE" with
+  | None -> Rules.Wirelength
+  | Some s -> (
+    match Rules.objective_of_name (String.lowercase_ascii s) with
+    | Ok o -> o
+    | Error msg ->
+      Printf.eprintf "error: OPTROUTER_BENCH_OBJECTIVE: %s\n" msg;
+      exit 2)
+
 let bench_params =
   {
     Experiments.default_fig10_params with
     Experiments.top_clips = env_int "OPTROUTER_BENCH_CLIPS" 6;
     time_limit_s = env_float "OPTROUTER_BENCH_TIME" 15.0;
     instance_scale = env_float "OPTROUTER_BENCH_SCALE" 0.03;
+    objective = bench_objective;
   }
 
 (* The domain pool shared by the sweep sections; set up once in [main]
@@ -128,6 +143,7 @@ let write_sweep_json () =
     (Report.Json.Obj
        [
          ("sections", Report.Json.Int !sweep_sections_run);
+         ("objective", Report.Json.String (Rules.objective_name bench_objective));
          ("jobs", Report.Json.Int !jobs_used);
          ("solver_jobs", Report.Json.Int !solver_jobs);
          ("reuse", Report.Json.Bool !reuse);
@@ -251,8 +267,11 @@ let section_fig9 () =
 
 let fig10_for name tech =
   banner
-    (Printf.sprintf "Figure 10%s: dcost per rule, %s (reduced scale)" name
-       tech.Tech.name);
+    (Printf.sprintf "Figure 10%s: dcost per rule, %s (reduced scale%s)" name
+       tech.Tech.name
+       (match bench_objective with
+       | Rules.Wirelength -> ""
+       | o -> ", objective " ^ Rules.objective_name o));
   let telemetry = ref Sweep.empty_telemetry in
   let params =
     { bench_params with Experiments.reuse = !reuse; solver_jobs = !solver_jobs }
@@ -301,12 +320,13 @@ let fig10_for name tech =
     ensure_results_dir ();
     Report.Csv.write_file
       (Filename.concat results_dir (Printf.sprintf "fig10%s.csv" name))
-      ~header:[ "clip"; "rule"; "base_cost"; "cost"; "dcost" ]
+      ~header:[ "clip"; "rule"; "objective"; "base_cost"; "cost"; "dcost" ]
       (List.map
          (fun (e : Sweep.entry) ->
            [
              e.Sweep.clip_name;
              e.Sweep.rule_name;
+             Rules.objective_name bench_objective;
              string_of_int e.Sweep.base_cost;
              (match e.Sweep.cost with Some c -> string_of_int c | None -> "");
              Printf.sprintf "%.0f" (Sweep.delta_value e.Sweep.delta);

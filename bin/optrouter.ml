@@ -61,7 +61,7 @@ let rule_conv =
   let parse s =
     match int_of_string_opt s with
     | Some n -> ( match Rules.rule n with r -> Ok r | exception Invalid_argument m -> Error (`Msg m))
-    | None -> Error (`Msg "rule must be a number 1..11")
+    | None -> Error (`Msg "rule must be a number 1..14")
   in
   Arg.conv (parse, fun ppf (r : Rules.t) -> Format.pp_print_string ppf r.Rules.name)
 
@@ -69,7 +69,32 @@ let rule_arg =
   Arg.(
     value
     & opt rule_conv (Rules.rule 1)
-    & info [ "rule" ] ~docv:"N" ~doc:"BEOL rule configuration RULEn (1..11, Table 3).")
+    & info [ "rule" ] ~docv:"N"
+        ~doc:
+          "BEOL rule configuration RULEn (1..11, Table 3; 12..14 add the \
+           DSA via-coloring family).")
+
+let objective_conv =
+  let parse s =
+    match Rules.objective_of_name (String.lowercase_ascii s) with
+    | Ok o -> Ok o
+    | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv
+    (parse, fun ppf o -> Format.pp_print_string ppf (Rules.objective_name o))
+
+let objective_arg =
+  Arg.(
+    value
+    & opt objective_conv Rules.Wirelength
+    & info [ "objective" ] ~docv:"OBJ"
+        ~env:(Cmd.Env.info "OPTROUTER_OBJECTIVE")
+        ~doc:
+          "ILP objective: $(b,wirelength) (the paper's combined cost, the \
+           default), $(b,via-count) (count via instances alone) or \
+           $(b,via-weighted:W) (re-weight the via edges by W). Under sweep \
+           the baseline and every rule solve share the objective and the \
+           dcost column is measured in it.")
 
 let time_limit_arg =
   Arg.(
@@ -202,9 +227,10 @@ let no_reuse_arg =
 
 (* ---- route ---- *)
 
-let do_route tech rules time_limit solver_jobs pricing solve_mode audit lp_out
-    route_out path () =
+let do_route tech rules objective time_limit solver_jobs pricing solve_mode
+    audit lp_out route_out path () =
   let clips = load_clips path in
+  let rules = Rules.with_objective objective rules in
   let config =
     config_of ~audit ~solver_jobs ?pricing ~solve_mode ~time_limit ()
   in
@@ -282,20 +308,25 @@ let route_cmd =
   let doc = "Route clips optimally under a rule configuration." in
   Cmd.v (Cmd.info "route" ~doc)
     Term.(
-      const do_route $ tech_arg $ rule_arg $ time_limit_arg $ solver_jobs_arg
-      $ pricing_arg $ solve_mode_arg $ audit_flag $ lp_out_arg $ route_out_arg
-      $ clips_file_arg $ logs_term)
+      const do_route $ tech_arg $ rule_arg $ objective_arg $ time_limit_arg
+      $ solver_jobs_arg $ pricing_arg $ solve_mode_arg $ audit_flag
+      $ lp_out_arg $ route_out_arg $ clips_file_arg $ logs_term)
 
 (* ---- sweep ---- *)
 
-let do_sweep tech time_limit jobs solver_jobs pricing solve_mode no_reuse audit
-    csv_out path () =
+let do_sweep tech objective time_limit jobs solver_jobs pricing solve_mode
+    no_reuse audit csv_out path () =
   let clips = load_clips path in
   let config =
     config_of ~reuse:(not no_reuse) ~audit ~solver_jobs ?pricing ~solve_mode
       ~time_limit ()
   in
-  let rules = Experiments.rules_for tech in
+  (* Baseline and rule solves share the objective — the zero-Δ fast path
+     is only a proof when both optimise the same thing. *)
+  let rules =
+    List.map (Rules.with_objective objective) (Experiments.rules_for tech)
+  in
+  let baseline = Rules.with_objective objective (Rules.rule 1) in
   let telemetry = ref Sweep.empty_telemetry in
   let on_entry =
     if Sys.getenv_opt "OPTROUTER_PROGRESS" = None then None
@@ -311,7 +342,8 @@ let do_sweep tech time_limit jobs solver_jobs pricing solve_mode no_reuse audit
   in
   let entries =
     Pool.with_pool ~domains:jobs (fun pool ->
-        Sweep.sweep ~config ~pool ~telemetry ?on_entry ~tech ~rules clips)
+        Sweep.sweep ~config ~pool ~telemetry ?on_entry ~baseline ~tech ~rules
+          clips)
   in
   (match csv_out with
   | Some file ->
@@ -362,9 +394,9 @@ let sweep_cmd =
   in
   Cmd.v (Cmd.info "sweep" ~doc)
     Term.(
-      const do_sweep $ tech_arg $ time_limit_arg $ jobs_arg $ solver_jobs_arg
-      $ pricing_arg $ solve_mode_arg $ no_reuse_arg $ audit_flag $ csv_out
-      $ clips_file_arg $ logs_term)
+      const do_sweep $ tech_arg $ objective_arg $ time_limit_arg $ jobs_arg
+      $ solver_jobs_arg $ pricing_arg $ solve_mode_arg $ no_reuse_arg
+      $ audit_flag $ csv_out $ clips_file_arg $ logs_term)
 
 (* ---- gen ---- *)
 
@@ -969,7 +1001,7 @@ let rule_num_arg =
     value
     & opt int 1
     & info [ "rule" ] ~docv:"N"
-        ~doc:"BEOL rule configuration RULEn (1..11) to request.")
+        ~doc:"BEOL rule configuration RULEn (1..14) to request.")
 
 let req_tech_arg =
   Arg.(

@@ -261,10 +261,10 @@ let redundancy (lp : Lp.t) =
 let row_families =
   [
     "lk2"; "lk3"; "cap"; "flow"; "vx"; "vcap"; "viadj"; "v12adj"; "vslo";
-    "vsup"; "vsblk"; "qa"; "qb"; "qc"; "qp"; "pl"; "pub"; "sadp";
+    "vsup"; "vsblk"; "qa"; "qb"; "qc"; "qp"; "pl"; "pub"; "sadp"; "dsa";
   ]
 
-let var_families = [ "e"; "f"; "u"; "p"; "q" ]
+let var_families = [ "e"; "f"; "u"; "p"; "q"; "c" ]
 
 let family_of name =
   match String.index_opt name '_' with
@@ -469,6 +469,33 @@ let expected_families ~(rules : Rules.t) ~(options : Formulate.options)
       done
     end
   done;
+  (* DSA via coloring (RULE12+): the color family is required exactly
+     when the rule is on and some unordered pair of single-via sites on
+     one cut layer sits within the DSA pitch (Chebyshev) — re-derived
+     from the raw via-site lattice, never from Formulate's own pair
+     list. *)
+  let dsa_witness = ref false in
+  if rules.Rules.dsa then begin
+    let pitch = g.dsa_pitch in
+    for z = 0 to nz - 2 do
+      for y = 0 to rows - 1 do
+        for x = 0 to cols - 1 do
+          if g.via_site.(((z * rows) + y) * cols + x) <> None then
+            for dy = 0 to pitch do
+              for dx = -pitch to pitch do
+                if dy > 0 || dx > 0 then begin
+                  let x' = x + dx and y' = y + dy in
+                  if
+                    x' >= 0 && x' < cols && y' >= 0 && y' < rows
+                    && g.via_site.(((z * rows) + y') * cols + x') <> None
+                  then dsa_witness := true
+                end
+              done
+            done
+        done
+      done
+    done
+  end;
   let expect witness = if witness then Required else Forbidden in
   let aux = options.Formulate.sadp_aux_vars in
   let sadp_on = !p_witness in
@@ -496,6 +523,8 @@ let expected_families ~(rules : Rules.t) ~(options : Formulate.options)
     ("pub", expect (sadp_on && aux));
     ("pl", expect (sadp_on && not aux));
     ("sadp", expect !sadp_witness);
+    ("c", expect !dsa_witness);
+    ("dsa", expect !dsa_witness);
   ]
 
 let coverage ~(rules : Rules.t) ~options (g : Graph.t) (lp : Lp.t) =
@@ -513,6 +542,44 @@ let coverage ~(rules : Rules.t) ~options (g : Graph.t) (lp : Lp.t) =
              rules.Rules.name
              (Format.asprintf "%a" Layer.pp_patterning expected)))
     g.layers;
+  (* A305: the objective vector must be exactly the rules' objective —
+     each e-binary carries [Rules.objective_coeff] of its edge, every
+     other column zero. Switching to a via objective must change the
+     objective and nothing else; a weight leaking into auxiliary columns
+     (or a stale wirelength coefficient surviving the switch) is caught
+     here, independent of how Formulate computed it. *)
+  Array.iter
+    (fun (v : Lp.var) ->
+      let name = v.Lp.v_name in
+      (* e-binaries are named [e_n<k>_g<gid>_d<dir>]. Not Scanf: its %d
+         accepts '_' as a digit separator and eats the field breaks. *)
+      let parsed =
+        match String.split_on_char '_' name with
+        | [ "e"; _; gtok; _ ] when String.length gtok > 1 && gtok.[0] = 'g' ->
+          int_of_string_opt (String.sub gtok 1 (String.length gtok - 1))
+        | _ -> None
+      in
+      let expected =
+        match parsed with
+        | Some gid when gid >= 0 && gid < Array.length g.edges ->
+          let ed = g.edges.(gid) in
+          let via =
+            match ed.Graph.kind with
+            | Graph.Via _ | Graph.Shape_lower _ -> true
+            | Graph.Wire _ | Graph.Shape_upper _ | Graph.Access -> false
+          in
+          Rules.objective_coeff rules.Rules.objective ~via ~cost:ed.Graph.cost
+        | Some _ | None -> 0.0
+      in
+      if not (Float.equal v.Lp.obj expected) then
+        add
+          (diag "A305" Error name
+             "objective coefficient %g contradicts the %s objective \
+              (expects %g)"
+             v.Lp.obj
+             (Rules.objective_name rules.Rules.objective)
+             expected))
+    lp.Lp.vars;
   let present = Hashtbl.create 32 in
   let note_presence ~what known name =
     let fam = family_of name in

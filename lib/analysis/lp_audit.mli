@@ -16,10 +16,14 @@
     - [A3xx] rule coverage: the set of emitted row/variable name families
       must match {e exactly} the constraint classes implied by the active
       {!Optrouter_tech.Rules.t} and formulation options — e.g. disabling
-      SADP must remove the [p_]/EOL rows and nothing else. The expected
-      families are re-derived independently from the rules and the graph
-      structure, so a silent drop (or leak) in [Formulate] is caught even
-      though [Formulate] itself "works".
+      SADP must remove the [p_]/EOL rows and nothing else, and toggling a
+      DSA rule (RULE12+) must add/remove exactly the [dsa_] rows and
+      color columns. The expected families are re-derived independently
+      from the rules and the graph structure, so a silent drop (or leak)
+      in [Formulate] is caught even though [Formulate] itself "works".
+      A305 additionally pins the objective vector to the rules'
+      {!Optrouter_tech.Rules.objective}: a via objective must change
+      exactly the objective coefficients and nothing else.
 
     The full catalogue with worked examples lives in the README
     ("Diagnostic codes"). *)

@@ -30,6 +30,11 @@ type t = {
   p : int array;  (** ((net * ngrid) + vertex) * 2 + side -> column or -1 *)
   products : (int, (int option * int * int) list) Hashtbl.t;
       (** p column -> [(q column, a, b)] product pairs defining it *)
+  dsa_cols : (int, int array) Hashtbl.t;
+      (** via edge id -> color columns (only conflicted sites, only
+          under DSA rules; empty otherwise) *)
+  dsa_pairs : (int * int) list;
+      (** conflicting via-edge pairs, mirroring the dsa_cf_ rows *)
 }
 
 let lp t = t.lp
@@ -99,11 +104,23 @@ let build ?(options = default_options) ~(rules : Rules.t) (g : Graph.t) =
      fractionally), which is what makes the bundled branch-and-bound
      practical. [aggregated_flows = true] restores the paper's exact
      formulation. *)
+  (* Objective coefficients per the rule configuration's objective mode:
+     the default reproduces the standard edge costs; the via-objective
+     modes re-weight (or isolate) the cost-carrying via edges. *)
+  let obj_coeff gid =
+    let ed = g.edges.(gid) in
+    let via =
+      match ed.Graph.kind with
+      | Graph.Via _ | Graph.Shape_lower _ -> true
+      | Graph.Wire _ | Graph.Shape_upper _ | Graph.Access -> false
+    in
+    Rules.objective_coeff rules.Rules.objective ~via ~cost:ed.Graph.cost
+  in
   for k = 0 to nnets - 1 do
     let nt = sinks k in
     for gid = 0 to nedges - 1 do
       if allowed g k gid then begin
-        let cost = float_of_int g.edges.(gid).Graph.cost in
+        let cost = obj_coeff gid in
         for dir = 0 to 1 do
           let suffix = Printf.sprintf "n%d_g%d_d%d" k gid dir in
           let ev = Lp.Builder.add_binary b ~name:("e_" ^ suffix) ~obj:cost in
@@ -309,6 +326,75 @@ let build ?(options = default_options) ~(rules : Rules.t) (g : Graph.t) =
             canonical_offsets
       done
     done
+  end;
+
+  (* ---- DSA via coloring (RULE12+, Ait-Ferhat et al.) ----
+     Per conflicted single-via site, one binary per assembly color with
+     an assignment row tying the color sum to the via's usage
+     (dsa_col_*: sum_j c_j - usage = 0, so a placed via takes exactly
+     one color and an unplaced one takes none), and per conflicting pair
+     and color a packing row (dsa_cf_*: the two vias cannot share it).
+     Together these make the placed-via conflict graph k-colorable.
+     The color binaries MUST be integral: fractionally, 1/2-1/2 splits
+     would 2-color any odd cycle and the relaxation would stop cutting.
+     Access (V12) cuts are excluded — they sit on the pin mask, outside
+     the assembly flow — as are multi-site shapes (their grouping is the
+     manufacturing alternative to DSA). [Drc] mirrors all three choices. *)
+  let dsa_cols = Hashtbl.create 16 in
+  let dsa_pairs = ref [] in
+  if rules.Rules.dsa then begin
+    let k_colors = g.Graph.dsa_colors and pitch = g.Graph.dsa_pitch in
+    let conflicts = ref [] in
+    for z = 0 to nz - 2 do
+      for y = 0 to rows - 1 do
+        for x = 0 to cols - 1 do
+          match g.via_site.(((z * rows) + y) * cols + x) with
+          | None -> ()
+          | Some site1 ->
+            (* canonical half-neighbourhood: each unordered pair once *)
+            for dy = 0 to pitch do
+              for dx = -pitch to pitch do
+                if dy > 0 || dx > 0 then begin
+                  let x' = x + dx and y' = y + dy in
+                  if x' >= 0 && x' < cols && y' >= 0 && y' < rows then
+                    match g.via_site.(((z * rows) + y') * cols + x') with
+                    | None -> ()
+                    | Some site2 -> conflicts := (site1, site2) :: !conflicts
+                end
+              done
+            done
+        done
+      done
+    done;
+    let col_vars gid =
+      match Hashtbl.find_opt dsa_cols gid with
+      | Some arr -> arr
+      | None ->
+        let arr =
+          Array.init k_colors (fun j ->
+              Lp.Builder.add_binary b
+                ~name:(Printf.sprintf "c_g%d_j%d" gid j)
+                ~obj:0.0)
+        in
+        Lp.Builder.add_row b
+          ~name:(Printf.sprintf "dsa_col_g%d" gid)
+          (Array.to_list (Array.map (fun cv -> (cv, 1.0)) arr)
+          @ List.map (fun (ev, _) -> (ev, -1.0)) (edge_usage_terms gid))
+          Lp.Eq 0.0;
+        Hashtbl.replace dsa_cols gid arr;
+        arr
+    in
+    List.iter
+      (fun (s1, s2) ->
+        let a1 = col_vars s1 and a2 = col_vars s2 in
+        for j = 0 to k_colors - 1 do
+          Lp.Builder.add_row b
+            ~name:(Printf.sprintf "dsa_cf_g%d_g%d_j%d" s1 s2 j)
+            [ (a1.(j), 1.0); (a2.(j), 1.0) ]
+            Lp.Le 1.0
+        done)
+      (List.rev !conflicts);
+    dsa_pairs := List.rev !conflicts
   end;
 
   (* ---- via shapes (5) ---- *)
@@ -560,6 +646,8 @@ let build ?(options = default_options) ~(rules : Rules.t) (g : Graph.t) =
     u = u_arr;
     p;
     products;
+    dsa_cols;
+    dsa_pairs = !dsa_pairs;
   }
 
 let decode t x =
@@ -667,7 +755,65 @@ let encode t (sol : Route.solution) =
         r.Route.edges)
     sol.Route.routes;
   ignore nnets;
+  (* DSA colors: the assignment rows force exactly one color per used
+     conflicted via; pick one per via by backtracking against the
+     conflict pairs. An uncolorable seed cannot be lifted (it is not
+     DSA-feasible), so it is rejected like any other infeasible point. *)
+  let encode_dsa () =
+    if Hashtbl.length t.dsa_cols = 0 then true
+    else begin
+      let used = Hashtbl.create 16 in
+      Array.iter
+        (fun (r : Route.net_route) ->
+          List.iter
+            (fun gid ->
+              if Hashtbl.mem t.dsa_cols gid then Hashtbl.replace used gid ())
+            r.Route.edges)
+        sol.Route.routes;
+      let neighbours gid =
+        List.filter_map
+          (fun (a, bgid) ->
+            if a = gid && Hashtbl.mem used bgid then Some bgid
+            else if bgid = gid && Hashtbl.mem used a then Some a
+            else None)
+          t.dsa_pairs
+      in
+      let color = Hashtbl.create 16 in
+      let rec assign = function
+        | [] -> true
+        | gid :: rest ->
+          let taken =
+            List.filter_map (fun nb -> Hashtbl.find_opt color nb)
+              (neighbours gid)
+          in
+          let k_colors = Array.length (Hashtbl.find t.dsa_cols gid) in
+          let rec try_j j =
+            if j >= k_colors then false
+            else if List.mem j taken then try_j (j + 1)
+            else begin
+              Hashtbl.replace color gid j;
+              if assign rest then true
+              else begin
+                Hashtbl.remove color gid;
+                try_j (j + 1)
+              end
+            end
+          in
+          try_j 0
+      in
+      let order = Hashtbl.fold (fun gid () acc -> gid :: acc) used [] in
+      let order = List.sort Int.compare order in
+      if assign order then begin
+        Hashtbl.iter
+          (fun gid j -> x.((Hashtbl.find t.dsa_cols gid).(j)) <- 1.0)
+          color;
+        true
+      end
+      else false
+    end
+  in
   if not !ok then None
+  else if not (encode_dsa ()) then None
   else begin
     (* SADP indicators follow from the arc values. *)
     Hashtbl.iter

@@ -14,6 +14,11 @@
       blocking of all footprint vertices against other nets;
     - SADP end-of-line variables [p] (6)-(10) on SADP-patterned layers and
       the forbidden-configuration rows (11)-(12);
+    - under DSA rules (RULE12+, Ait-Ferhat et al.), per-via assembly
+      color binaries [c] with assignment rows [dsa_col_*] (a placed via
+      takes exactly one color) and per-conflict-pair packing rows
+      [dsa_cf_*] (vias within the DSA pitch on the same cut layer cannot
+      share one) — the placed-via conflict graph must be k-colorable;
     - optionally, vertex exclusivity: no two nets may touch the same grid
       vertex. The paper's constraint set is arc-based; without this
       addition a via of one net may land on a wire of another, which the
@@ -26,7 +31,12 @@
     directly by [a + b - 1] for each product pair — equivalent at integral
     points because [p] only ever appears in "at most one" rows, but with
     40% fewer binaries. The collapsed form is the default; the paper form
-    is used by the ILP-size study. *)
+    is used by the ILP-size study.
+
+    Objective coefficients follow [rules.objective]
+    ({!Optrouter_tech.Rules.objective_coeff}): the default reproduces the
+    standard edge costs, the via-objective modes re-weight or isolate
+    the cost-carrying via edges. *)
 
 type options = {
   vertex_exclusivity : bool;  (** default [true] *)

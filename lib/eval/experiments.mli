@@ -12,7 +12,9 @@ val table2_rows : ?seed:int -> unit -> string list list
 
 val table2_header : string list
 
-(** Table 3: the RULE1..RULE11 configuration matrix. *)
+(** Table 3: the RULE1..RULE11 configuration matrix, extended with the
+    DSA via-coloring family RULE12..RULE14 (marked in the added "DSA
+    vias" column). *)
 val table3_rows : unit -> string list list
 
 val table3_header : string list
@@ -45,6 +47,11 @@ type fig10_params = {
           trades the proof for sub-gradient decomposition — entries then
           carry near-optimal costs with a reported gap, which unlocks
           paper-size clips the exact solver cannot finish. *)
+  objective : Optrouter_tech.Rules.objective;
+      (** applied to the baseline and every swept rule (default
+          [Wirelength], the paper's combined cost). [Via_count] /
+          [Via_weighted] profile Δvia instead of Δcost — the Figure-10
+          axis changes meaning with the objective. *)
 }
 
 val default_fig10_params : fig10_params

@@ -280,14 +280,26 @@ let with_budget budget config f =
 
 (* A solve that dies (DRC audit failure, numerical trouble escaping the
    solver, ...) is folded into the [Limit] bucket: the sweep survives and
-   the telemetry counts the failure; the collector logs it. *)
-let entry_for ~clip_name ~base_cost (r : Rules.t) outcome =
+   the telemetry counts the failure; the collector logs it. Deltas are
+   measured in the rules' objective ([Rules.objective_value]) so a
+   via-objective sweep profiles via impact, not total cost; under the
+   default wirelength objective this is exactly [cost - base_cost]. The
+   nearest-integer rounding is exact for integral objectives. *)
+let entry_for ~clip_name ~base_metrics (r : Rules.t) outcome =
+  let obj (m : Route.metrics) =
+    Rules.objective_value r.Rules.objective ~wirelength:m.Route.wirelength
+      ~vias:m.Route.vias ~cost:m.Route.cost
+  in
+  let base_cost = base_metrics.Route.cost in
   let delta, cost =
     match outcome with
     | Ok result -> (
       match result.Optrouter.verdict with
       | Optrouter.Routed sol | Optrouter.Near_optimal sol ->
-        (Delta (sol.Route.metrics.cost - base_cost), Some sol.Route.metrics.cost)
+        ( Delta
+            (Optrouter_geom.Round.nearest
+               (obj sol.Route.metrics -. obj base_metrics)),
+          Some sol.Route.metrics.cost )
       | Optrouter.Unroutable -> (Infeasible, None)
       | Optrouter.Limit (Some sol) -> (Limit, Some sol.Route.metrics.cost)
       | Optrouter.Limit None -> (Limit, None))
@@ -323,13 +335,13 @@ let baseline_config config =
       };
   }
 
-(* The proved-optimal RULE1 routing — and the name-keyed basis of its root
-   relaxation — reused to seed and warm-start every rule solve of the
-   clip. Unproved ([Limit]) baselines would poison every delta, so the
-   clip is dropped either way. *)
-let baseline_of clip_name = function
+(* The proved-optimal baseline routing — and the name-keyed basis of its
+   root relaxation — reused to seed and warm-start every rule solve of
+   the clip. Unproved ([Limit]) baselines would poison every delta, so
+   the clip is dropped either way. *)
+let baseline_of ~baseline_name clip_name = function
   | Error e ->
-    warn_failure clip_name "RULE1" (Error e);
+    warn_failure clip_name baseline_name (Error e);
     None
   | Ok baseline -> (
     match baseline.Optrouter.verdict with
@@ -348,7 +360,7 @@ let rule_entries ?config ?pool ?budget ?telemetry ?on_entry ~tech jobs =
       with_budget budget config (fun config ->
           solve_outcome ?config ~seed:base ?warm_basis ~tech ~rules:r clip)
     in
-    ( entry_for ~clip_name:clip.Clip.c_name ~base_cost:base.Route.metrics.cost r
+    ( entry_for ~clip_name:clip.Clip.c_name ~base_metrics:base.Route.metrics r
         outcome,
       outcome )
   in
@@ -362,7 +374,8 @@ let rule_entries ?config ?pool ?budget ?telemetry ?on_entry ~tech jobs =
   List.iter (fun (_, outcome) -> record telemetry outcome) results;
   List.map fst results
 
-let clip_deltas ?config ?pool ?telemetry ?on_entry ~tech ~rules clip =
+let clip_deltas ?config ?pool ?telemetry ?on_entry
+    ?(baseline = Rules.rule 1) ~tech ~rules clip =
   timed telemetry (fun () ->
       let budget = budget_for pool in
       (* The baseline runs serially in the calling domain while every
@@ -371,23 +384,26 @@ let clip_deltas ?config ?pool ?telemetry ?on_entry ~tech ~rules clip =
       let outcome =
         with_budget budget
           (Some (baseline_config config))
-          (fun config ->
-            solve_outcome ?config ~tech ~rules:(Rules.rule 1) clip)
+          (fun config -> solve_outcome ?config ~tech ~rules:baseline clip)
       in
       record telemetry outcome;
-      match baseline_of clip.Clip.c_name outcome with
+      match
+        baseline_of ~baseline_name:baseline.Rules.name clip.Clip.c_name
+          outcome
+      with
       | None -> []
       | Some (base, warm) ->
         rule_entries ?config ?pool ?budget ?telemetry ?on_entry ~tech
           (List.map (fun r -> (clip, base, warm, r)) rules))
 
-let sweep ?config ?pool ?telemetry ?on_entry ~tech ~rules clips =
+let sweep ?config ?pool ?telemetry ?on_entry ?(baseline = Rules.rule 1)
+    ~tech ~rules clips =
   timed telemetry (fun () ->
       (* Two parallel phases instead of per-clip fan-out: first every
-         clip's RULE1 baseline, then the full (clip x rule) cross product
-         of the surviving clips — so even a handful of clips saturates the
-         pool. Each rule job carries its clip's baseline routing as the
-         solver seed. *)
+         clip's baseline (RULE1 unless overridden), then the full
+         (clip x rule) cross product of the surviving clips — so even a
+         handful of clips saturates the pool. Each rule job carries its
+         clip's baseline routing as the solver seed. *)
       let budget = budget_for pool in
       let bconfig = baseline_config config in
       let baselines =
@@ -395,7 +411,7 @@ let sweep ?config ?pool ?telemetry ?on_entry ~tech ~rules clips =
           ~on_done:(fun _ _ -> ())
           (fun clip ->
             with_budget budget (Some bconfig) (fun config ->
-                solve_outcome ?config ~tech ~rules:(Rules.rule 1) clip))
+                solve_outcome ?config ~tech ~rules:baseline clip))
           clips
       in
       List.iter (record telemetry) baselines;
@@ -403,7 +419,10 @@ let sweep ?config ?pool ?telemetry ?on_entry ~tech ~rules clips =
         List.concat
           (List.map2
              (fun clip outcome ->
-               match baseline_of clip.Clip.c_name outcome with
+               match
+                 baseline_of ~baseline_name:baseline.Rules.name
+                   clip.Clip.c_name outcome
+               with
                | None -> []
                | Some (base, warm) ->
                  List.map (fun r -> (clip, base, warm, r)) rules)

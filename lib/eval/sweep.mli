@@ -28,7 +28,11 @@
     the proved-optimal cost. *)
 
 type delta =
-  | Delta of int  (** cost - cost(RULE1) *)
+  | Delta of int
+      (** objective - objective(baseline), in the rule's objective
+          ({!Optrouter_tech.Rules.objective_value}); under the default
+          wirelength objective exactly [cost - cost(RULE1)]. Rounded to
+          nearest — exact whenever the objective is integral. *)
   | Infeasible
   | Limit  (** solver gave up (or the solve failed) before proving either way *)
 
@@ -119,18 +123,24 @@ val merge_telemetry : telemetry -> telemetry -> telemetry
 (** Render with {!Optrouter_report.Report.Telemetry}. *)
 val render_telemetry : telemetry -> string
 
-(** The solver configuration used for RULE1 baseline solves: [config]
+(** The solver configuration used for baseline solves: [config]
     (or {!Optrouter_core.Optrouter.default_config} when [None]) with the
     MILP time budget tripled — an unproved baseline drops the whole clip,
     wasting every other solve. Exposed for tests. *)
 val baseline_config :
   Optrouter_core.Optrouter.config option -> Optrouter_core.Optrouter.config
 
-(** [clip_deltas ?config ?pool ?telemetry ?on_entry ~tech ~rules clip]
-    routes [clip] under RULE1 and each configuration in [rules]. Clips
-    that are unroutable even under RULE1 are dropped (returns []).
+(** [clip_deltas ?config ?pool ?telemetry ?on_entry ?baseline ~tech
+    ~rules clip] routes [clip] under [baseline] (default [Rules.rule 1])
+    and each configuration in [rules]. Clips that are unroutable even
+    under the baseline are dropped (returns []).
 
-    The RULE1 baseline routing seeds every rule solve
+    For via-objective sweeps pass a baseline carrying the same objective
+    as the rules ([Rules.with_objective obj (Rules.rule 1)]): the zero-Δ
+    fast path re-checks the baseline routing under each rule, which is
+    only a proof of Δ = 0 when both solves optimise the same objective.
+
+    The baseline routing seeds every rule solve
     ({!Optrouter_core.Optrouter.route}'s [?seed]): rules whose DRC accepts
     the baseline are answered without any ILP (the paper's dominant
     zero-Δ case), the rest start branch and bound from a re-encoded
@@ -149,14 +159,15 @@ val clip_deltas :
   ?pool:Optrouter_exec.Pool.t ->
   ?telemetry:telemetry ref ->
   ?on_entry:(entry -> unit) ->
+  ?baseline:Optrouter_tech.Rules.t ->
   tech:Optrouter_tech.Tech.t ->
   rules:Optrouter_tech.Rules.t list ->
   Optrouter_grid.Clip.t ->
   entry list
 
-(** [sweep ?config ?pool ?telemetry ?on_entry ~tech ~rules clips] is
-    [List.concat_map (clip_deltas ...) clips] with better parallel
-    scaling: all RULE1 baselines solve as one batch, then the whole
+(** [sweep ?config ?pool ?telemetry ?on_entry ?baseline ~tech ~rules
+    clips] is [List.concat_map (clip_deltas ...) clips] with better
+    parallel scaling: all baselines solve as one batch, then the whole
     (clip x rule) cross product of the surviving clips as a second batch,
     so the pool stays saturated even when each clip has few rules. Each
     cross-product job carries its clip's baseline routing as the solver
@@ -167,6 +178,7 @@ val sweep :
   ?pool:Optrouter_exec.Pool.t ->
   ?telemetry:telemetry ref ->
   ?on_entry:(entry -> unit) ->
+  ?baseline:Optrouter_tech.Rules.t ->
   tech:Optrouter_tech.Tech.t ->
   rules:Optrouter_tech.Rules.t list ->
   Optrouter_grid.Clip.t list ->

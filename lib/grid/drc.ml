@@ -12,6 +12,86 @@ type violation =
   | Shape_side of { rep : int; net : int }
   | Shape_blocking of { rep : int; net : int; other : int; vertex : int }
   | Sadp_conflict of { v1 : int; side1 : int; v2 : int; side2 : int }
+  | Dsa_conflict of { sites : int list }
+
+(* DSA via coloring (RULE12+): used single-via sites within the
+   technology's DSA pitch on the same cut layer conflict; each connected
+   component of the conflict graph must be colorable with the
+   technology's color count. Exact per component via backtracking —
+   components are tiny (bounded by the pitch neighbourhood), and any
+   component whose maximum degree is below the color count is greedily
+   colorable, so the search only ever runs on genuinely tight clusters. *)
+let dsa_uncolorable_components (g : Graph.t) ~colors ~pitch ~used =
+  let cols = g.Graph.clip.Clip.cols
+  and rows = g.Graph.clip.Clip.rows
+  and nz = g.Graph.clip.Clip.layers in
+  (* used single-via edge ids with their (x, y, z) site coordinates *)
+  let sites = ref [] in
+  for z = 0 to nz - 2 do
+    for y = 0 to rows - 1 do
+      for x = 0 to cols - 1 do
+        match g.Graph.via_site.(((z * rows) + y) * cols + x) with
+        | Some gid when used gid -> sites := (gid, x, y, z) :: !sites
+        | Some _ | None -> ()
+      done
+    done
+  done;
+  let sites = Array.of_list (List.rev !sites) in
+  let n = Array.length sites in
+  let conflict i j =
+    let _, xi, yi, zi = sites.(i) and _, xj, yj, zj = sites.(j) in
+    zi = zj && i <> j && max (abs (xi - xj)) (abs (yi - yj)) <= pitch
+  in
+  let adj = Array.init n (fun i -> List.filter (conflict i) (List.init n Fun.id)) in
+  (* connected components of the conflict graph *)
+  let comp = Array.make n (-1) in
+  let rec mark c i =
+    if comp.(i) < 0 then begin
+      comp.(i) <- c;
+      List.iter (mark c) adj.(i)
+    end
+  in
+  let ncomp = ref 0 in
+  for i = 0 to n - 1 do
+    if comp.(i) < 0 then begin
+      mark !ncomp i;
+      incr ncomp
+    end
+  done;
+  let bad = ref [] in
+  for c = 0 to !ncomp - 1 do
+    let members = List.filter (fun i -> comp.(i) = c) (List.init n Fun.id) in
+    let maxdeg =
+      List.fold_left (fun acc i -> max acc (List.length adj.(i))) 0 members
+    in
+    if List.length members > 1 && maxdeg >= colors then begin
+      (* exact k-colorability by backtracking over the component *)
+      let color = Array.make n (-1) in
+      let rec assign = function
+        | [] -> true
+        | i :: rest ->
+          let ok_j j = List.for_all (fun nb -> color.(nb) <> j) adj.(i) in
+          let rec try_j j =
+            if j >= colors then false
+            else if ok_j j then begin
+              color.(i) <- j;
+              if assign rest then true
+              else begin
+                color.(i) <- -1;
+                try_j (j + 1)
+              end
+            end
+            else try_j (j + 1)
+          in
+          try_j 0
+      in
+      if not (assign members) then
+        bad :=
+          List.map (fun i -> let gid, _, _, _ = sites.(i) in gid) members
+          :: !bad
+    end
+  done;
+  List.rev !bad
 
 let check ~(rules : Rules.t) (g : Graph.t) (sol : Route.solution) =
   let violations = ref [] in
@@ -184,6 +264,18 @@ let check ~(rules : Rules.t) (g : Graph.t) (sol : Route.solution) =
         end
       done)
     g.via_reps;
+  (* DSA via coloring (RULE12+): resolved from the rules being checked,
+     with the color count and pitch riding on the graph. Only single-site
+     vias participate: access (V12) cuts sit on the pin mask, outside the
+     DSA assembly flow, and multi-site shapes are a manufacturing
+     alternative with their own grouping — both excluded by the
+     formulation for the same reason. *)
+  if rules.Rules.dsa then
+    List.iter
+      (fun sites -> add (Dsa_conflict { sites }))
+      (dsa_uncolorable_components g ~colors:g.Graph.dsa_colors
+         ~pitch:g.Graph.dsa_pitch
+         ~used:(fun gid -> owner.(gid) >= 0));
   (* SADP end-of-line conflicts: geometric line ends. *)
   let wire_low = Array.make ngrid (-1) and wire_high = Array.make ngrid (-1) in
   Array.iteri
@@ -284,3 +376,7 @@ let pp_violation (g : Graph.t) ppf = function
   | Sadp_conflict { v1; side1; v2; side2 } ->
     Format.fprintf ppf "SADP EOL conflict: %a(side %d) vs %a(side %d)"
       (Graph.pp_vertex g) v1 side1 (Graph.pp_vertex g) v2 side2
+  | Dsa_conflict { sites } ->
+    Format.fprintf ppf "DSA conflict: via edges [%s] not %d-colorable"
+      (String.concat "; " (List.map string_of_int sites))
+      g.Graph.dsa_colors

@@ -7,10 +7,15 @@
 
     Checked: arc exclusivity, per-net source-to-sink connectivity, no
     dangling stubs, vertex exclusivity (no two nets touching the same grid
-    vertex), via adjacency restrictions, via-shape footprint blocking, and
-    SADP end-of-line conflicts. The SADP check uses the geometric notion of
-    a line end (wire present on exactly one side, leaving through a via),
-    which is implied by the formulation's conservative indicator. *)
+    vertex), via adjacency restrictions, via-shape footprint blocking,
+    SADP end-of-line conflicts, and (under DSA rules) k-colorability of
+    the placed-via conflict graph. The SADP check uses the geometric
+    notion of a line end (wire present on exactly one side, leaving
+    through a via), which is implied by the formulation's conservative
+    indicator. The DSA check is exact per conflict component
+    (backtracking), so a clean verdict certifies a valid color
+    assignment exists — which keeps the sweep's zero-Δ fast path sound
+    under RULE12+. *)
 
 type violation =
   | Edge_conflict of { edge : int; net1 : int; net2 : int }
@@ -23,6 +28,9 @@ type violation =
       (** a via shape entered through two members on one side *)
   | Shape_blocking of { rep : int; net : int; other : int; vertex : int }
   | Sadp_conflict of { v1 : int; side1 : int; v2 : int; side2 : int }
+  | Dsa_conflict of { sites : int list }
+      (** via edge ids of a conflict component that is not colorable
+          with the technology's DSA color count *)
 
 val check :
   rules:Optrouter_tech.Rules.t ->

@@ -48,6 +48,8 @@ type t = {
   access_sites : int list array;
       (** per z=0 grid vertex: access (V12) edges landing there *)
   blocked : bool array;
+  dsa_colors : int;
+  dsa_pitch : int;
 }
 
 let grid_vertex g ~x ~y ~z = ((z * g.clip.Clip.rows) + y) * g.clip.Clip.cols + x
@@ -261,4 +263,6 @@ let build ?(via_shapes = []) ?(single_vias = true) ?(bidirectional = false)
     via_reps = Array.of_list (List.rev !via_reps);
     access_sites;
     blocked = blocked_full;
+    dsa_colors = Tech.dsa_colors tech;
+    dsa_pitch = Tech.dsa_pitch_tracks tech;
   }

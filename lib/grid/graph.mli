@@ -68,6 +68,12 @@ type t = {
           adjacency restrictions apply between access points too — the
           mechanism behind the paper's N7-9T rule exclusions. *)
   blocked : bool array;  (** grid vertices removed by obstructions *)
+  dsa_colors : int;
+      (** technology's DSA assembly colors, always populated; only
+          consulted when the rules being formulated/checked have
+          [Rules.dsa] set *)
+  dsa_pitch : int;
+      (** Chebyshev conflict distance (tracks) for DSA via coloring *)
 }
 
 (** Grid vertex id of (x, y, z); ids of grid vertices precede all others. *)

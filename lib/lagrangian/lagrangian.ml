@@ -465,6 +465,7 @@ let involved_edges st viol =
   match viol with
   | Drc.Sadp_conflict { v1; v2; _ } -> wire_edges_at v1 @ wire_edges_at v2
   | Drc.Via_adjacency { site1; site2 } -> [ site1; site2 ]
+  | Drc.Dsa_conflict { sites } -> sites
   | Drc.Vertex_conflict { vertex; _ } -> all_edges_at vertex
   | Drc.Shape_side { rep; _ } | Drc.Shape_blocking { rep; _ } -> all_edges_at rep
   | Drc.Edge_conflict _ | Drc.Disconnected _ | Drc.Dangling _ -> []
@@ -480,6 +481,7 @@ let nets_of_violation (sol : Route.solution) st viol =
   | Drc.Disconnected { net; _ } | Drc.Dangling { net; _ } -> [ net ]
   | Drc.Via_adjacency { site1; site2 } ->
     owner_of_edge site1 @ owner_of_edge site2
+  | Drc.Dsa_conflict { sites } -> List.concat_map owner_of_edge sites
   | Drc.Shape_side { net; _ } -> [ net ]
   | Drc.Shape_blocking { net; other; _ } -> [ net; other ]
   | Drc.Sadp_conflict { v1; v2; _ } ->
@@ -609,8 +611,23 @@ let solve ?(params = default_params) ?seed ~rules (g : Graph.t) =
     let jobs = max 1 params.jobs in
     let pool = Pool.create ~domains:jobs in
     Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+    (* Price edges in the objective the caller asked for — the same
+       coefficients Formulate puts on the e-binaries — so the dual bound
+       and the ILP optimum live in the same units under via objectives. *)
     let cost_f =
-      Array.map (fun (e : Graph.edge) -> float_of_int e.Graph.cost) g.Graph.edges
+      Array.map
+        (fun (e : Graph.edge) ->
+          let via =
+            match e.Graph.kind with
+            | Graph.Via _ | Graph.Shape_lower _ -> true
+            | Graph.Wire _ | Graph.Shape_upper _ | Graph.Access -> false
+          in
+          Rules.objective_coeff rules.Rules.objective ~via ~cost:e.Graph.cost)
+        g.Graph.edges
+    in
+    let obj_of (m : Route.metrics) =
+      Rules.objective_value rules.Rules.objective ~wirelength:m.Route.wirelength
+        ~vias:m.Route.vias ~cost:m.Route.cost
     in
     let lambda = Array.make nedges 0.0 in
     let mu = Array.make ngrid 0.0 in
@@ -636,7 +653,7 @@ let solve ?(params = default_params) ?seed ~rules (g : Graph.t) =
     | Some sol -> (
       match !best_sol with
       | Some (b : Route.solution)
-        when b.Route.metrics.cost <= sol.Route.metrics.cost ->
+        when obj_of b.Route.metrics <= obj_of sol.Route.metrics ->
         ()
       | Some _ | None -> best_sol := Some sol));
     let alpha = ref 2.0 in
@@ -653,19 +670,25 @@ let solve ?(params = default_params) ?seed ~rules (g : Graph.t) =
       | None -> false
       | Some d -> Unix.gettimeofday () > d
     in
+    (* The integral ceil-lift is only valid when every objective
+       coefficient is an integer (wirelength, via-count, integral via
+       weights); a fractional [Via_weighted] keeps the raw dual. *)
     let lifted () =
       if not !have_dual then 0.0
-      else Float.max 0.0 (Float.ceil (!best_raw -. 1e-6))
+      else if Rules.objective_integral rules.Rules.objective then
+        Float.max 0.0 (Float.ceil (!best_raw -. 1e-6))
+      else Float.max 0.0 !best_raw
     in
     let primal_cost () =
       Option.map (fun (s : Route.solution) -> s.Route.metrics.cost) !best_sol
     in
+    let primal_obj () =
+      Option.map (fun (s : Route.solution) -> obj_of s.Route.metrics) !best_sol
+    in
     let closed () =
-      match primal_cost () with
+      match primal_obj () with
       | None -> false
-      | Some c ->
-        let p = float_of_int c in
-        lifted () >= p -. (params.gap_target *. p) -. 1e-9
+      | Some p -> lifted () >= p -. (params.gap_target *. p) -. 1e-9
     in
     let attempt_round () =
       attempts := !attempts + 1;
@@ -684,7 +707,7 @@ let solve ?(params = default_params) ?seed ~rules (g : Graph.t) =
       | Some sol -> (
         match !best_sol with
         | Some (b : Route.solution)
-          when b.Route.metrics.cost <= sol.Route.metrics.cost ->
+          when obj_of b.Route.metrics <= obj_of sol.Route.metrics ->
           ()
         | Some _ | None ->
           Log.debug ~src:"lagrangian" (fun () ->
@@ -773,8 +796,8 @@ let solve ?(params = default_params) ?seed ~rules (g : Graph.t) =
           end
         done;
       let ub_est =
-        match primal_cost () with
-        | Some c -> float_of_int c
+        match primal_obj () with
+        | Some p -> p
         | None -> l +. Float.max 1.0 (0.1 *. Float.abs l)
       in
       let step =
@@ -816,11 +839,10 @@ let solve ?(params = default_params) ?seed ~rules (g : Graph.t) =
     if not (closed ()) then attempt_round ();
     let dual_bound = lifted () in
     let gap =
-      match primal_cost () with
+      match primal_obj () with
       | None -> None
-      | Some 0 -> Some 0.0
-      | Some c ->
-        Some ((float_of_int c -. dual_bound) /. float_of_int c)
+      | Some p when p <= 0.0 -> Some 0.0
+      | Some p -> Some ((p -. dual_bound) /. p)
     in
     {
       solution = !best_sol;

@@ -13,18 +13,24 @@
                     - sum lambda - sum mu  <=  ILP optimum.
 
     Every remaining coupling family (via adjacency, via-shape sides, SADP
-    end-of-line) is simply dropped from the relaxation, which keeps
-    L(lambda, mu) a valid lower bound — dropping rows can only enlarge
-    the feasible set.
+    end-of-line, DSA coloring under RULE12+) is simply dropped from the
+    relaxation, which keeps L(lambda, mu) a valid lower bound — dropping
+    rows can only enlarge the feasible set. Rounded primal candidates are
+    still certified by the full rule-aware [Drc.check], so the dropped
+    families re-enter on the primal side.
 
     Per-net subproblems are solved {e exactly} (node-weighted
     Dreyfus-Wagner dynamic program over terminal subsets; plain Dijkstra
     for two-terminal nets) whenever the sink count is within
     [dp_sink_cap]; beyond the cap a valid per-net lower bound (longest
     source-to-sink shortest path) substitutes, so the dual bound stays
-    valid at any fan-out. Because all edge costs are integers the ILP
-    optimum is integral, and the reported {!t.dual_bound} is lifted to
-    [ceil] of the best raw dual value.
+    valid at any fan-out. Edges are priced in the rules' objective
+    ({!Optrouter_tech.Rules.objective_coeff}), matching the exact
+    formulation. When every coefficient is integral (the default
+    wirelength objective, via-count, integral via weights) the ILP
+    optimum is integral too and the reported {!t.dual_bound} is lifted
+    to [ceil] of the best raw dual value; fractional via weights keep
+    the raw dual.
 
     The per-net pricing fans out over an {!Optrouter_exec.Pool} of
     [jobs] worker domains; results are reduced in net order, so the
@@ -74,7 +80,9 @@ type iter_stat = {
   it : int;
   dual : float;  (** raw L(lambda, mu) of this iteration *)
   best_dual : float;  (** best raw dual value so far *)
-  primal : int option;  (** best feasible cost so far, if any *)
+  primal : int option;
+      (** best feasible routing's standard cost metric so far, if any
+          (always the cost metric, even under via objectives) *)
   step : float;  (** sub-gradient step size used *)
   mult_norm : float;  (** multiplier 2-norm after the update *)
   busy_s : float;  (** summed per-net pricing time of the iteration *)
@@ -85,9 +93,9 @@ type t = {
       (** best feasible routing, certified by [Drc.check]; [None] when
           every rounding attempt (and the maze backstop) failed *)
   dual_bound : float;
-      (** integral-lifted lower bound on the ILP optimum:
-          [ceil(max_it L - eps)], never negative. 0 when no iteration
-          completed. *)
+      (** lower bound on the ILP optimum in objective units, never
+          negative: [ceil(max_it L - eps)] for integral objectives, the
+          raw [max_it L] otherwise. 0 when no iteration completed. *)
   unreachable : bool;
       (** some net cannot reach a sink through its allowed edges at all:
           the ILP is infeasible by plain graph reachability (the only
@@ -97,8 +105,8 @@ type t = {
           priced exactly *)
   iterations : int;
   gap : float option;
-      (** (primal - dual_bound) / primal, when a feasible routing was
-          found (0 for a zero-cost primal) *)
+      (** (primal - dual_bound) / primal in objective units, when a
+          feasible routing was found (0 for a zero-objective primal) *)
   multiplier_norm : float;  (** final multiplier 2-norm *)
   busy_s : float;  (** summed per-net pricing work across iterations *)
   wall_s : float;

@@ -222,6 +222,7 @@ let involved_edges st viol =
   match viol with
   | Drc.Sadp_conflict { v1; v2; _ } -> wire_edges_at v1 @ wire_edges_at v2
   | Drc.Via_adjacency { site1; site2 } -> [ site1; site2 ]
+  | Drc.Dsa_conflict { sites } -> sites
   | Drc.Vertex_conflict { vertex; _ } -> all_edges_at vertex
   | Drc.Shape_side { rep; _ } | Drc.Shape_blocking { rep; _ } -> all_edges_at rep
   | Drc.Edge_conflict _ | Drc.Disconnected _ | Drc.Dangling _ -> []
@@ -237,6 +238,7 @@ let nets_of_violation (sol : Route.solution) st viol =
   | Drc.Disconnected { net; _ } | Drc.Dangling { net; _ } -> [ net ]
   | Drc.Via_adjacency { site1; site2 } ->
     owner_of_edge site1 @ owner_of_edge site2
+  | Drc.Dsa_conflict { sites } -> List.concat_map owner_of_edge sites
   | Drc.Shape_side { net; _ } -> [ net ]
   | Drc.Shape_blocking { net; other; _ } -> [ net; other ]
   | Drc.Sadp_conflict { v1; v2; _ } ->

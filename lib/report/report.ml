@@ -251,10 +251,24 @@ module Json = struct
     | Bool b -> Buffer.add_string buf (string_of_bool b)
     | Int i -> Buffer.add_string buf (string_of_int i)
     | Float f ->
-      (* JSON has no NaN/infinity; encode them as strings rather than
-         emitting an unparseable document. *)
-      if Float.is_finite f then Buffer.add_string buf (Printf.sprintf "%.6g" f)
-      else Buffer.add_string buf (Printf.sprintf "\"%h\"" f)
+      (* JSON has no NaN/infinity, and our own parser (below) rejects
+         such literals — refusing to emit them keeps emit/parse a
+         round-trip instead of producing a document we cannot re-read. *)
+      if not (Float.is_finite f) then
+        invalid_arg (Printf.sprintf "Report.Json: non-finite float %h" f);
+      (* Shortest representation that parses back to the same float:
+         [%.17g] is always exact but noisy; [%.15g] usually suffices. *)
+      let token =
+        let short = Printf.sprintf "%.15g" f in
+        if float_of_string short = f then short else Printf.sprintf "%.17g" f
+      in
+      (* Keep the token recognisably a float: without [./e/E] the parser
+         would hand it back as [Int]. *)
+      let is_float_token =
+        String.exists (fun c -> c = '.' || c = 'e' || c = 'E') token
+      in
+      Buffer.add_string buf token;
+      if not is_float_token then Buffer.add_string buf ".0"
     | String s ->
       Buffer.add_char buf '"';
       Buffer.add_string buf (escape s);

@@ -114,8 +114,13 @@ end
 module Json : sig
   (** A minimal JSON document builder — enough for the benchmark and audit
       reports (objects, arrays, scalars; pretty-printed, trailing
-      newline). Non-finite floats are encoded as hex-float strings so the
-      output is always parseable. *)
+      newline). Floats are emitted with the shortest decimal
+      representation that re-parses to the same [float], always carrying
+      a [./e] so {!of_string} hands them back as [Float] — emit followed
+      by parse is the identity on finite documents. {!to_string} raises
+      [Invalid_argument] on NaN/infinity: JSON has no such literals and
+      the parser rejects them, so emitting one would break the
+      round-trip contract silently. *)
 
   type t =
     | Null

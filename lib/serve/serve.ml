@@ -71,8 +71,13 @@ type reply = { status : cache_status; payload : string; elapsed_s : float }
 
 (* v1 -> v2: the config fingerprint grew a solve_mode line, so every
    pre-existing entry was keyed under a format that can no longer be
-   reproduced — bumping the version retires them wholesale. *)
-let key_version = "optrouter serve key v2"
+   reproduced — bumping the version retires them wholesale.
+   v2 -> v3: Rules.canonical grew conditional [;dsa=...] / [;objective=...]
+   suffixes (the DSA via-coloring family and via-weighted objectives).
+   Legacy configurations still canonicalise byte-identically, but the key
+   space now distinguishes entries the v2 server could never have produced
+   — the bump keeps the version honest about the format generation. *)
+let key_version = "optrouter serve key v3"
 
 let cache_key ~config ~tech ~rules clip =
   Stable.digest_hex
@@ -358,10 +363,14 @@ let parse_text_request msg =
           | Some n -> headers ~tech_name ~rule:(Some n) ~deadline_s ~no_cache more
           | None -> Error (Printf.sprintf "bad rule %S" n))
         | [ "deadline"; d ] -> (
+          (* Reject nan/inf/non-positive here, not just in
+             [finish_request]: [float_of_string_opt] happily parses
+             "nan" and "inf", and a NaN deadline would otherwise slip
+             through comparisons (NaN <= 0.0 is false). *)
           match float_of_string_opt d with
-          | Some d ->
-            headers ~tech_name ~rule ~deadline_s:(Some d) ~no_cache more
-          | None -> Error (Printf.sprintf "bad deadline %S" d))
+          | Some f when Float.is_finite f && f > 0.0 ->
+            headers ~tech_name ~rule ~deadline_s:(Some f) ~no_cache more
+          | Some _ | None -> Error (Printf.sprintf "bad deadline %S" d))
         | [ "nocache" ] ->
           headers ~tech_name ~rule ~deadline_s ~no_cache:true more
         | tok :: _ -> Error (Printf.sprintf "unknown request header %S" tok))

@@ -14,7 +14,7 @@
     {v
     optrouter-request v1
     tech N28-12T        (optional; defaults to the clip's tech line)
-    rule 3              (required; RULEn index 1..11)
+    rule 3              (required; RULEn index 1..14)
     deadline 5.0        (optional; seconds, capped by the server)
     nocache             (optional; solve even on a cached key)
     clip <name>

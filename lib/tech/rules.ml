@@ -1,41 +1,48 @@
 type via_restriction = No_blocking | Orthogonal | Orthogonal_diagonal
 
+type objective = Wirelength | Via_weighted of float | Via_count
+
 type t = {
   name : string;
   sadp_from : int option;
   via_restriction : via_restriction;
+  dsa : bool;
+  objective : objective;
 }
 
+let make name sadp_from via_restriction dsa =
+  { name; sadp_from; via_restriction; dsa; objective = Wirelength }
+
 let rule = function
-  | 1 -> { name = "RULE1"; sadp_from = None; via_restriction = No_blocking }
-  | 2 -> { name = "RULE2"; sadp_from = Some 2; via_restriction = No_blocking }
-  | 3 -> { name = "RULE3"; sadp_from = Some 3; via_restriction = No_blocking }
-  | 4 -> { name = "RULE4"; sadp_from = Some 4; via_restriction = No_blocking }
-  | 5 -> { name = "RULE5"; sadp_from = Some 5; via_restriction = No_blocking }
-  | 6 -> { name = "RULE6"; sadp_from = None; via_restriction = Orthogonal }
-  | 7 -> { name = "RULE7"; sadp_from = Some 2; via_restriction = Orthogonal }
-  | 8 -> { name = "RULE8"; sadp_from = Some 3; via_restriction = Orthogonal }
-  | 9 ->
-    { name = "RULE9"; sadp_from = None; via_restriction = Orthogonal_diagonal }
-  | 10 ->
-    {
-      name = "RULE10";
-      sadp_from = Some 2;
-      via_restriction = Orthogonal_diagonal;
-    }
-  | 11 ->
-    {
-      name = "RULE11";
-      sadp_from = Some 3;
-      via_restriction = Orthogonal_diagonal;
-    }
+  | 1 -> make "RULE1" None No_blocking false
+  | 2 -> make "RULE2" (Some 2) No_blocking false
+  | 3 -> make "RULE3" (Some 3) No_blocking false
+  | 4 -> make "RULE4" (Some 4) No_blocking false
+  | 5 -> make "RULE5" (Some 5) No_blocking false
+  | 6 -> make "RULE6" None Orthogonal false
+  | 7 -> make "RULE7" (Some 2) Orthogonal false
+  | 8 -> make "RULE8" (Some 3) Orthogonal false
+  | 9 -> make "RULE9" None Orthogonal_diagonal false
+  | 10 -> make "RULE10" (Some 2) Orthogonal_diagonal false
+  | 11 -> make "RULE11" (Some 3) Orthogonal_diagonal false
+  (* RULE12+: DSA/multi-patterning via coloring (Ait-Ferhat et al.) —
+     adjacent vias on the same cut layer must take distinct assembly
+     colors, alone (12), on top of SADP from M3 (13), or on top of the
+     orthogonal blocking restriction (14). *)
+  | 12 -> make "RULE12" None No_blocking true
+  | 13 -> make "RULE13" (Some 3) No_blocking true
+  | 14 -> make "RULE14" None Orthogonal true
   | n -> invalid_arg (Printf.sprintf "Rules.rule: RULE%d does not exist" n)
 
-let all = List.init 11 (fun i -> rule (i + 1))
+let all = List.init 14 (fun i -> rule (i + 1))
+
+let with_objective objective t = { t with objective }
 
 (* N7-9T pins have only two access points close together; rules that need
    diagonal via adjacency (SADP from M2, or any 4/8-neighbour blocking
-   beyond RULE6/RULE8) are not evaluable there — Section 4.1. *)
+   beyond RULE6/RULE8) are not evaluable there — Section 4.1. DSA
+   coloring never forbids a via placement outright (it only constrains
+   mask assignment), so RULE12..14 stay evaluable everywhere. *)
 let applicable ~tech_name t =
   if String.length tech_name >= 2 && String.sub tech_name 0 2 = "N7" then
     match t.name with
@@ -54,17 +61,130 @@ let patterning_of t ~metal =
   | Some m when metal >= m -> Layer.Sadp
   | Some _ | None -> Layer.Lele
 
+(* ------------------------------------------------------------------ *)
+(* Objective semantics                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* [objective_coeff obj ~via ~cost] is the ILP objective coefficient of
+   an edge whose standard routing cost is [cost]; [via] marks the
+   cost-carrying via edges (single-site vias and via-shape lower edges —
+   exactly the edges [Route.metrics] counts as via instances).
+   [Wirelength] is the paper's default combined objective (wire segments
+   at 1, vias at their weighted cost); [Via_weighted w] rescales only
+   the via component by [w]; [Via_count] isolates it, one unit per via
+   instance. *)
+let objective_coeff obj ~via ~cost =
+  match obj with
+  | Wirelength -> float_of_int cost
+  | Via_weighted w -> if via then w *. float_of_int cost else float_of_int cost
+  | Via_count -> if via then 1.0 else 0.0
+
+(* The same objective evaluated from solution metrics. Exact by
+   construction: [cost - wirelength] is precisely the sum of via-edge
+   costs, and [vias] the number of via instances. *)
+let objective_value obj ~wirelength ~vias ~cost =
+  match obj with
+  | Wirelength -> float_of_int cost
+  | Via_weighted w ->
+    float_of_int wirelength +. (w *. float_of_int (cost - wirelength))
+  | Via_count -> float_of_int vias
+
+(* Whether every objective coefficient is integral — when true a dual
+   bound may be lifted to the next integer (used by the Lagrangian
+   mode; the MILP detects the same property per-LP). *)
+let objective_integral = function
+  | Wirelength | Via_count -> true
+  | Via_weighted w -> Float.is_integer w
+
+let objective_name = function
+  | Wirelength -> "wirelength"
+  | Via_weighted w -> Printf.sprintf "via-weighted:%.17g" w
+  | Via_count -> "via-count"
+
+let objective_of_name s =
+  match s with
+  | "wirelength" -> Ok Wirelength
+  | "via-count" -> Ok Via_count
+  | _ ->
+    let prefix = "via-weighted:" in
+    let plen = String.length prefix in
+    if String.length s > plen && String.sub s 0 plen = prefix then
+      match float_of_string_opt (String.sub s plen (String.length s - plen)) with
+      | Some w when Float.is_finite w && w >= 0.0 -> Ok (Via_weighted w)
+      | Some _ | None -> Error (Printf.sprintf "bad via weight in %S" s)
+    else
+      Error
+        (Printf.sprintf
+           "unknown objective %S (wirelength, via-count, via-weighted:<w>)" s)
+
 (* Canonical text for content-addressed keys: every field that changes
-   the feasible set, in a fixed order and spelling. Unlike [pp] (display
-   output, free to evolve), this string is part of the serve cache's key
-   format and must only change together with the key version. *)
+   the feasible set or the objective, in a fixed order and spelling.
+   Unlike [pp] (display output, free to evolve), this string is part of
+   the serve cache's key format and must only change together with the
+   key version. The [dsa]/[objective] suffixes appear only when they
+   differ from the defaults, so every legacy rule set keeps its exact
+   pre-RULE12 spelling (pinned by golden tests). *)
 let canonical t =
-  Printf.sprintf "rule=%s;sadp_from=%s;via_restriction=%s" t.name
-    (match t.sadp_from with None -> "none" | Some m -> string_of_int m)
-    (match t.via_restriction with
-    | No_blocking -> "none"
-    | Orthogonal -> "orthogonal"
-    | Orthogonal_diagonal -> "orthogonal+diagonal")
+  let base =
+    Printf.sprintf "rule=%s;sadp_from=%s;via_restriction=%s" t.name
+      (match t.sadp_from with None -> "none" | Some m -> string_of_int m)
+      (match t.via_restriction with
+      | No_blocking -> "none"
+      | Orthogonal -> "orthogonal"
+      | Orthogonal_diagonal -> "orthogonal+diagonal")
+  in
+  let base = if t.dsa then base ^ ";dsa=true" else base in
+  match t.objective with
+  | Wirelength -> base
+  | obj -> base ^ ";objective=" ^ objective_name obj
+
+let of_canonical s =
+  let ( let* ) = Result.bind in
+  let fields = String.split_on_char ';' s in
+  let lookup key =
+    let prefix = key ^ "=" in
+    let plen = String.length prefix in
+    List.find_map
+      (fun f ->
+        if String.length f >= plen && String.sub f 0 plen = prefix then
+          Some (String.sub f plen (String.length f - plen))
+        else None)
+      fields
+  in
+  let* name =
+    match lookup "rule" with
+    | Some n -> Ok n
+    | None -> Error "missing rule= field"
+  in
+  let* sadp_from =
+    match lookup "sadp_from" with
+    | Some "none" -> Ok None
+    | Some m -> (
+      match int_of_string_opt m with
+      | Some m -> Ok (Some m)
+      | None -> Error (Printf.sprintf "bad sadp_from %S" m))
+    | None -> Error "missing sadp_from= field"
+  in
+  let* via_restriction =
+    match lookup "via_restriction" with
+    | Some "none" -> Ok No_blocking
+    | Some "orthogonal" -> Ok Orthogonal
+    | Some "orthogonal+diagonal" -> Ok Orthogonal_diagonal
+    | Some v -> Error (Printf.sprintf "bad via_restriction %S" v)
+    | None -> Error "missing via_restriction= field"
+  in
+  let* dsa =
+    match lookup "dsa" with
+    | None -> Ok false
+    | Some "true" -> Ok true
+    | Some v -> Error (Printf.sprintf "bad dsa %S" v)
+  in
+  let* objective =
+    match lookup "objective" with
+    | None -> Ok Wirelength
+    | Some o -> objective_of_name o
+  in
+  Ok { name; sadp_from; via_restriction; dsa; objective }
 
 let pp ppf t =
   let sadp =
@@ -78,4 +198,8 @@ let pp ppf t =
     | Orthogonal -> 4
     | Orthogonal_diagonal -> 8
   in
-  Format.fprintf ppf "%s (%s, %d neighbours blocked)" t.name sadp blocked
+  Format.fprintf ppf "%s (%s, %d neighbours blocked%s%s)" t.name sadp blocked
+    (if t.dsa then ", DSA via coloring" else "")
+    (match t.objective with
+    | Wirelength -> ""
+    | obj -> ", objective " ^ objective_name obj)

@@ -1,9 +1,13 @@
-(** BEOL design-rule configurations (Table 3 of the paper).
+(** BEOL design-rule configurations (Table 3 of the paper, plus the
+    RULE12+ DSA/multi-patterning family and the objective modes).
 
     A configuration combines (i) the lowest metal layer from which SADP
-    patterning (and its end-of-line rules) applies, and (ii) a via adjacency
-    restriction. RULE1 — all-LELE, no via restriction — is the baseline that
-    every Δcost in the evaluation is measured against. *)
+    patterning (and its end-of-line rules) applies, (ii) a via adjacency
+    restriction, (iii) whether DSA via-coloring applies (adjacent vias on
+    a cut layer must take distinct assembly colors — Ait-Ferhat et al.),
+    and (iv) the routing objective. RULE1 — all-LELE, no via restriction,
+    default objective — is the baseline that every Δcost in the
+    evaluation is measured against. *)
 
 (** How many neighbouring via sites a placed via blocks. *)
 type via_restriction =
@@ -11,27 +15,46 @@ type via_restriction =
   | Orthogonal  (** N, E, S, W neighbours blocked *)
   | Orthogonal_diagonal  (** plus NE, NW, SE, SW *)
 
+(** The routing objective. [Wirelength] is the paper's combined default
+    (wire segments at unit cost, vias at their weighted cost);
+    [Via_weighted w] rescales the via component of that objective by
+    [w]; [Via_count] minimises the number of via instances alone. *)
+type objective = Wirelength | Via_weighted of float | Via_count
+
 type t = {
-  name : string;  (** "RULE1" .. "RULE11" or a custom label *)
+  name : string;  (** "RULE1" .. "RULE14" or a custom label *)
   sadp_from : int option;  (** [Some m]: SADP on every layer >= Mm *)
   via_restriction : via_restriction;
+  dsa : bool;
+      (** DSA via coloring: the conflict graph of placed vias (within
+          the technology's DSA pitch on the same cut layer) must be
+          colorable with the technology's color count *)
+  objective : objective;
 }
 
-(** [rule n] is RULEn for n in 1..11, per Table 3:
+(** [rule n] is RULEn for n in 1..14, per Table 3 (1..11) and the DSA
+    extension (12..14):
     - RULE1: no SADP, 0 blocked;
     - RULE2..5: SADP >= M2..M5, 0 blocked;
     - RULE6: no SADP, 4 blocked;
     - RULE7, 8: SADP >= M2, M3, 4 blocked;
     - RULE9: no SADP, 8 blocked;
-    - RULE10, 11: SADP >= M2, M3, 8 blocked.
-    Raises [Invalid_argument] outside 1..11. *)
+    - RULE10, 11: SADP >= M2, M3, 8 blocked;
+    - RULE12: DSA via coloring alone;
+    - RULE13: DSA + SADP >= M3;
+    - RULE14: DSA + 4 blocked.
+    All with the default [Wirelength] objective.
+    Raises [Invalid_argument] outside 1..14. *)
 val rule : int -> t
 
 val all : t list
 
+(** [with_objective obj t] is [t] solved under objective [obj]. *)
+val with_objective : objective -> t -> t
+
 (** Rules evaluated on each technology: the paper skips RULE2, 7, 9, 10 and
     11 on N7-9T because its small pin shapes do not admit the diagonal via
-    placements those rules require. *)
+    placements those rules require. DSA rules are evaluable everywhere. *)
 val applicable : tech_name:string -> t -> bool
 
 (** Offsets of the via sites blocked by a via placed at the origin. *)
@@ -40,10 +63,38 @@ val blocked_neighbour_offsets : via_restriction -> (int * int) list
 (** [patterning_of rules ~metal] resolves a layer's patterning. *)
 val patterning_of : t -> metal:int -> Layer.patterning
 
+(** {2 Objective semantics} *)
+
+(** [objective_coeff obj ~via ~cost] is the ILP objective coefficient of
+    an edge with standard routing cost [cost]; [via] marks cost-carrying
+    via edges (single-site vias and via-shape lower edges). *)
+val objective_coeff : objective -> via:bool -> cost:int -> float
+
+(** [objective_value obj ~wirelength ~vias ~cost] evaluates the
+    objective from solution metrics — exact, since
+    [cost - wirelength] is the summed via-edge cost and [vias] the via
+    instance count. *)
+val objective_value : objective -> wirelength:int -> vias:int -> cost:int -> float
+
+(** Whether every objective coefficient is integral (enables integer
+    lifting of dual bounds). *)
+val objective_integral : objective -> bool
+
+(** Stable objective spelling ("wirelength", "via-count",
+    "via-weighted:<w>") and its inverse. *)
+val objective_name : objective -> string
+
+val objective_of_name : string -> (objective, string) result
+
 (** Canonical single-line text of every result-relevant field, in a fixed
     order — the [Rules.t] component of content-addressed cache keys.
     Stable by contract: changing its format requires bumping the cache-key
-    version (see [Optrouter_serve.Cache]). *)
+    version (see [Optrouter_serve.Cache]). Non-default [dsa]/[objective]
+    values append [;dsa=true] / [;objective=...] suffixes; legacy rule
+    sets keep their exact historical spelling. *)
 val canonical : t -> string
+
+(** Parse [canonical] output back; [Error] on malformed text. *)
+val of_canonical : string -> (t, string) result
 
 val pp : Format.formatter -> t -> unit

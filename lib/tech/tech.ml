@@ -70,6 +70,18 @@ let stack t rules =
 
 let row_height t = t.cell_height_tracks * t.hpitch
 
+(* DSA multi-patterning parameters (Ait-Ferhat et al., RULE12+). The
+   28nm flows print cut masks with two assembly colors; the scaled 7nm
+   flow's tighter cut pitch needs a third. Derived from the preset name
+   rather than stored, so [Tech.t] (and [canonical] below) is unchanged
+   and every legacy cache key stays byte-identical. *)
+let dsa_colors t =
+  if String.length t.name >= 2 && String.sub t.name 0 2 = "N7" then 3 else 2
+
+(* Vias within one track of each other (Chebyshev, same cut layer)
+   conflict: they cannot share an assembly color. *)
+let dsa_pitch_tracks _t = 1
+
 let clip_tracks_1um t = (1000 / t.vpitch, 1000 / t.hpitch)
 
 (* Canonical text for content-addressed keys: every field, fixed order.

@@ -34,6 +34,15 @@ val stack : t -> Rules.t -> Layer.t list
 (** Cell row height in nm. *)
 val row_height : t -> int
 
+(** Number of DSA assembly colors available for via/cut masks under the
+    RULE12+ family (Ait-Ferhat et al.): 2 on the 28nm flows, 3 on the
+    scaled 7nm flow. Derived, not stored — [canonical] is unchanged. *)
+val dsa_colors : t -> int
+
+(** Chebyshev distance (in tracks, same cut layer) within which two vias
+    conflict for DSA coloring purposes. *)
+val dsa_pitch_tracks : t -> int
+
 (** Dimensions of the paper's 1.0um x 1.0um clip in tracks for this
     technology: (columns of vertical tracks, rows of horizontal tracks). *)
 val clip_tracks_1um : t -> int * int

@@ -241,6 +241,67 @@ let test_coverage_forbidden_and_unknown () =
   in
   check_code "A303" (coverage_of (rule 1) g form with_unknown)
 
+(* The DSA family obeys the same toggling contract as every other rule
+   knob: suppressing the coloring rows under RULE12 is an A301, leaking
+   them under a non-DSA rule is an A302. The expected set is re-derived
+   from the raw via-site lattice, never from Formulate's own pair list. *)
+let test_coverage_dsa_family () =
+  let g, form = build_form (rule 12) test_clip in
+  let lp = Formulate.lp form in
+  let dsa_rows =
+    Array.to_list lp.Lp.rows
+    |> List.filter (fun (r : Lp.row) ->
+           String.length r.Lp.r_name > 4 && String.sub r.Lp.r_name 0 4 = "dsa_")
+  in
+  Alcotest.(check bool)
+    "precondition: the honest RULE12 model has dsa rows" true (dsa_rows <> []);
+  Alcotest.(check (list string))
+    "honest RULE12 model is clean" []
+    (codes (coverage_of (rule 12) g form lp));
+  let ds = coverage_of (rule 12) g form (doctor ~drop:[ "dsa" ] lp) in
+  check_code "A301" ds;
+  let missing =
+    List.filter (fun d -> d.Lp_audit.code = "A301") ds
+    |> List.map (fun d -> d.Lp_audit.subject)
+  in
+  Alcotest.(check (list string))
+    "exactly the dsa row family is reported missing" [ "dsa" ] missing;
+  (* leak direction: a dsa row under plain RULE1 is forbidden *)
+  let g1, form1 = build_form (rule 1) test_clip in
+  let with_leak =
+    doctor
+      ~extra:[ ("dsa_col_g0", [ (0, 1.0) ], Lp.Eq, 0.0) ]
+      (Formulate.lp form1)
+  in
+  check_code "A302" (coverage_of (rule 1) g1 form1 with_leak)
+
+(* A305: the objective vector must match the rules' objective exactly.
+   An honest via-count formulation is clean; a wirelength-objective LP
+   audited against via-count rules (the "silent drop" of the objective
+   dimension) is an A305 error. *)
+let test_coverage_objective_vector () =
+  let via_rules = Rules.with_objective Rules.Via_count (rule 1) in
+  let gv, formv = build_form via_rules test_clip in
+  Alcotest.(check (list string))
+    "honest via-count model is clean" []
+    (codes (coverage_of via_rules gv formv (Formulate.lp formv)));
+  let gw, formw = build_form (rule 1) test_clip in
+  let ds = coverage_of via_rules gw formw (Formulate.lp formw) in
+  check_code "A305" ds;
+  Alcotest.(check bool)
+    "A305 diagnostics are errors" true
+    (List.for_all
+       (fun d -> d.Lp_audit.severity = Lp_audit.Error)
+       (List.filter (fun d -> d.Lp_audit.code = "A305") ds));
+  (* the weight itself is pinned, not just the via/wire split *)
+  let w2 = Rules.with_objective (Rules.Via_weighted 2.0) (rule 1) in
+  let w3 = Rules.with_objective (Rules.Via_weighted 3.0) (rule 1) in
+  let g2, form2 = build_form w2 test_clip in
+  Alcotest.(check (list string))
+    "honest via-weighted model is clean" []
+    (codes (coverage_of w2 g2 form2 (Formulate.lp form2)));
+  check_code "A305" (coverage_of w3 g2 form2 (Formulate.lp form2))
+
 let test_audit_formulations_all_rules () =
   (* every applicable rule on every tech, on a nontrivial clip: the full
      audit must be error-free (mirrors `optrouter audit` in CI) *)
@@ -303,6 +364,51 @@ let test_render_and_json () =
         (Printf.sprintf "json mentions %s" affix)
         true (contains ~affix json))
     [ {|"errors": 1|}; {|"code": "A001"|}; {|"severity": "error"|} ]
+
+(* ------------------------------------------------------------------ *)
+(* Report.Json float round-trip                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Every float the reports emit must come back bit-identical through our
+   own parser (and still tagged [Float], not [Int] — hence the forced
+   [.0] suffix on integral values). Bit equality distinguishes -0.0 from
+   0.0, which [Float.equal] would conflate. *)
+let qcheck_json_float_roundtrip =
+  let gen =
+    (* [ldexp m e] sweeps ~18 decimal orders of magnitude in both signs
+       without ever generating nan/inf *)
+    QCheck.Gen.(
+      map2
+        (fun m e -> ldexp (float_of_int m) e)
+        (int_range (-1_000_000_000) 1_000_000_000)
+        (int_range (-60) 60))
+  in
+  QCheck.Test.make ~count:500 ~name:"Json float emit/parse is the identity"
+    (QCheck.make ~print:string_of_float gen) (fun f ->
+      let doc = Report.Json.Obj [ ("x", Report.Json.Float f) ] in
+      match Report.Json.of_string (Report.Json.to_string doc) with
+      | Ok parsed -> (
+        match Report.Json.member "x" parsed with
+        | Some (Report.Json.Float f') ->
+          Int64.equal (Int64.bits_of_float f) (Int64.bits_of_float f')
+        | Some _ | None -> false)
+      | Error _ -> false)
+
+let test_json_rejects_non_finite () =
+  List.iter
+    (fun f ->
+      match Report.Json.to_string (Report.Json.Float f) with
+      | exception Invalid_argument _ -> ()
+      | s -> Alcotest.failf "non-finite %h must not emit (got %S)" f s)
+    [ Float.nan; Float.infinity; Float.neg_infinity ];
+  (* nested occurrences are rejected too, not just top-level scalars *)
+  match
+    Report.Json.to_string
+      (Report.Json.Obj
+         [ ("xs", Report.Json.List [ Report.Json.Float Float.nan ]) ])
+  with
+  | exception Invalid_argument _ -> ()
+  | s -> Alcotest.failf "nested nan must not emit (got %S)" s
 
 (* ------------------------------------------------------------------ *)
 (* Source lint                                                         *)
@@ -685,6 +791,10 @@ let () =
             test_coverage_suppressed_family;
           Alcotest.test_case "leaked and unknown families" `Quick
             test_coverage_forbidden_and_unknown;
+          Alcotest.test_case "dsa family toggling (A301/A302)" `Quick
+            test_coverage_dsa_family;
+          Alcotest.test_case "objective vector pinned (A305)" `Quick
+            test_coverage_objective_vector;
           Alcotest.test_case "all rules x all techs error-free" `Slow
             test_audit_formulations_all_rules;
         ] );
@@ -692,6 +802,12 @@ let () =
         [
           Alcotest.test_case "hook and router config" `Slow test_hook;
           Alcotest.test_case "render and json" `Quick test_render_and_json;
+        ] );
+      ( "report-json",
+        [
+          QCheck_alcotest.to_alcotest qcheck_json_float_roundtrip;
+          Alcotest.test_case "non-finite floats rejected at emit" `Quick
+            test_json_rejects_non_finite;
         ] );
       ( "source_lint",
         [

@@ -328,17 +328,20 @@ let test_table3_golden () =
      here before it silently skews an experiment. *)
   let expected =
     [
-      [ "RULE1"; "No SADP"; "0 neighbors blocked" ];
-      [ "RULE2"; "SADP >= M2"; "0 neighbors blocked" ];
-      [ "RULE3"; "SADP >= M3"; "0 neighbors blocked" ];
-      [ "RULE4"; "SADP >= M4"; "0 neighbors blocked" ];
-      [ "RULE5"; "SADP >= M5"; "0 neighbors blocked" ];
-      [ "RULE6"; "No SADP"; "4 neighbors blocked" ];
-      [ "RULE7"; "SADP >= M2"; "4 neighbors blocked" ];
-      [ "RULE8"; "SADP >= M3"; "4 neighbors blocked" ];
-      [ "RULE9"; "No SADP"; "8 neighbors blocked" ];
-      [ "RULE10"; "SADP >= M2"; "8 neighbors blocked" ];
-      [ "RULE11"; "SADP >= M3"; "8 neighbors blocked" ];
+      [ "RULE1"; "No SADP"; "0 neighbors blocked"; "-" ];
+      [ "RULE2"; "SADP >= M2"; "0 neighbors blocked"; "-" ];
+      [ "RULE3"; "SADP >= M3"; "0 neighbors blocked"; "-" ];
+      [ "RULE4"; "SADP >= M4"; "0 neighbors blocked"; "-" ];
+      [ "RULE5"; "SADP >= M5"; "0 neighbors blocked"; "-" ];
+      [ "RULE6"; "No SADP"; "4 neighbors blocked"; "-" ];
+      [ "RULE7"; "SADP >= M2"; "4 neighbors blocked"; "-" ];
+      [ "RULE8"; "SADP >= M3"; "4 neighbors blocked"; "-" ];
+      [ "RULE9"; "No SADP"; "8 neighbors blocked"; "-" ];
+      [ "RULE10"; "SADP >= M2"; "8 neighbors blocked"; "-" ];
+      [ "RULE11"; "SADP >= M3"; "8 neighbors blocked"; "-" ];
+      [ "RULE12"; "No SADP"; "0 neighbors blocked"; "k-colorable" ];
+      [ "RULE13"; "SADP >= M3"; "0 neighbors blocked"; "k-colorable" ];
+      [ "RULE14"; "No SADP"; "4 neighbors blocked"; "k-colorable" ];
     ]
   in
   Alcotest.(check (list (list string))) "verbatim" expected
@@ -346,9 +349,9 @@ let test_table3_golden () =
 
 let test_table3_matches_rules () =
   let rows = Experiments.table3_rows () in
-  Alcotest.(check int) "11 rules" 11 (List.length rows);
+  Alcotest.(check int) "14 rules" 14 (List.length rows);
   match rows with
-  | [ "RULE1"; "No SADP"; "0 neighbors blocked" ] :: _ -> ()
+  | [ "RULE1"; "No SADP"; "0 neighbors blocked"; "-" ] :: _ -> ()
   | _ -> Alcotest.fail "RULE1 row malformed"
 
 let test_table2_covers_all_techs () =
@@ -366,8 +369,9 @@ let test_rules_for_skips_n7_inapplicable () =
   Alcotest.(check bool) "RULE2 skipped" false (List.mem "RULE2" names);
   Alcotest.(check bool) "RULE9 skipped" false (List.mem "RULE9" names);
   Alcotest.(check bool) "RULE3 present" true (List.mem "RULE3" names);
+  Alcotest.(check bool) "RULE12 present on N7" true (List.mem "RULE12" names);
   let n28 = Experiments.rules_for Tech.n28_12t in
-  Alcotest.(check int) "N28 evaluates all but RULE1" 10 (List.length n28)
+  Alcotest.(check int) "N28 evaluates all but RULE1" 13 (List.length n28)
 
 let test_ilp_size_rows () =
   let rows = Experiments.ilp_size_rows () in

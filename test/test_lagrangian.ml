@@ -245,6 +245,36 @@ let prop_sandwich =
            | Some s ->
              s.Route.metrics.cost >= opt && Drc.check ~rules g s = []))
 
+(* The sandwich must survive the two new sweep dimensions together: a
+   DSA rule (whose coloring rows are absent from the relaxation — a
+   relaxation stays a relaxation) and a via objective (pricing and
+   bounds move to objective units; the integral weight keeps the
+   ceil-lift legitimate). *)
+let prop_sandwich_dsa_via =
+  let rules = Rules.with_objective (Rules.Via_weighted 2.0) (rule 12) in
+  let obj (m : Route.metrics) =
+    Rules.objective_value rules.Rules.objective ~wirelength:m.Route.wirelength
+      ~vias:m.Route.vias ~cost:m.Route.cost
+  in
+  QCheck.Test.make
+    ~name:"RULE12 + via-weighted: dual <= ILP optimum <= certified primal"
+    ~count:10 arbitrary_clip (fun c ->
+      match (Optrouter.route ~tech ~rules c).Optrouter.verdict with
+      | Optrouter.Unroutable | Optrouter.Limit _ | Optrouter.Near_optimal _ ->
+        true (* only exact-proven clips pin the sandwich *)
+      | Optrouter.Routed sol ->
+        let opt = obj sol.Route.metrics in
+        let g = Graph.build ~tech ~rules c in
+        let r = Lagrangian.solve ~rules g in
+        r.Lagrangian.dual_bound <= opt +. 1e-6
+        &&
+        (* roundings may miss under DSA, but a reported one must be a
+           DRC-certified upper bound in objective units *)
+        (match r.Lagrangian.solution with
+        | None -> true
+        | Some s ->
+          obj s.Route.metrics >= opt -. 1e-6 && Drc.check ~rules g s = []))
+
 let qtest t = QCheck_alcotest.to_alcotest t
 
 let () =
@@ -265,5 +295,5 @@ let () =
           Alcotest.test_case "fingerprint distinguishes modes" `Quick
             test_fingerprint_distinguishes_modes;
         ] );
-      ("properties", [ qtest prop_sandwich ]);
+      ("properties", [ qtest prop_sandwich; qtest prop_sandwich_dsa_via ]);
     ]

@@ -611,6 +611,48 @@ let test_drc_detects_sadp_conflict () =
   Alcotest.(check bool) "SADP EOL conflict flagged" true
     (List.exists (function Drc.Sadp_conflict _ -> true | _ -> false) viols)
 
+(* Two vertical nets in adjacent columns: the RULE1 optimum drops both
+   via pairs at the pin columns, a K4 in the DSA conflict graph (N28 has
+   2 colors, pitch 1 track) — uncolorable. The checker must flag it
+   under RULE12 and stay silent under RULE1. *)
+let test_drc_detects_dsa_conflict () =
+  let c =
+    clip ~cols:4 ~rows:2 ~layers:2
+      [ two_pin "a" (0, 0) (0, 1); two_pin "b" (1, 0) (1, 1) ]
+  in
+  let g, sol = solution_of c (rule 1) in
+  let viols12 = Drc.check ~rules:(rule 12) g sol in
+  Alcotest.(check bool) "DSA conflict flagged under RULE12" true
+    (List.exists (function Drc.Dsa_conflict _ -> true | _ -> false) viols12);
+  Alcotest.(check int) "clean under RULE1" 0
+    (List.length (Drc.check ~rules:(rule 1) g sol))
+
+(* The same clip routed under RULE12: the ILP must spread the via pairs
+   past the DSA pitch (a paid detour) and deliver a DRC-clean routing —
+   strictly costlier than the RULE1 optimum it had to abandon. *)
+let test_route_dsa_forces_detour () =
+  let c =
+    clip ~cols:4 ~rows:2 ~layers:2
+      [ two_pin "a" (0, 0) (0, 1); two_pin "b" (1, 0) (1, 1) ]
+  in
+  let base = routed_cost (route ~rules:(rule 1) c) in
+  let g12, sol12 = solution_of c (rule 12) in
+  Alcotest.(check int) "RULE12 routing is DRC-clean" 0
+    (List.length (Drc.check ~rules:(rule 12) g12 sol12));
+  Alcotest.(check bool) "detour costs strictly more than RULE1" true
+    (sol12.Route.metrics.cost > base)
+
+(* A lone via pair is 2-colorable: RULE12 must not tax colorable
+   layouts — same optimum as RULE1. *)
+let test_route_dsa_colorable_free () =
+  let c = clip ~cols:4 ~rows:2 ~layers:2 [ two_pin "a" (0, 0) (0, 1) ] in
+  let base = routed_cost (route ~rules:(rule 1) c) in
+  let g12, sol12 = solution_of c (rule 12) in
+  Alcotest.(check int) "DRC-clean" 0
+    (List.length (Drc.check ~rules:(rule 12) g12 sol12));
+  Alcotest.(check int) "no cost penalty when colorable" base
+    sol12.Route.metrics.cost
+
 (* ------------------------------------------------------------------ *)
 (* Paper-size construction (no solving)                                *)
 (* ------------------------------------------------------------------ *)
@@ -858,6 +900,12 @@ let () =
             test_drc_detects_shape_blocking;
           Alcotest.test_case "detects dangling stubs" `Quick
             test_drc_detects_dangling;
+          Alcotest.test_case "detects DSA uncolorable vias" `Quick
+            test_drc_detects_dsa_conflict;
+          Alcotest.test_case "RULE12 forces a paid detour" `Quick
+            test_route_dsa_forces_detour;
+          Alcotest.test_case "RULE12 is free when colorable" `Quick
+            test_route_dsa_colorable_free;
         ] );
       ( "paper-size",
         [

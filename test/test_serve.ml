@@ -219,6 +219,23 @@ let test_cache_key_effort_independent () =
   in
   Alcotest.(check bool) "tech changes the key" true (key fast_config <> other_tech)
 
+let test_cache_key_v3_new_dimensions () =
+  (* The canonical rule string grew objective/dsa suffixes in this format
+     generation; the version tag must have been bumped exactly once. *)
+  Alcotest.(check string) "key version" "optrouter serve key v3"
+    Serve.key_version;
+  let key rules =
+    Serve.cache_key ~config:fast_config ~tech:Tech.n28_12t ~rules eol_clip
+  in
+  let base = Rules.rule 4 in
+  Alcotest.(check bool) "objective changes the key" true
+    (key base <> key (Rules.with_objective Rules.Via_count base));
+  Alcotest.(check bool) "via weight changes the key" true
+    (key (Rules.with_objective (Rules.Via_weighted 2.0) base)
+    <> key (Rules.with_objective (Rules.Via_weighted 3.0) base));
+  Alcotest.(check bool) "DSA rule changes the key" true
+    (key base <> key (Rules.rule 12))
+
 (* ------------------------------------------------------------------ *)
 (* Engine: hits, bypass, deadlines                                     *)
 (* ------------------------------------------------------------------ *)
@@ -446,6 +463,39 @@ let test_request_parse_errors () =
       ("bad json", "{\"rule\": 4}\n");
     ]
 
+(* [float_of_string_opt] parses "nan"/"inf", so the deadline header needs
+   its own finite-positive gate — a NaN deadline sails past ordered
+   comparisons (NaN <= 0.0 is false) and would poison the solver budget. *)
+let test_deadline_token_validation () =
+  let clip_text = Clipfile.to_string eol_clip in
+  let raw token =
+    Printf.sprintf "optrouter-request v1\nrule 4\ndeadline %s\n%sendrequest\n"
+      token clip_text
+  in
+  List.iter
+    (fun token ->
+      match Serve.parse_request (raw token) with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "deadline %S must be a protocol error" token)
+    [ "nan"; "-nan"; "inf"; "infinity"; "-inf"; "0"; "0.0"; "-3.5"; "later" ];
+  (* JSON requests share the same gate via [finish_request]. *)
+  List.iter
+    (fun js ->
+      let msg =
+        Printf.sprintf "{\"rule\": 4, \"clip\": \"%s\", \"deadline_s\": %s}"
+          (json_escape clip_text) js
+      in
+      match Serve.parse_request msg with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "JSON deadline %s must be a protocol error" js)
+    [ "-1.5"; "0" ];
+  (* The boundary stays permissive: any finite positive value is fine. *)
+  match Serve.parse_request (raw "1e-9") with
+  | Ok req ->
+    Alcotest.(check (option (float 1e-18))) "tiny but valid" (Some 1e-9)
+      req.Serve.deadline_s
+  | Error e -> Alcotest.fail e
+
 let test_parse_response_frames () =
   (match
      Serve.parse_response
@@ -525,6 +575,8 @@ let () =
         [
           Alcotest.test_case "effort-independent, input-sensitive" `Quick
             test_cache_key_effort_independent;
+          Alcotest.test_case "v3: objective/DSA dimensions keyed" `Quick
+            test_cache_key_v3_new_dimensions;
         ] );
       ( "engine",
         [
@@ -551,6 +603,8 @@ let () =
           Alcotest.test_case "json request" `Quick test_json_request;
           Alcotest.test_case "request parse errors" `Quick
             test_request_parse_errors;
+          Alcotest.test_case "deadline token validation" `Quick
+            test_deadline_token_validation;
           Alcotest.test_case "response frames" `Quick test_parse_response_frames;
         ] );
       ( "daemon",

@@ -84,14 +84,25 @@ let test_rules_table3 () =
   check 7 (Some 2) 4;
   check 8 (Some 3) 4;
   check 9 None 8;
-  check 11 (Some 3) 8
+  check 11 (Some 3) 8;
+  (* DSA family (RULE12+): sweep-orthogonal to Table 3 *)
+  check 12 None 0;
+  check 13 (Some 3) 0;
+  check 14 None 4;
+  List.iter
+    (fun n ->
+      Alcotest.(check bool)
+        (Printf.sprintf "RULE%d dsa" n)
+        (n >= 12) (Rules.rule n).Rules.dsa)
+    [ 1; 3; 11; 12; 13; 14 ];
+  Alcotest.(check int) "catalogue size" 14 (List.length Rules.all)
 
 let test_rules_out_of_range () =
   (match Rules.rule 0 with
   | _ -> Alcotest.fail "rule 0"
   | exception Invalid_argument _ -> ());
-  match Rules.rule 12 with
-  | _ -> Alcotest.fail "rule 12"
+  match Rules.rule 15 with
+  | _ -> Alcotest.fail "rule 15"
   | exception Invalid_argument _ -> ()
 
 let test_rules_patterning_of () =
@@ -118,6 +129,8 @@ let test_rules_n7_applicability () =
     [
       (1, true); (2, false); (3, true); (4, true); (5, true);
       (6, true); (7, false); (8, true); (9, false); (10, false); (11, false);
+      (* DSA rules carry no pitch-split assumptions: evaluable anywhere *)
+      (12, true); (13, true); (14, true);
     ];
   (* every rule applies on 28nm *)
   List.iter
@@ -138,6 +151,83 @@ let test_blocked_offsets_symmetric () =
             (List.mem (-dx, -dy) offs))
         offs)
     [ Rules.Orthogonal; Rules.Orthogonal_diagonal ]
+
+(* ------------------------------------------------------------------ *)
+(* Canonical spellings (golden)                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* The serve cache keys and warm-basis files are content-addressed over
+   these exact byte strings. Extending [Rules.t]/[Tech.t] (or the config
+   fingerprint) must leave the legacy spellings byte-identical — a silent
+   change here invalidates every cached entry without a key-version bump
+   to account for it. *)
+
+let test_rules_canonical_golden () =
+  List.iter
+    (fun (n, expected) ->
+      Alcotest.(check string)
+        (Printf.sprintf "RULE%d canonical" n)
+        expected
+        (Rules.canonical (Rules.rule n)))
+    [
+      (1, "rule=RULE1;sadp_from=none;via_restriction=none");
+      (3, "rule=RULE3;sadp_from=3;via_restriction=none");
+      (8, "rule=RULE8;sadp_from=3;via_restriction=orthogonal");
+      (11, "rule=RULE11;sadp_from=3;via_restriction=orthogonal+diagonal");
+    ]
+
+let test_tech_canonical_golden () =
+  List.iter
+    (fun (tech, expected) ->
+      Alcotest.(check string) (tech.Tech.name ^ " canonical") expected
+        (Tech.canonical tech))
+    [
+      ( Tech.n28_12t,
+        "tech=N28-12T;cell_height_tracks=12;hpitch=100;vpitch=136;num_layers=8;via_weight=4;pin_width=50;access_points_per_pin=5"
+      );
+      ( Tech.n28_8t,
+        "tech=N28-8T;cell_height_tracks=8;hpitch=100;vpitch=136;num_layers=8;via_weight=4;pin_width=50;access_points_per_pin=4"
+      );
+      ( Tech.n7_9t,
+        "tech=N7-9T;cell_height_tracks=9;hpitch=100;vpitch=136;num_layers=8;via_weight=4;pin_width=24;access_points_per_pin=2"
+      );
+    ]
+
+let test_config_fingerprint_golden () =
+  let module Optrouter = Optrouter_core.Optrouter in
+  Alcotest.(check string) "default config fingerprint"
+    ("options:vertex_exclusivity=true;sadp_aux_vars=false;aggregated_flows=false\n"
+   ^ "single_vias=true;bidirectional=false\n"
+   ^ "milp:integrality_tol=9.9999999999999995e-07\n" ^ "solve_mode=exact\n")
+    (Optrouter.config_fingerprint Optrouter.default_config)
+
+(* [of_canonical] must invert [canonical] over the whole widened space —
+   any rule, any DSA flag, any objective (the via weight is emitted with
+   [%.17g], so even fractional weights round-trip bit-exactly). *)
+let qcheck_rules_canonical_roundtrip =
+  let gen =
+    QCheck.Gen.(
+      let* n = int_range 1 14 in
+      let* obj =
+        oneof
+          [
+            return Rules.Wirelength;
+            return Rules.Via_count;
+            (* dyadic weights exercise both integral and fractional
+               spellings without float-noise in the generator itself *)
+            map
+              (fun k -> Rules.Via_weighted (float_of_int k /. 8.0))
+              (int_range 0 1000);
+          ]
+      in
+      return (Rules.with_objective obj (Rules.rule n)))
+  in
+  let print r = Rules.canonical r in
+  QCheck.Test.make ~count:200 ~name:"of_canonical inverts canonical"
+    (QCheck.make ~print gen) (fun r ->
+      match Rules.of_canonical (Rules.canonical r) with
+      | Ok r' -> r' = r
+      | Error _ -> false)
 
 (* ------------------------------------------------------------------ *)
 (* Via shapes                                                          *)
@@ -189,6 +279,16 @@ let () =
           Alcotest.test_case "N7 applicability" `Quick test_rules_n7_applicability;
           Alcotest.test_case "blocked offsets symmetric" `Quick
             test_blocked_offsets_symmetric;
+        ] );
+      ( "canonical-golden",
+        [
+          Alcotest.test_case "rules spellings pinned" `Quick
+            test_rules_canonical_golden;
+          Alcotest.test_case "tech spellings pinned" `Quick
+            test_tech_canonical_golden;
+          QCheck_alcotest.to_alcotest qcheck_rules_canonical_roundtrip;
+          Alcotest.test_case "config fingerprint pinned" `Quick
+            test_config_fingerprint_golden;
         ] );
       ( "via-shapes",
         [
